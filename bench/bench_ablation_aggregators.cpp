@@ -1,0 +1,56 @@
+// Ablation: forcing the collective-buffering aggregator count with the
+// cb_nodes hint (the paper: "MPI hint with key cb_nodes can be provided
+// by the user to set the number of nodes performing I/O operations").
+// Too few readers serialize the read; the ROMIO-selected value is near
+// the sweet spot when nodes divide the stripe count.
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr double kScale = 1.0 / 64.0;
+  constexpr int kNodes = 8;
+  constexpr int kProcs = kNodes * 16;
+
+  const std::uint64_t fileBytes =
+      bench::scaledBytes(static_cast<double>(osm::datasetInfo(osm::DatasetId::kLakes).paperBytes), kScale);
+  const std::uint64_t stripe = bench::scaledBytes(32.0 * 1024 * 1024, kScale);
+
+  bench::printHeader("Ablation — cb_nodes aggregator hint (Level 1)",
+                     "collective read time falls as readers grow toward the node count",
+                     util::formatBytes(fileBytes) + " lakes file, " + std::to_string(kNodes) +
+                         " nodes, 64 OSTs");
+
+  osm::RecordGenerator gen(osm::datasetSpec(osm::DatasetId::kLakes));
+  auto pool = std::make_shared<const osm::RecordPool>(gen, 256);
+
+  util::TextTable table({"cb_nodes hint", "readers", "read time", "bandwidth"});
+  for (const int hint : {1, 2, 4, 8, 0}) {  // 0 = ROMIO rule
+    auto volume = bench::cometVolume(kNodes, kScale);
+    volume->createOrReplace("lakes.wkt", osm::makeVirtualWktFile(pool, fileBytes, 1ull << 20, 3, 96),
+                            {stripe, 64});
+    double t = 0;
+    std::size_t readers = 0;
+    mpi::Runtime::run(kProcs, sim::MachineModel::comet(kNodes), [&](mpi::Comm& comm) {
+      io::Hints hints;
+      hints.cbNodes = hint;
+      auto file = io::File::open(comm, *volume, "lakes.wkt", hints);
+      core::PartitionConfig cfg;
+      cfg.blockSize = stripe;
+      cfg.maxGeometryBytes = 64ull << 10;
+      cfg.collectiveRead = true;
+      comm.syncClocks();
+      const double t0 = comm.clock().now();
+      (void)core::readPartitioned(comm, file, cfg);
+      const double t1 = comm.allreduceMax(comm.clock().now());
+      if (comm.rank() == 0) {
+        t = t1 - t0;
+        readers = file.aggregatorRanks().size();
+      }
+    });
+    table.addRow({hint == 0 ? "auto (ROMIO rule)" : std::to_string(hint), std::to_string(readers),
+                  util::formatSeconds(t), util::formatBandwidth(static_cast<double>(fileBytes) / t)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: block-size granularity for the Level-0 partitioned read
+// (the paper's §5.1.1 discussion: "the granularity of spatial computation
+// can be controlled by varying block sizes"; smaller blocks mean more
+// iterations and more fragment messages, larger blocks coarser tasks).
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr double kScale = 1.0 / 64.0;
+  constexpr int kProcs = 128;
+
+  const std::uint64_t fileBytes =
+      bench::scaledBytes(static_cast<double>(osm::datasetInfo(osm::DatasetId::kRoads).paperBytes), kScale);
+
+  bench::printHeader("Ablation — block size vs iterations, fragments and bandwidth (Level 0)",
+                     "fewer iterations with larger blocks; bandwidth saturates once blocks are big",
+                     util::formatBytes(fileBytes) + " roads file, " + std::to_string(kProcs) + " procs");
+
+  osm::RecordGenerator gen(osm::datasetSpec(osm::DatasetId::kRoads));
+  auto pool = std::make_shared<const osm::RecordPool>(gen, 256);
+
+  util::TextTable table({"block", "iterations", "fragments", "fragment bytes", "time", "bandwidth"});
+  for (const std::uint64_t block : {128ull << 10, 256ull << 10, 512ull << 10, 1ull << 20, 2ull << 20}) {
+    auto volume = bench::cometVolume(kProcs / 16, kScale);
+    volume->createOrReplace("roads.wkt", osm::makeVirtualWktFile(pool, fileBytes, 1ull << 20, 11, 96),
+                            {block, 64});
+    double t = 0;
+    std::uint64_t iters = 0, frags = 0, fragBytes = 0;
+    mpi::Runtime::run(kProcs, sim::MachineModel::comet(kProcs / 16), [&](mpi::Comm& comm) {
+      auto file = io::File::open(comm, *volume, "roads.wkt");
+      core::PartitionConfig cfg;
+      cfg.blockSize = block;
+      cfg.maxGeometryBytes = 64ull << 10;
+      comm.syncClocks();
+      const double t0 = comm.clock().now();
+      const auto res = core::readPartitioned(comm, file, cfg);
+      const double t1 = comm.allreduceMax(comm.clock().now());
+      const auto f = comm.allreduceSumU64(res.fragmentsSent);
+      const auto fb = comm.allreduceSumU64(res.fragmentBytes);
+      if (comm.rank() == 0) {
+        t = t1 - t0;
+        iters = res.iterations;
+        frags = f;
+        fragBytes = fb;
+      }
+    });
+    table.addRow({util::formatBytes(block), std::to_string(iters), std::to_string(frags),
+                  util::formatBytes(fragBytes), util::formatSeconds(t),
+                  util::formatBandwidth(static_cast<double>(fileBytes) / t)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation reproducing Figure 5's point: for *spatially sorted* data
+// (Hilbert order, as the paper's §4.1 describes), contiguous file
+// partitioning gives each rank one coarse spatial region — so with skewed
+// data the per-rank refine load is unbalanced — while non-contiguous
+// round-robin partitioning declusters the file and balances load
+// ("Heuristics like declustering geometries and round-robin assignment
+// to tasks has been shown to be effective for load-balancing").
+//
+// Measured: per-rank share of join candidates under both partitionings of
+// the same Hilbert-sorted dataset, plus the spatial footprint per rank.
+
+#include <algorithm>
+
+#include "common.hpp"
+
+#include "geom/space_curve.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr int kRanks = 16;
+  constexpr std::uint64_t kRecords = 40'000;
+
+  bench::printHeader("Ablation (Figure 5) — contiguous vs round-robin partitioning of sorted data",
+                     "contiguous partitioning of spatially sorted, skewed data is coarse and "
+                     "unbalanced; round-robin declusters and balances",
+                     std::to_string(kRecords) + " clustered geometries, Hilbert-sorted, " +
+                         std::to_string(kRanks) + " partitions");
+
+  // Heavily clustered synthetic data, sorted by Hilbert key of centroids
+  // (the paper's locality-preserving storage order).
+  osm::SynthSpec spec = osm::datasetSpec(osm::DatasetId::kCemetery, 77);
+  spec.space.world = geom::Envelope(0, 0, 100, 100);
+  spec.space.clusters = 5;
+  spec.space.clusterStddev = 4.0;
+  const osm::RecordGenerator gen(spec);
+
+  struct Item {
+    geom::Envelope box;
+    std::uint64_t key;
+  };
+  std::vector<Item> items;
+  items.reserve(kRecords);
+  const geom::CurveGrid curve{spec.space.world, 14};
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    const auto g = gen.geometry(i);
+    items.push_back({g.envelope(), curve.hilbertKeyOf(geom::centroid(g))});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) { return a.key < b.key; });
+
+  // A fixed batch of skewed queries stands in for the refine workload.
+  util::Rng rng(5);
+  std::vector<geom::Envelope> queries;
+  for (int q = 0; q < 400; ++q) {
+    const auto& anchor = items[rng.below(items.size())].box;
+    geom::Envelope e = anchor;
+    e.expandBy(1.0);
+    queries.push_back(e);
+  }
+
+  auto loadOf = [&](auto&& rankOf) {
+    std::vector<std::uint64_t> work(kRanks, 0);
+    std::vector<geom::Envelope> footprint(kRanks);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const int r = rankOf(i);
+      footprint[static_cast<std::size_t>(r)].expandToInclude(items[i].box);
+    }
+    for (const auto& q : queries) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].box.intersects(q)) work[static_cast<std::size_t>(rankOf(i))]++;
+      }
+    }
+    return std::make_pair(work, footprint);
+  };
+
+  const std::size_t chunk = (items.size() + kRanks - 1) / kRanks;
+  const auto [contigWork, contigFp] =
+      loadOf([&](std::size_t i) { return static_cast<int>(i / chunk); });
+  const auto [rrWork, rrFp] = loadOf([&](std::size_t i) { return static_cast<int>(i % kRanks); });
+
+  auto imbalance = [](const std::vector<std::uint64_t>& w) {
+    std::uint64_t total = 0, peak = 0;
+    for (auto v : w) {
+      total += v;
+      peak = std::max(peak, v);
+    }
+    const double mean = static_cast<double>(total) / static_cast<double>(w.size());
+    return mean > 0 ? static_cast<double>(peak) / mean : 0.0;
+  };
+  auto avgArea = [](const std::vector<geom::Envelope>& f) {
+    double s = 0;
+    for (const auto& e : f) s += e.area();
+    return s / static_cast<double>(f.size());
+  };
+
+  util::TextTable table({"partitioning", "max/mean refine load", "avg rank footprint area"});
+  table.addRow({"contiguous (Figure 5a)", util::formatFixed(imbalance(contigWork), 2),
+                util::formatFixed(avgArea(contigFp), 1)});
+  table.addRow({"round-robin (Figure 5b)", util::formatFixed(imbalance(rrWork), 2),
+                util::formatFixed(avgArea(rrFp), 1)});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Contiguous partitions are spatially coarse (small footprints) but load-skewed;\n"
+              "round-robin declusters every partition across the whole extent and flattens the\n"
+              "max/mean ratio toward 1.0 — the paper's Figure 5 observation.\n\n");
+  return 0;
+}

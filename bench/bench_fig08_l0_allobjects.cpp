@@ -1,0 +1,73 @@
+// Figure 8: Level-0 (contiguous + independent) file-read bandwidth for
+// All Objects (92 GB), stripe count 64, stripe sizes 64 MB and 128 MB,
+// 4..72 COMET nodes at 16 ranks/node.
+//
+// Paper expectation: bandwidth rises with node count (client-side Lustre
+// throughput is the early bottleneck), peaks around 22 GB/s near 48
+// nodes (the 64-OST service cap), and dips slightly at 72 nodes
+// (congestion).
+//
+// Scale: 1/128 of the paper's sizes (file, stripe/block, request latency
+// all scaled together, which preserves bandwidth — DESIGN.md §4).
+
+#include "common.hpp"
+
+namespace {
+
+constexpr double kScale = 1.0 / 128.0;
+
+}  // namespace
+
+int main() {
+  using namespace mvio;
+
+  const auto info = osm::datasetInfo(osm::DatasetId::kAllObjects);
+  const std::uint64_t fileBytes = bench::scaledBytes(static_cast<double>(info.paperBytes), kScale);
+
+  bench::printHeader(
+      "Figure 8 — Level 0 read bandwidth, All Objects (92 GB), 64 OSTs",
+      "rises with nodes, ~22 GB/s peak around 48 nodes, slight dip at 72",
+      "scale 1/128: file " + util::formatBytes(fileBytes) + ", stripe 64|128 MB -> scaled, 16 ranks/node");
+
+  util::TextTable table({"stripe(paper)", "nodes", "procs", "iters", "read time", "bandwidth"});
+
+  for (const double paperStripeMb : {64.0, 128.0}) {
+    const std::uint64_t stripe = bench::scaledBytes(paperStripeMb * 1024 * 1024, kScale);
+    for (const int nodes : {4, 8, 16, 32, 48, 64, 72}) {
+      auto volume = bench::cometVolume(nodes, kScale);
+
+      osm::SynthSpec spec = osm::datasetSpec(osm::DatasetId::kAllObjects);
+      osm::RecordGenerator gen(spec);
+      auto pool = std::make_shared<const osm::RecordPool>(gen, 256);
+      volume->createOrReplace("all_objects.wkt",
+                              osm::makeVirtualWktFile(pool, fileBytes, 1ull << 20, 7, 96),
+                              {stripe, 64});
+
+      const int procs = nodes * 16;
+      double ioSeconds = 0;
+      std::uint64_t iterations = 0;
+      mpi::Runtime::run(procs, sim::MachineModel::comet(nodes), [&](mpi::Comm& comm) {
+        auto file = io::File::open(comm, *volume, "all_objects.wkt");
+        core::PartitionConfig cfg;
+        cfg.blockSize = stripe;  // block aligned with the stripe, as the paper does
+        cfg.maxGeometryBytes = 64ull << 10;
+        cfg.strategy = core::BoundaryStrategy::kMessage;
+        cfg.collectiveRead = false;  // Level 0
+        comm.syncClocks();
+        const double t0 = comm.clock().now();
+        const auto res = core::readPartitioned(comm, file, cfg);
+        const double t1 = comm.allreduceMax(comm.clock().now());
+        if (comm.rank() == 0) {
+          ioSeconds = t1 - t0;
+          iterations = res.iterations;
+        }
+      });
+
+      table.addRow({std::to_string(static_cast<int>(paperStripeMb)) + " MB", std::to_string(nodes),
+                    std::to_string(procs), std::to_string(iterations), util::formatSeconds(ioSeconds),
+                    util::formatBandwidth(static_cast<double>(fileBytes) / ioSeconds)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 13: MPI_Reduce and MPI_Scan with the user-defined geometric
+// UNION operator over arrays of 100K / 200K / 400K rectangles.
+//
+// Paper expectation: both scale roughly linearly in the element count,
+// with Scan somewhat more expensive than Reduce; this is the operator the
+// partitioner uses to derive global grid dimensions from local MBRs.
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr int kProcs = 40;  // two ROGER nodes
+
+  bench::printHeader("Figure 13 — MPI_Reduce / MPI_Scan with geometric UNION (MPI_RECT)",
+                     "time grows with rectangle count; the reduction-tree cost model charges "
+                     "log2(P) levels of transfer + operator application",
+                     std::to_string(kProcs) + " ranks over ROGER-like nodes");
+
+  util::TextTable table({"rect count", "reduce time", "scan time", "result area"});
+  for (const int count : {100'000, 200'000, 400'000}) {
+    double reduceTime = 0, scanTime = 0, area = 0;
+    mpi::Runtime::run(kProcs, sim::MachineModel::roger(kProcs / 20), [&](mpi::Comm& comm) {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<core::RectData> mine(static_cast<std::size_t>(count));
+      for (auto& r : mine) {
+        const double x = rng.uniform(-170, 160);
+        const double y = rng.uniform(-80, 70);
+        r = {x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10)};
+      }
+      std::vector<core::RectData> out(static_cast<std::size_t>(count), core::RectData::unionIdentity());
+
+      comm.syncClocks();
+      double t0 = comm.clock().now();
+      comm.reduce(mine.data(), out.data(), count, core::mpiRect(), core::rectUnion(), 0);
+      double t1 = comm.allreduceMax(comm.clock().now());
+      const double reduceT = t1 - t0;
+
+      comm.syncClocks();
+      t0 = comm.clock().now();
+      comm.scan(mine.data(), out.data(), count, core::mpiRect(), core::rectUnion());
+      t1 = comm.allreduceMax(comm.clock().now());
+      if (comm.rank() == 0) {
+        reduceTime = reduceT;
+        scanTime = t1 - t0;
+      }
+      if (comm.rank() == comm.size() - 1) {
+        // Inclusive scan on the last rank equals the full reduction.
+        area = out[0].area();
+      }
+    });
+    table.addRow({std::to_string(count), util::formatSeconds(reduceTime), util::formatSeconds(scanTime),
+                  util::formatFixed(area, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

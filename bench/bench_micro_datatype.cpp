@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark): derived-datatype pack/unpack and
+// geometry wire serialization — the per-byte costs behind the exchange
+// phase's "buffer management overhead".
+
+#include <benchmark/benchmark.h>
+
+#include "core/exchange.hpp"
+#include "mpi/datatype.hpp"
+#include "osm/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mvio;
+
+void BM_PackContiguous(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> src(n * 4, 1.5);
+  const auto rect = mpi::Datatype::contiguous(4, mpi::Datatype::float64());
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    rect.pack(src.data(), static_cast<int>(n), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) * 32);
+}
+BENCHMARK(BM_PackContiguous)->Arg(1000)->Arg(100000);
+
+void BM_PackStrided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> matrix(n * 8, 2.5);
+  // One column out of an 8-wide row-major matrix.
+  const auto column = mpi::Datatype::vector(static_cast<int>(n), 1, 8, mpi::Datatype::float64());
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    column.pack(matrix.data(), 1, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_PackStrided)->Arg(1000)->Arg(100000);
+
+void BM_UnpackStrided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto column = mpi::Datatype::vector(static_cast<int>(n), 1, 8, mpi::Datatype::float64());
+  std::vector<double> matrix(n * 8, 0.0);
+  std::string payload(n * 8, 'x');
+  for (auto _ : state) {
+    column.unpack(payload.data(), payload.size(), matrix.data(), 1);
+    benchmark::DoNotOptimize(matrix.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_UnpackStrided)->Arg(1000)->Arg(100000);
+
+void BM_GeometrySerialize(benchmark::State& state) {
+  osm::SynthSpec spec;
+  spec.maxVertices = 128;
+  osm::RecordGenerator gen(spec);
+  std::vector<core::CellGeometry> geoms;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    geoms.push_back({static_cast<int>(i % 32), gen.geometry(i)});
+  }
+  std::string buf;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    buf.clear();
+    core::serializeCellGeometry(geoms[i++ % geoms.size()], buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_GeometrySerialize);
+
+void BM_GeometryDeserialize(benchmark::State& state) {
+  osm::SynthSpec spec;
+  spec.maxVertices = 128;
+  osm::RecordGenerator gen(spec);
+  std::string buf;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    core::serializeCellGeometry({static_cast<int>(i % 32), gen.geometry(i)}, buf);
+  }
+  for (auto _ : state) {
+    std::vector<core::CellGeometry> out;
+    core::deserializeCellGeometries(buf, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_GeometryDeserialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): the geometry-engine hot paths that
+// dominate the pipeline's compute phases — WKT parsing, WKB round trips,
+// R-tree construction/query, exact predicates.
+
+#include <benchmark/benchmark.h>
+
+#include "geom/rtree.hpp"
+#include "geom/wkb.hpp"
+#include "geom/wkt.hpp"
+#include "osm/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mvio;
+
+std::vector<std::string> polygonRecords(std::size_t n) {
+  osm::SynthSpec spec;
+  spec.maxVertices = 128;
+  osm::RecordGenerator gen(spec);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(geom::writeWkt(gen.geometry(i), 6));
+  return out;
+}
+
+void BM_WktParsePolygon(benchmark::State& state) {
+  const auto records = polygonRecords(256);
+  std::uint64_t bytes = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = records[i++ % records.size()];
+    benchmark::DoNotOptimize(geom::readWkt(r));
+    bytes += r.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WktParsePolygon);
+
+void BM_WktParsePoint(benchmark::State& state) {
+  std::uint64_t bytes = 0;
+  const std::string r = "POINT (-122.41941 37.77493)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::readWkt(r));
+    bytes += r.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WktParsePoint);
+
+void BM_WkbRoundTrip(benchmark::State& state) {
+  const auto records = polygonRecords(64);
+  std::vector<geom::Geometry> geoms;
+  for (const auto& r : records) geoms.push_back(geom::readWkt(r));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto bytes = geom::writeWkb(geoms[i++ % geoms.size()]);
+    benchmark::DoNotOptimize(geom::readWkb(bytes));
+  }
+}
+BENCHMARK(BM_WkbRoundTrip);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<geom::RTree::Entry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, 1000), y = rng.uniform(0, 1000);
+    entries.push_back({geom::Envelope(x, y, x + 1, y + 1), i});
+  }
+  for (auto _ : state) {
+    geom::RTree tree(16);
+    auto copy = entries;
+    tree.bulkLoad(std::move(copy));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<geom::RTree::Entry> entries;
+  for (std::size_t i = 0; i < 100000; ++i) {
+    const double x = rng.uniform(0, 1000), y = rng.uniform(0, 1000);
+    entries.push_back({geom::Envelope(x, y, x + 1, y + 1), i});
+  }
+  geom::RTree tree(16);
+  tree.bulkLoad(std::move(entries));
+  for (auto _ : state) {
+    const double x = rng.uniform(0, 990), y = rng.uniform(0, 990);
+    std::uint64_t hits = 0;
+    tree.query(geom::Envelope(x, y, x + 10, y + 10), [&](std::uint64_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeQuery);
+
+void BM_PolygonIntersects(benchmark::State& state) {
+  osm::SynthSpec spec;
+  spec.minVertices = 16;
+  spec.maxVertices = 64;
+  spec.maxRadius = 5.0;
+  spec.space.world = geom::Envelope(0, 0, 20, 20);
+  osm::RecordGenerator gen(spec);
+  std::vector<geom::Geometry> geoms;
+  for (std::uint64_t i = 0; i < 64; ++i) geoms.push_back(gen.geometry(i));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = geoms[i % geoms.size()];
+    const auto& b = geoms[(i + 7) % geoms.size()];
+    benchmark::DoNotOptimize(geom::intersects(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PolygonIntersects);
+
+}  // namespace
+
+BENCHMARK_MAIN();

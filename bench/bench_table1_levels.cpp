@@ -1,0 +1,80 @@
+// Table 1: the three MPI file-read access levels. This harness reads the
+// same binary file through every level (plus level 2, which the paper's
+// table omits) and reports time and bytes moved through the storage
+// model, verifying all levels return identical data.
+//
+//   Level 0  contiguous + independent
+//   Level 1  contiguous + collective
+//   Level 2  non-contiguous + independent (data sieving)
+//   Level 3  non-contiguous + collective (two-phase)
+
+#include <cstring>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr std::uint64_t kRects = 2'000'000;  // 64 MB
+  constexpr int kProcs = 32;
+
+  bench::printHeader("Table 1 — MPI file read access levels",
+                     "levels trade independence vs aggregation and contiguity vs views",
+                     util::formatBytes(kRects * 32) + " binary MBR file, 32 ranks / 2 nodes, Lustre model");
+
+  auto fill = [](std::uint64_t i, char* out) {
+    const double vals[4] = {static_cast<double>(i), 0.0, static_cast<double>(i) + 1, 1.0};
+    std::memcpy(out, vals, 32);
+  };
+
+  util::TextTable table({"level", "pattern", "time", "bytes via model", "checksum"});
+  for (int level : {0, 1, 2, 3}) {
+    auto volume = bench::cometVolume(2, 1.0 / 16);
+    volume->createOrReplace("data.bin", osm::makeVirtualBinaryFile(kRects, 32, fill, 4ull << 20, 96),
+                            {1ull << 20, 32});
+    double t = 0;
+    std::uint64_t modelBytes = 0;
+    double checksum = 0;
+    mpi::Runtime::run(kProcs, sim::MachineModel::comet(2), [&](mpi::Comm& comm) {
+      auto file = io::File::open(comm, *volume, "data.bin");
+      const int p = comm.size();
+      const std::uint64_t perRank = kRects / static_cast<std::uint64_t>(p);
+      std::vector<core::RectData> buf(perRank);
+
+      if (level <= 1) {
+        // Contiguous: rank r reads records [r*perRank, (r+1)*perRank).
+        file.setView(static_cast<std::uint64_t>(comm.rank()) * perRank * 32, mpi::Datatype::byte(),
+                     mpi::Datatype::byte());
+      } else {
+        // Non-contiguous: single records round-robin across ranks.
+        const auto filetype = core::mpiRect().resized(0, static_cast<std::uint64_t>(p) * 32);
+        file.setView(static_cast<std::uint64_t>(comm.rank()) * 32, core::mpiRect(), filetype);
+      }
+
+      comm.syncClocks();
+      const double t0 = comm.clock().now();
+      if (level == 0 || level == 2) {
+        file.readAt(0, buf.data(), static_cast<int>(perRank), core::mpiRect());
+      } else {
+        file.readAtAll(0, buf.data(), static_cast<int>(perRank), core::mpiRect());
+      }
+      const double t1 = comm.allreduceMax(comm.clock().now());
+      double localSum = 0;
+      for (const auto& r : buf) localSum += r.minX;
+      const double globalSum = comm.allreduceSum(localSum);
+      const std::uint64_t bytes = comm.allreduceSumU64(file.counters().bytesMoved);
+      if (comm.rank() == 0) {
+        t = t1 - t0;
+        modelBytes = bytes;
+        checksum = globalSum;
+      }
+    });
+    static const char* kPatterns[] = {"contiguous + independent", "contiguous + collective",
+                                      "non-contiguous + independent", "non-contiguous + collective"};
+    table.addRow({"Level " + std::to_string(level), kPatterns[level], util::formatSeconds(t),
+                  util::formatBytes(modelBytes), util::formatFixed(checksum, 0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Identical checksums confirm every level delivered the same records.\n"
+              "Level 2's data sieving reads the whole hull, hence the larger byte volume.\n\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 2: spatial datatypes x reduction operators. Runs every supported
+// (operator, type) combination from the paper's table through a real
+// allreduce and reports timing plus a sanity value.
+//
+//   MPI_MIN    RECT, LINE, POINT
+//   MPI_MAX    RECT, LINE, POINT
+//   MPI_UNION  RECT
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvio;
+  constexpr int kProcs = 16;
+  constexpr int kCount = 100'000;
+
+  bench::printHeader("Table 2 — Spatial datatypes and reduction operators",
+                     "MIN/MAX defined for RECT/LINE/POINT, UNION for RECT",
+                     std::to_string(kCount) + " elements per rank, " + std::to_string(kProcs) + " ranks");
+
+  struct Case {
+    const char* op;
+    const char* type;
+  };
+  util::TextTable table({"operator", "type", "allreduce time", "sample measure"});
+
+  auto runCase = [&](const char* opName, const char* typeName, const mpi::Op& op,
+                     const mpi::Datatype& type, int doublesPerElem) {
+    double t = 0, sample = 0;
+    mpi::Runtime::run(kProcs, [&](mpi::Comm& comm) {
+      util::Rng rng(7 + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<double> mine(static_cast<std::size_t>(kCount) * doublesPerElem);
+      for (std::size_t i = 0; i < mine.size(); i += 2) {
+        mine[i] = rng.uniform(-100, 100);
+        if (i + 1 < mine.size()) mine[i + 1] = mine[i] + rng.uniform(0, 10);
+      }
+      std::vector<double> out(mine.size(), 0.0);
+      comm.syncClocks();
+      const double t0 = comm.clock().now();
+      comm.allreduce(mine.data(), out.data(), kCount, type, op);
+      const double t1 = comm.allreduceMax(comm.clock().now());
+      if (comm.rank() == 0) {
+        t = t1 - t0;
+        sample = out[0];
+      }
+    });
+    table.addRow({opName, typeName, util::formatSeconds(t), util::formatFixed(sample, 2)});
+  };
+
+  runCase("MPI_MIN", "MPI_RECT", core::spatialMin(), core::mpiRect(), 4);
+  runCase("MPI_MIN", "MPI_LINE", core::spatialMin(), core::mpiLine(), 4);
+  runCase("MPI_MIN", "MPI_POINT", core::spatialMin(), core::mpiPoint(), 2);
+  runCase("MPI_MAX", "MPI_RECT", core::spatialMax(), core::mpiRect(), 4);
+  runCase("MPI_MAX", "MPI_LINE", core::spatialMax(), core::mpiLine(), 4);
+  runCase("MPI_MAX", "MPI_POINT", core::spatialMax(), core::mpiPoint(), 2);
+  runCase("MPI_UNION", "MPI_RECT", core::rectUnion(), core::mpiRect(), 4);
+
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+// Shared scaffolding for the per-table / per-figure bench harnesses.
+//
+// Every harness reproduces one table or figure of the paper at a
+// documented scale factor (EXPERIMENTS.md):
+//  * file sizes, stripe sizes, block sizes and per-request latencies are
+//    scaled by the same factor, which leaves modelled *bandwidths*
+//    invariant (time and bytes shrink together);
+//  * compute phases run real parsing/joining on the scaled data and are
+//    charged via measured thread-CPU time;
+//  * each harness prints the paper's qualitative expectation next to the
+//    regenerated series so the shape comparison is one glance.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vector_io.hpp"
+#include "osm/datasets.hpp"
+#include "osm/virtual_file.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace mvio::bench {
+
+/// COMET-like Lustre volume (96 OSTs) with request latency scaled by
+/// `scale` so that scaled-down stripes keep the paper's latency/transfer
+/// ratio.
+inline std::shared_ptr<pfs::Volume> cometVolume(int nodes, double scale) {
+  pfs::LustreParams p;
+  p.nodes = nodes;
+  p.ostLatency = 1.0e-3 * scale;
+  return std::make_shared<pfs::Volume>(std::make_shared<pfs::LustreModel>(p));
+}
+
+/// ROGER-like GPFS volume with the filesystem block size scaled.
+inline std::shared_ptr<pfs::Volume> rogerVolume(int nodes, double scale) {
+  pfs::GpfsParams p;
+  p.nodes = nodes;
+  p.serverLatency = 0.8e-3 * scale;
+  p.fsBlockSize = std::max<std::uint64_t>(static_cast<std::uint64_t>(8.0 * (1 << 20) * scale), 4096);
+  return std::make_shared<pfs::Volume>(std::make_shared<pfs::GpfsModel>(p));
+}
+
+/// Reach into the volume and reset queue state between configurations.
+inline void resetModel(pfs::Volume& volume) { volume.model().reset(); }
+
+/// Print the standard harness header.
+inline void printHeader(const std::string& experiment, const std::string& paperSays,
+                        const std::string& setup) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  paper: %s\n", paperSays.c_str());
+  std::printf("  setup: %s\n", setup.c_str());
+  std::printf("==============================================================================\n");
+}
+
+/// Scaled stripe helper: paper stripe sizes shrink with the file scale but
+/// never below 64 KiB so requests stay non-trivial.
+inline std::uint64_t scaledBytes(double paperBytes, double scale, std::uint64_t floor = 64ull << 10) {
+  const auto v = static_cast<std::uint64_t>(paperBytes * scale);
+  return std::max(v, floor);
+}
+
+/// Measured series point: virtual seconds for a phase, max across ranks.
+struct Sample {
+  double seconds = 0;
+  double bandwidth = 0;  // bytes/s where applicable
+};
+
+}  // namespace mvio::bench

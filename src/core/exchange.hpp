@@ -1,0 +1,71 @@
+#pragma once
+// Communication buffer management and the global spatial exchange
+// (paper §4.2.3).
+//
+// After local grid projection, a rank may hold geometries belonging to
+// cells owned by other ranks. exchangeByCell() performs the personalized
+// all-to-all: geometries are serialized (grouped by destination rank)
+// into character send buffers, buffer sizes are exchanged with
+// MPI_Alltoall, and the payload moves with MPI_Alltoallv — "all-to-all
+// collective communication is performed in at least two communication
+// rounds", exactly as the paper describes.
+//
+// For large datasets the exchange is windowed (paper: "sliding window
+// technique where communication happens in distinct number of phases"):
+// cells are partitioned into `windowPhases` contiguous id ranges and one
+// alltoallv round runs per range, bounding peak buffer memory.
+//
+// Wire format per geometry: [cellId:u32][userDataLen:u32][wkbLen:u32]
+// [userData][wkb]. WKB is the compact binary OGC encoding (geom/wkb.hpp).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "geom/geometry.hpp"
+#include "mpi/runtime.hpp"
+
+namespace mvio::core {
+
+/// A geometry bound for (or arrived at) a specific grid cell.
+struct CellGeometry {
+  int cell = 0;
+  geom::Geometry geometry;
+};
+
+/// Maps a cell id to its owner rank (e.g. roundRobinOwner).
+using CellOwnerFn = std::function<int(int cell)>;
+
+/// Serialization helpers (exposed for tests and custom pipelines).
+void serializeCellGeometry(const CellGeometry& cg, std::string& out);
+/// Deserialize every record in `bytes`, appending to `out`.
+void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>& out);
+
+/// Deterministic cost model for communication-buffer management (the
+/// paper's "serialization and deserialization" overhead). Measured thread
+/// CPU is too coarse on quantized-clock hosts for sub-10ms phases, so the
+/// exchange charges these calibrated rates instead; bench_micro_datatype
+/// reports the real hot-path numbers for comparison.
+struct SerializationCostModel {
+  double bytesPerSecond = 2.5e9;      ///< WKB encode/decode streaming rate
+  double perGeometrySeconds = 3e-7;   ///< fixed per-record overhead
+};
+
+struct ExchangeStats {
+  std::uint64_t bytesSent = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t geometriesSent = 0;
+  std::uint64_t geometriesReceived = 0;
+  std::uint64_t phases = 0;
+};
+
+/// Personalized all-to-all of cell-tagged geometries. `outgoing` is
+/// consumed. Returns the geometries this rank owns (its own retained ones
+/// plus received ones), in no particular order. Collective.
+std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
+                                         const CellOwnerFn& owner, int windowPhases,
+                                         int totalCells, ExchangeStats* stats = nullptr,
+                                         const SerializationCostModel& costs = {});
+
+}  // namespace mvio::core

@@ -1,0 +1,225 @@
+#include "core/file_partition.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+/// Number of ranks that actually read bytes in the iteration starting at
+/// `globalOffset` (the paper's "subset of processes call the file read
+/// function" in the last iteration).
+int readerCount(std::uint64_t globalOffset, std::uint64_t fileSize, std::uint64_t blockSize, int nprocs) {
+  if (globalOffset >= fileSize) return 0;
+  const std::uint64_t remaining = fileSize - globalOffset;
+  const std::uint64_t k = (remaining + blockSize - 1) / blockSize;
+  return static_cast<int>(std::min<std::uint64_t>(k, static_cast<std::uint64_t>(nprocs)));
+}
+
+PartitionResult messagePartition(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
+                                 std::uint64_t blockSize) {
+  const int nprocs = comm.size();
+  const int rank = comm.rank();
+  const std::uint64_t fileSize = file.size();
+  const char delim = cfg.delimiter;
+
+  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize;
+  const std::uint64_t iterations = (fileSize + fileChunkSize - 1) / fileChunkSize;
+
+  PartitionResult result;
+  result.iterations = iterations;
+  std::vector<char> buf(static_cast<std::size_t>(blockSize));
+  std::vector<char> recvBuf(static_cast<std::size_t>(cfg.maxGeometryBytes));
+  std::string carry;  // rank 0's fragment received for the *next* iteration
+
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::uint64_t globalOffset = i * fileChunkSize;
+    const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize;
+    const std::uint64_t myLen =
+        start < fileSize ? std::min<std::uint64_t>(blockSize, fileSize - start) : 0;
+    const int k = readerCount(globalOffset, fileSize, blockSize, nprocs);
+    const bool lastIteration = (i + 1 == iterations);
+    const bool reading = myLen > 0;
+
+    // File read (Level 0 or Level 1). Collective calls include non-readers.
+    if (cfg.collectiveRead) {
+      const std::size_t got = file.readAtAllBytes(start, buf.data(), static_cast<std::size_t>(myLen));
+      MVIO_CHECK(got == myLen, "collective read returned short");
+    } else if (reading) {
+      const std::size_t got = file.readAtBytes(start, buf.data(), static_cast<std::size_t>(myLen));
+      MVIO_CHECK(got == myLen, "independent read returned short");
+    }
+    result.bytesRead += myLen;
+
+    if (!reading) continue;
+
+    const bool tailHolder = lastIteration && rank == k - 1;  // holds the EOF tail
+
+    // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
+    std::int64_t lastDelimPos = static_cast<std::int64_t>(myLen) - 1;
+    while (lastDelimPos >= 0 && buf[static_cast<std::size_t>(lastDelimPos)] != delim) --lastDelimPos;
+
+    std::string_view keep;
+    std::string_view fragment;
+    if (tailHolder) {
+      // Everything up to EOF is mine; a missing trailing delimiter just
+      // means the final record is EOF-terminated.
+      keep = std::string_view(buf.data(), static_cast<std::size_t>(myLen));
+    } else {
+      MVIO_CHECK(lastDelimPos >= 0,
+                 "no record delimiter inside a file block: block size is smaller than a record; "
+                 "increase blockSize or maxGeometryBytes");
+      keep = std::string_view(buf.data(), static_cast<std::size_t>(lastDelimPos) + 1);
+      fragment = std::string_view(buf.data() + lastDelimPos + 1,
+                                  myLen - static_cast<std::uint64_t>(lastDelimPos) - 1);
+    }
+
+    const bool willSend = !tailHolder;  // every reader except the EOF-tail holder
+    const int succ = (rank + 1) % nprocs;
+    const int pred = (rank - 1 + nprocs) % nprocs;
+    // Rank 0 receives the chunk-junction fragment from rank N-1, to be
+    // prepended to its next-iteration block.
+    const bool willRecv = rank > 0 ? true : !lastIteration;
+    const int tag = static_cast<int>(i);
+
+    std::string received;
+    auto doSend = [&] {
+      comm.send(fragment.data(), static_cast<int>(fragment.size()), mpi::Datatype::char_(), succ, tag);
+      result.fragmentsSent += 1;
+      result.fragmentBytes += fragment.size();
+    };
+    auto doRecv = [&] {
+      const mpi::Status st =
+          comm.recv(recvBuf.data(), static_cast<int>(recvBuf.size()), mpi::Datatype::char_(), pred, tag);
+      received.assign(recvBuf.data(), st.bytes);
+    };
+
+    // Even ranks send before receiving; odd ranks receive before sending
+    // (Algorithm 1 lines 12-19).
+    if (rank % 2 == 0) {
+      if (willSend) doSend();
+      if (willRecv) doRecv();
+    } else {
+      if (willRecv) doRecv();
+      if (willSend) doSend();
+    }
+
+    // Assemble this iteration's text: predecessor fragment + own records.
+    if (rank == 0) {
+      result.text.append(carry);
+      carry = std::move(received);
+    } else {
+      result.text.append(received);
+    }
+    result.text.append(keep);
+  }
+  MVIO_CHECK(carry.empty() || rank != 0, "unconsumed carry fragment");
+  return result;
+}
+
+PartitionResult overlapPartition(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
+                                 std::uint64_t blockSize) {
+  const int nprocs = comm.size();
+  const int rank = comm.rank();
+  const std::uint64_t fileSize = file.size();
+  const char delim = cfg.delimiter;
+  const std::uint64_t halo = cfg.maxGeometryBytes;
+
+  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize;
+  const std::uint64_t iterations = (fileSize + fileChunkSize - 1) / fileChunkSize;
+
+  PartitionResult result;
+  result.iterations = iterations;
+  std::vector<char> buf;
+
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::uint64_t globalOffset = i * fileChunkSize;
+    const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize;
+    const std::uint64_t myLen =
+        start < fileSize ? std::min<std::uint64_t>(blockSize, fileSize - start) : 0;
+
+    // Read [start-1, start+myLen+halo): one look-back byte to detect a
+    // record boundary exactly at `start`, plus the halo for the record
+    // spilling over the block end.
+    const std::uint64_t readStart = start == 0 ? 0 : start - 1;
+    const std::uint64_t readEnd =
+        myLen == 0 ? readStart : std::min<std::uint64_t>(start + myLen + halo, fileSize);
+    const std::uint64_t readLen = readEnd - readStart;
+    buf.resize(static_cast<std::size_t>(readLen));
+
+    if (cfg.collectiveRead) {
+      const std::size_t got = file.readAtAllBytes(readStart, buf.data(), static_cast<std::size_t>(readLen));
+      MVIO_CHECK(got == readLen, "collective read returned short");
+    } else if (readLen > 0) {
+      const std::size_t got = file.readAtBytes(readStart, buf.data(), static_cast<std::size_t>(readLen));
+      MVIO_CHECK(got == readLen, "independent read returned short");
+    }
+    result.bytesRead += readLen;
+    if (myLen == 0) continue;
+
+    const std::uint64_t blockEnd = start + myLen;  // absolute file offset
+
+    // First record starting inside [start, blockEnd).
+    std::uint64_t firstStart;  // absolute
+    if (start == 0) {
+      firstStart = 0;
+    } else {
+      std::uint64_t d = 0;  // index into buf, file offset readStart + d
+      while (d < readLen && buf[static_cast<std::size_t>(d)] != delim) ++d;
+      if (d == readLen) continue;  // no record begins in this block
+      firstStart = readStart + d + 1;
+      if (firstStart >= blockEnd) continue;  // boundary record belongs to successor
+    }
+
+    // End of the record containing byte blockEnd-1: first delimiter at an
+    // absolute offset >= blockEnd-1 (or EOF for a final unterminated record).
+    std::uint64_t e = blockEnd - 1 - readStart;  // buf index
+    while (e < readLen && buf[static_cast<std::size_t>(e)] != delim) ++e;
+    std::uint64_t keepEndExclusive;  // absolute
+    if (e < readLen) {
+      keepEndExclusive = readStart + e + 1;  // include the delimiter
+    } else {
+      MVIO_CHECK(readEnd == fileSize,
+                 "record extends past the halo region: maxGeometryBytes is smaller than a record");
+      keepEndExclusive = fileSize;
+    }
+
+    result.text.append(buf.data() + (firstStart - readStart),
+                       static_cast<std::size_t>(keepEndExclusive - firstStart));
+  }
+  return result;
+}
+
+}  // namespace
+
+PartitionResult readPartitioned(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg) {
+  const std::uint64_t fileSize = file.size();
+  MVIO_CHECK(fileSize > 0, "cannot partition an empty file");
+
+  std::uint64_t blockSize = cfg.blockSize;
+  if (blockSize == 0) {
+    blockSize = (fileSize + static_cast<std::uint64_t>(comm.size()) - 1) /
+                static_cast<std::uint64_t>(comm.size());
+    // Algorithm 1 requires at least one delimiter per full block, i.e. a
+    // block must be able to hold the largest record. For small files the
+    // equal split is clamped up, leaving trailing ranks without a block —
+    // "a subset of processes call the file read function".
+    blockSize = std::max<std::uint64_t>(blockSize, cfg.maxGeometryBytes);
+    blockSize = std::max<std::uint64_t>(blockSize, 1);
+  }
+  MVIO_CHECK(blockSize <= io::kRomioMaxBytes,
+             "block size exceeds ROMIO's 2 GB single-operation limit; use a smaller blockSize");
+
+  switch (cfg.strategy) {
+    case BoundaryStrategy::kMessage:
+      return messagePartition(comm, file, cfg, blockSize);
+    case BoundaryStrategy::kOverlap:
+      return overlapPartition(comm, file, cfg, blockSize);
+  }
+  MVIO_UNREACHABLE("unknown boundary strategy");
+}
+
+}  // namespace mvio::core

@@ -1,0 +1,66 @@
+#pragma once
+// File partitioning for variable-length geometries (paper §4.1, Algorithm 1).
+//
+// Simple partitioning by file blocks fails because a record (a polygon's
+// vertex list) can straddle the boundary between two consecutive ranks'
+// blocks. Two resolutions are implemented, matching the paper:
+//
+//  * kMessage — "dynamic file partitioning" (Algorithm 1): ranks read
+//    non-overlapping fixed blocks; the dangling fragment after each
+//    rank's last delimiter is passed to the successor rank with ring
+//    send/recv. Even ranks send-then-recv, odd ranks recv-then-send —
+//    the paper's deadlock-avoidance split. Rank N-1's fragment wraps to
+//    rank 0, where it prepends rank 0's *next-iteration* block.
+//
+//  * kOverlap — halo reading: every rank reads its block plus a halo of
+//    `maxGeometryBytes` (the paper's 11 MB bound on the largest shape)
+//    and keeps exactly the records that *begin* inside its own block.
+//    No messages, but O(N * halo) redundant bytes per iteration.
+//
+// Both honour the ROMIO 2 GB-per-operation limit via block iteration, and
+// both support Level 0 (independent) and Level 1 (collective) reads.
+
+#include <cstdint>
+#include <string>
+
+#include "io/file.hpp"
+#include "mpi/runtime.hpp"
+
+namespace mvio::core {
+
+enum class BoundaryStrategy {
+  kMessage,  ///< Algorithm 1: ring send/recv of dangling fragments
+  kOverlap,  ///< halo reads with ownership by record start
+};
+
+struct PartitionConfig {
+  /// Bytes per rank per iteration. 0 means "divide the file equally"
+  /// (single iteration, the paper's default when no block size is given).
+  std::uint64_t blockSize = 0;
+  /// Upper bound on one record's size. Sizes the kOverlap halo and the
+  /// kMessage receive buffer (the paper's 11 MB "largest polygon").
+  std::uint64_t maxGeometryBytes = 11ull << 20;
+  BoundaryStrategy strategy = BoundaryStrategy::kMessage;
+  /// Level 1 (collective read_at_all) instead of Level 0 (independent).
+  bool collectiveRead = false;
+  char delimiter = '\n';
+};
+
+/// Per-rank outcome of a partitioned read.
+struct PartitionResult {
+  /// This rank's complete records (delimiter-separated, possibly with a
+  /// leading fragment joined from the predecessor).
+  std::string text;
+  std::uint64_t bytesRead = 0;       ///< bytes physically read (incl. halo redundancy)
+  std::uint64_t iterations = 0;      ///< file-read iterations executed
+  std::uint64_t fragmentsSent = 0;   ///< ring messages sent (kMessage)
+  std::uint64_t fragmentBytes = 0;   ///< total fragment payload sent
+};
+
+/// Read `file` partitioned across all ranks of `comm`. Collective: every
+/// rank must call. Afterwards the concatenation of all ranks' `text` (in
+/// rank-major, iteration-major order) contains every record of the file
+/// exactly once.
+PartitionResult readPartitioned(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg);
+
+}  // namespace mvio::core

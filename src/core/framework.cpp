@@ -1,0 +1,134 @@
+#include "core/framework.hpp"
+
+#include <unordered_map>
+
+#include "io/file.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+/// Phase 1+2 for one layer: partitioned read then parse.
+void loadLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
+               const FrameworkConfig& cfg, std::vector<geom::Geometry>& out, ParseStats& parseStats,
+               PartitionResult& ioStats, PhaseBreakdown& phases) {
+  MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
+  io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
+
+  const double t0 = comm.clock().now();
+  PartitionResult part = readPartitioned(comm, file, ds.partition);
+  phases.read += comm.clock().now() - t0;
+
+  {
+    mpi::CpuCharge charge(comm);
+    parseStats = ds.parser->parseAll(part.text, [&](geom::Geometry&& g) { out.push_back(std::move(g)); });
+    phases.parse += charge.stop();
+  }
+  ioStats = std::move(part);
+  ioStats.text.clear();  // the text has been consumed; keep only the counters
+}
+
+/// Phase 4: map geometries to overlapping cells (with replication).
+std::vector<CellGeometry> project(const GridSpec& grid, const CellLocator* locator,
+                                  std::vector<geom::Geometry>&& geoms) {
+  std::vector<CellGeometry> out;
+  out.reserve(geoms.size());
+  std::vector<int> cells;
+  for (auto& g : geoms) {
+    cells.clear();
+    if (locator != nullptr) {
+      locator->overlappingCells(g.envelope(), cells);
+    } else {
+      grid.overlappingCells(g.envelope(), cells);
+    }
+    // A geometry spanning multiple cells is replicated to each of them;
+    // duplicate results are avoided later in the refine phase.
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      if (k + 1 == cells.size()) {
+        out.push_back({cells[k], std::move(g)});
+      } else {
+        out.push_back({cells[k], g});
+      }
+    }
+  }
+  geoms.clear();
+  return out;
+}
+
+}  // namespace
+
+FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
+                               const DatasetHandle* s, const FrameworkConfig& cfg, RefineTask& task) {
+  MVIO_CHECK(cfg.gridCells >= 1, "need at least one grid cell");
+  FrameworkStats stats;
+
+  // 1+2: read and parse both layers.
+  std::vector<geom::Geometry> geomsR, geomsS;
+  loadLayer(comm, volume, r, cfg, geomsR, stats.parseR, stats.ioR, stats.phases);
+  if (s != nullptr) {
+    loadLayer(comm, volume, *s, cfg, geomsS, stats.parseS, stats.ioS, stats.phases);
+  }
+
+  // 3: global grid via MPI_UNION of local MBRs (both layers).
+  {
+    std::vector<geom::Geometry> all;  // envelopes only matter; borrow views cheaply
+    all.reserve(geomsR.size() + geomsS.size());
+    geom::Envelope localBounds;
+    for (const auto& g : geomsR) localBounds.expandToInclude(g.envelope());
+    for (const auto& g : geomsS) localBounds.expandToInclude(g.envelope());
+    // buildGlobalGrid reduces envelopes; feed it a single box geometry to
+    // avoid copying the data. An empty rank contributes a null envelope.
+    if (!localBounds.isNull()) all.push_back(geom::Geometry::box(localBounds));
+    stats.grid = buildGlobalGrid(comm, all, cfg.gridCells);
+  }
+  const GridSpec& grid = stats.grid;
+
+  // 4: project to cells (filter phase).
+  std::optional<CellLocator> locator;
+  if (cfg.rtreeCellLocator) locator.emplace(grid);
+  std::vector<CellGeometry> outR, outS;
+  {
+    mpi::CpuCharge charge(comm);
+    outR = project(grid, locator ? &*locator : nullptr, std::move(geomsR));
+    outS = project(grid, locator ? &*locator : nullptr, std::move(geomsS));
+    stats.phases.partition += charge.stop();
+  }
+
+  // 5: all-to-all exchange (communication phase), one round per layer.
+  const int p = comm.size();
+  auto owner = [p](int cell) { return roundRobinOwner(cell, p); };
+  std::vector<CellGeometry> mineR, mineS;
+  {
+    // exchangeByCell charges serialization/deserialization CPU internally;
+    // the clock delta here therefore covers buffer management + transfer,
+    // the paper's definition of communication time.
+    const double t0 = comm.clock().now();
+    mineR = exchangeByCell(comm, std::move(outR), owner, cfg.windowPhases, grid.cellCount(),
+                           &stats.exchange);
+    if (s != nullptr) {
+      mineS = exchangeByCell(comm, std::move(outS), owner, cfg.windowPhases, grid.cellCount(),
+                             &stats.exchange);
+    }
+    stats.phases.comm += comm.clock().now() - t0;
+  }
+  stats.localR = mineR.size();
+  stats.localS = mineS.size();
+
+  // 6: group by cell and run refine tasks.
+  {
+    mpi::CpuCharge charge(comm);
+    std::unordered_map<int, std::pair<std::vector<geom::Geometry>, std::vector<geom::Geometry>>> cells;
+    for (auto& cg : mineR) cells[cg.cell].first.push_back(std::move(cg.geometry));
+    for (auto& cg : mineS) cells[cg.cell].second.push_back(std::move(cg.geometry));
+    stats.cellsOwned = cells.size();
+    for (auto& [cell, pair] : cells) {
+      task.refineCell(grid, cell, pair.first, pair.second);
+    }
+    stats.phases.compute += charge.stop();
+  }
+
+  return stats;
+}
+
+}  // namespace mvio::core

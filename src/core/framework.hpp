@@ -1,0 +1,71 @@
+#pragma once
+// The distributed filter-and-refine framework (paper §4.3, Figure 7).
+//
+// Steps, executed collectively by every rank:
+//   1. Partitioned read of the input file(s)     (file_partition.hpp)
+//   2. Parse records into geometries             (parser.hpp)
+//   3. Global grid from MPI_UNION of local MBRs  (grid.hpp)
+//   4. Project geometries to overlapping cells   (filter: MBR vs cells)
+//   5. All-to-all exchange for spatial locality  (exchange.hpp)
+//   6. Per-cell refine tasks, scheduled by the rank-to-cell mapping
+//
+// Applications extend RefineTask — "spatial computation can be carried
+// out by extending [the] refine interface that receives two collections
+// of geometries in a cell". Spatial join (spatial_join.hpp), batch range
+// query (range_query.hpp) and distributed indexing (indexing.hpp) are the
+// shipped exemplars.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exchange.hpp"
+#include "core/file_partition.hpp"
+#include "core/grid.hpp"
+#include "core/parser.hpp"
+#include "core/phases.hpp"
+#include "pfs/volume.hpp"
+
+namespace mvio::core {
+
+/// One input layer: a file on a volume plus how to partition and parse it.
+struct DatasetHandle {
+  std::string path;
+  const Parser* parser = nullptr;
+  PartitionConfig partition;
+};
+
+struct FrameworkConfig {
+  int gridCells = 1024;       ///< target number of grid cells (unit tasks)
+  int windowPhases = 1;       ///< sliding-window exchange phases
+  bool rtreeCellLocator = true;  ///< cell lookup via R-tree (paper) vs arithmetic
+  io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
+};
+
+/// Refine callback: receives the two geometry collections of one cell (the
+/// second is empty for single-layer pipelines). Implementations must apply
+/// their own duplicate avoidance (grid.cellOfPoint on a reference point).
+class RefineTask {
+ public:
+  virtual ~RefineTask() = default;
+  virtual void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
+                          std::vector<geom::Geometry>& s) = 0;
+};
+
+struct FrameworkStats {
+  PhaseBreakdown phases;        ///< this rank's per-phase virtual seconds
+  ExchangeStats exchange;       ///< this rank's exchange volumes
+  ParseStats parseR, parseS;
+  PartitionResult ioR, ioS;
+  GridSpec grid;
+  std::uint64_t cellsOwned = 0;
+  std::uint64_t localR = 0, localS = 0;  ///< geometries held after exchange
+};
+
+/// Run the full pipeline. `s` may be null (single-layer workloads such as
+/// indexing). Collective: all ranks of `comm` must call.
+FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
+                               const DatasetHandle* s, const FrameworkConfig& cfg, RefineTask& task);
+
+}  // namespace mvio::core

@@ -1,0 +1,97 @@
+#include "core/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/spatial_types.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+GridSpec::GridSpec(const geom::Envelope& bounds, int cellsX, int cellsY)
+    : bounds_(bounds), cellsX_(cellsX), cellsY_(cellsY) {
+  MVIO_CHECK(!bounds.isNull(), "grid bounds must be non-null");
+  MVIO_CHECK(cellsX >= 1 && cellsY >= 1, "grid needs at least one cell per axis");
+}
+
+GridSpec GridSpec::squarish(const geom::Envelope& bounds, int targetCells) {
+  MVIO_CHECK(targetCells >= 1, "need at least one cell");
+  const double w = std::max(bounds.width(), 1e-12);
+  const double h = std::max(bounds.height(), 1e-12);
+  // Choose cx/cy so cells are roughly square and cx*cy ~ targetCells.
+  int cx = static_cast<int>(std::lround(std::sqrt(static_cast<double>(targetCells) * w / h)));
+  cx = std::clamp(cx, 1, targetCells);
+  int cy = std::max(1, targetCells / cx);
+  return GridSpec(bounds, cx, cy);
+}
+
+geom::Envelope GridSpec::cellEnvelope(int cell) const {
+  MVIO_CHECK(cell >= 0 && cell < cellCount(), "cell id out of range");
+  const int cx = cell % cellsX_;
+  const int cy = cell / cellsX_;
+  const double dx = bounds_.width() / cellsX_;
+  const double dy = bounds_.height() / cellsY_;
+  return {bounds_.minX() + cx * dx, bounds_.minY() + cy * dy, bounds_.minX() + (cx + 1) * dx,
+          bounds_.minY() + (cy + 1) * dy};
+}
+
+int GridSpec::cellOfPoint(const geom::Coord& c) const {
+  const double dx = bounds_.width() / cellsX_;
+  const double dy = bounds_.height() / cellsY_;
+  int cx = dx > 0 ? static_cast<int>((c.x - bounds_.minX()) / dx) : 0;
+  int cy = dy > 0 ? static_cast<int>((c.y - bounds_.minY()) / dy) : 0;
+  cx = std::clamp(cx, 0, cellsX_ - 1);
+  cy = std::clamp(cy, 0, cellsY_ - 1);
+  return cellIdOf(cx, cy);
+}
+
+void GridSpec::overlappingCells(const geom::Envelope& box, std::vector<int>& out) const {
+  if (box.isNull() || !box.intersects(bounds_)) return;
+  const double dx = bounds_.width() / cellsX_;
+  const double dy = bounds_.height() / cellsY_;
+  auto clampX = [&](int v) { return std::clamp(v, 0, cellsX_ - 1); };
+  auto clampY = [&](int v) { return std::clamp(v, 0, cellsY_ - 1); };
+  const int x0 = clampX(dx > 0 ? static_cast<int>(std::floor((box.minX() - bounds_.minX()) / dx)) : 0);
+  const int x1 = clampX(dx > 0 ? static_cast<int>(std::floor((box.maxX() - bounds_.minX()) / dx)) : 0);
+  const int y0 = clampY(dy > 0 ? static_cast<int>(std::floor((box.minY() - bounds_.minY()) / dy)) : 0);
+  const int y1 = clampY(dy > 0 ? static_cast<int>(std::floor((box.maxY() - bounds_.minY()) / dy)) : 0);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) out.push_back(cellIdOf(cx, cy));
+  }
+}
+
+CellLocator::CellLocator(const GridSpec& grid) : grid_(&grid) {
+  std::vector<geom::RTree::Entry> entries;
+  entries.reserve(static_cast<std::size_t>(grid.cellCount()));
+  for (int c = 0; c < grid.cellCount(); ++c) {
+    entries.push_back({grid.cellEnvelope(c), static_cast<std::uint64_t>(c)});
+  }
+  rtree_.bulkLoad(std::move(entries));
+}
+
+void CellLocator::overlappingCells(const geom::Envelope& box, std::vector<int>& out) const {
+  rtree_.query(box, [&](std::uint64_t id) { out.push_back(static_cast<int>(id)); });
+  std::sort(out.begin(), out.end());
+}
+
+GridSpec buildGlobalGrid(mpi::Comm& comm, const std::vector<geom::Geometry>& localGeoms,
+                         int targetCells) {
+  geom::Envelope local;
+  for (const auto& g : localGeoms) local.expandToInclude(g.envelope());
+
+  RectData mine = RectData::fromEnvelope(local);
+  RectData global = RectData::unionIdentity();
+  comm.allreduce(&mine, &global, 1, mpiRect(), rectUnion());
+
+  geom::Envelope bounds = global.toEnvelope();
+  MVIO_CHECK(!bounds.isNull(), "no geometry anywhere: cannot build a grid");
+  // Degenerate extents (all data on a line/point) still need area.
+  if (bounds.width() <= 0 || bounds.height() <= 0) {
+    geom::Envelope padded = bounds;
+    padded.expandBy(0.5);
+    bounds = padded;
+  }
+  return GridSpec::squarish(bounds, targetCells);
+}
+
+}  // namespace mvio::core

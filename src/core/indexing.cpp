@@ -1,0 +1,79 @@
+#include "core/indexing.hpp"
+
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+/// RefineTask that bulk-loads an R-tree per cell and moves the geometries
+/// into the DistributedIndex.
+struct BuildTask final : RefineTask {
+  DistributedIndex::CellIndex* current = nullptr;
+  std::unordered_map<int, DistributedIndex::CellIndex>* cells;
+  std::size_t fanout;
+  std::uint64_t total = 0;
+
+  BuildTask(std::unordered_map<int, DistributedIndex::CellIndex>* cellsOut, std::size_t rtreeFanout)
+      : cells(cellsOut), fanout(rtreeFanout) {}
+
+  void refineCell(const GridSpec& /*grid*/, int cell, std::vector<geom::Geometry>& r,
+                  std::vector<geom::Geometry>& /*s*/) override {
+    if (r.empty()) return;
+    DistributedIndex::CellIndex ci;
+    ci.geometries = std::move(r);
+    std::vector<geom::RTree::Entry> entries;
+    entries.reserve(ci.geometries.size());
+    for (std::size_t i = 0; i < ci.geometries.size(); ++i) {
+      entries.push_back({ci.geometries[i].envelope(), static_cast<std::uint64_t>(i)});
+    }
+    ci.rtree = geom::RTree(fanout);
+    ci.rtree.bulkLoad(std::move(entries));
+    total += ci.geometries.size();
+    cells->emplace(cell, std::move(ci));
+  }
+};
+
+}  // namespace
+
+std::uint64_t DistributedIndex::queryCount(const geom::Envelope& queryBox) const {
+  std::uint64_t n = 0;
+  query(queryBox, [&](const geom::Geometry&) { ++n; });
+  return n;
+}
+
+void DistributedIndex::query(const geom::Envelope& queryBox,
+                             const std::function<void(const geom::Geometry&)>& fn) const {
+  if (queryBox.isNull()) return;
+  const geom::Geometry queryGeom = geom::Geometry::box(queryBox);
+  for (const auto& [cell, ci] : cells_) {
+    ci.rtree.query(queryBox, [&](std::uint64_t id) {
+      const geom::Geometry& g = ci.geometries[static_cast<std::size_t>(id)];
+      // Reference-point deduplication across replicated copies.
+      const geom::Coord ref{std::max(g.envelope().minX(), queryBox.minX()),
+                            std::max(g.envelope().minY(), queryBox.minY())};
+      if (grid_.cellOfPoint(ref) != cell) return;
+      if (!geom::intersects(queryGeom, g)) return;
+      fn(g);
+    });
+  }
+}
+
+DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& data,
+                                       const IndexingConfig& cfg, IndexingStats* stats) {
+  DistributedIndex index;
+  BuildTask task(&index.cells_, cfg.rtreeFanout);
+  const FrameworkStats fw = runFilterRefine(comm, volume, data, nullptr, cfg.framework, task);
+  index.grid_ = fw.grid;
+  index.localGeometries_ = task.total;
+
+  if (stats != nullptr) {
+    stats->phases = fw.phases;
+    stats->cellsOwned = fw.cellsOwned;
+    stats->grid = fw.grid;
+    stats->globalGeometries = comm.allreduceSumU64(task.total);
+  }
+  return index;
+}
+
+}  // namespace mvio::core

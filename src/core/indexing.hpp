@@ -1,0 +1,68 @@
+#pragma once
+// Distributed spatial indexing (paper Figure 20: "in-memory spatial
+// indexing of Road Network (137 GB) ... using 320 processes, spatial
+// indexing of 717M edges takes only 90 seconds").
+//
+// The pipeline is the single-layer variant of the framework: partitioned
+// read, parse, grid projection, all-to-all exchange, then a bulk-loaded
+// R-tree per owned cell. The resulting DistributedIndex supports batch
+// rectangle queries against the local portion plus a helper to reduce
+// global match counts.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "geom/rtree.hpp"
+
+namespace mvio::core {
+
+struct IndexingConfig {
+  FrameworkConfig framework;
+  std::size_t rtreeFanout = 16;
+};
+
+/// Per-rank result: one R-tree per owned cell, plus the geometries.
+class DistributedIndex {
+ public:
+  struct CellIndex {
+    std::vector<geom::Geometry> geometries;
+    geom::RTree rtree;
+  };
+
+  [[nodiscard]] const GridSpec& grid() const { return grid_; }
+  [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
+  [[nodiscard]] std::uint64_t localGeometries() const { return localGeometries_; }
+
+  /// Count local geometries whose MBR intersects `query` and whose exact
+  /// geometry intersects it too (filter + refine), deduplicated with the
+  /// reference-point rule so global sums are exact.
+  [[nodiscard]] std::uint64_t queryCount(const geom::Envelope& query) const;
+
+  /// Visit matching local geometries.
+  void query(const geom::Envelope& query,
+             const std::function<void(const geom::Geometry&)>& fn) const;
+
+ private:
+  friend DistributedIndex buildDistributedIndex(mpi::Comm&, pfs::Volume&, const DatasetHandle&,
+                                                const IndexingConfig&, struct IndexingStats*);
+
+  GridSpec grid_;
+  std::unordered_map<int, CellIndex> cells_;
+  std::uint64_t localGeometries_ = 0;
+};
+
+struct IndexingStats {
+  PhaseBreakdown phases;
+  std::uint64_t globalGeometries = 0;  ///< geometries indexed across ranks (incl. replicas)
+  std::uint64_t cellsOwned = 0;
+  GridSpec grid;
+};
+
+/// Build the distributed index over one dataset. Collective.
+DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& data,
+                                       const IndexingConfig& cfg, IndexingStats* stats = nullptr);
+
+}  // namespace mvio::core

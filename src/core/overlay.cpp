@@ -1,0 +1,81 @@
+#include "core/overlay.hpp"
+
+#include <map>
+
+#include "geom/clip.hpp"
+#include "io/file.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+/// Accumulates clipped coverage per owned cell.
+struct CoverageTask final : RefineTask {
+  std::map<int, CellCoverage> cells;  // ordered: simplifies the strided write
+
+  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
+                  std::vector<geom::Geometry>& s) override {
+    const geom::Envelope box = grid.cellEnvelope(cell);
+    CellCoverage& cov = cells[cell];
+    for (const auto& g : r) cov.measureR += geom::clippedMeasure(g, box);
+    for (const auto& g : s) cov.measureS += geom::clippedMeasure(g, box);
+  }
+};
+
+}  // namespace
+
+OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
+                                 const DatasetHandle* s, const OverlayConfig& cfg) {
+  CoverageTask task;
+  const FrameworkStats fw = runFilterRefine(comm, volume, r, s, cfg.framework, task);
+
+  OverlayStats stats;
+  stats.phases = fw.phases;
+  stats.grid = fw.grid;
+
+  const int p = comm.size();
+  const int cellCount = fw.grid.cellCount();
+  constexpr std::uint64_t kRecordBytes = sizeof(CellCoverage);
+  static_assert(sizeof(CellCoverage) == 16, "coverage record must be two doubles");
+
+  // Rank 0 creates the shared row-major output file; everyone then opens
+  // it collectively.
+  if (comm.rank() == 0) {
+    volume.createOrReplace(cfg.outputPath,
+                           std::make_shared<pfs::MemoryBackingStore>(
+                               static_cast<std::uint64_t>(cellCount) * kRecordBytes));
+  }
+  comm.barrier();
+
+  const double writeStart = comm.clock().now();
+  io::File out = io::File::open(comm, volume, cfg.outputPath, cfg.framework.ioHints);
+
+  // Figure 4's view: record `rank` of every group of P records (the
+  // round-robin cell ownership), written collectively in one call.
+  const auto record = mpi::Datatype::contiguous(static_cast<int>(kRecordBytes), mpi::Datatype::byte());
+  const auto filetype = record.resized(0, static_cast<std::uint64_t>(p) * kRecordBytes);
+  out.setView(static_cast<std::uint64_t>(comm.rank()) * kRecordBytes, mpi::Datatype::byte(), filetype);
+
+  // My owned cells are exactly {c : c % P == rank}; the task only has
+  // entries for non-empty ones, so fill the gaps with zero records.
+  std::vector<CellCoverage> mine;
+  for (int c = comm.rank(); c < cellCount; c += p) {
+    auto it = task.cells.find(c);
+    mine.push_back(it == task.cells.end() ? CellCoverage{} : it->second);
+  }
+  out.writeAtAll(0, mine.data(), static_cast<int>(mine.size()), record);
+  stats.phases.comm += comm.clock().now() - writeStart;
+  stats.cellsWritten = mine.size();
+
+  double localR = 0, localS = 0;
+  for (const auto& cov : mine) {
+    localR += cov.measureR;
+    localS += cov.measureS;
+  }
+  stats.totalR = comm.allreduceSum(localR);
+  stats.totalS = comm.allreduceSum(localS);
+  return stats;
+}
+
+}  // namespace mvio::core

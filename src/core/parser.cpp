@@ -1,0 +1,90 @@
+#include "core/parser.hpp"
+
+#include <charconv>
+
+#include "geom/wkt.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+ParseStats Parser::parseAll(std::string_view text,
+                            const std::function<void(geom::Geometry&&)>& sink) const {
+  ParseStats stats;
+  stats.bytes = text.size();
+  const char delim = delimiter();
+  std::size_t pos = 0;
+  geom::Geometry g;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(delim, pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view record = text.substr(pos, end - pos);
+    if (!record.empty()) {
+      bool ok = false;
+      try {
+        ok = parseRecord(record, g);
+      } catch (const util::Error&) {
+        ++stats.badRecords;
+      }
+      if (ok) {
+        ++stats.records;
+        sink(std::move(g));
+        g = geom::Geometry();
+      }
+    }
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  return stats;
+}
+
+bool WktParser::parseRecord(std::string_view record, geom::Geometry& out) const {
+  std::string_view wktPart = record;
+  std::string_view attrs;
+  const std::size_t tab = record.find('\t');
+  if (tab != std::string_view::npos) {
+    wktPart = record.substr(0, tab);
+    attrs = record.substr(tab + 1);
+  }
+  wktPart = trim(wktPart);
+  if (wktPart.empty()) return false;  // padding / blank line
+  out = geom::readWkt(wktPart);
+  out.userData.assign(attrs);
+  return true;
+}
+
+bool CsvPointParser::parseRecord(std::string_view record, geom::Geometry& out) const {
+  const std::string_view line = trim(record);
+  if (line.empty()) return false;
+  double x = 0, y = 0;
+  const char* cur = line.data();
+  const char* end = line.data() + line.size();
+  auto r1 = std::from_chars(cur, end, x);
+  MVIO_CHECK(r1.ec == std::errc(), "CSV point: bad x coordinate");
+  cur = r1.ptr;
+  MVIO_CHECK(cur < end && *cur == ',', "CSV point: expected comma after x");
+  ++cur;
+  auto r2 = std::from_chars(cur, end, y);
+  MVIO_CHECK(r2.ec == std::errc(), "CSV point: bad y coordinate");
+  cur = r2.ptr;
+  out = geom::Geometry::point({x, y});
+  if (cur < end && *cur == ',') {
+    out.userData.assign(cur + 1, static_cast<std::size_t>(end - cur - 1));
+  } else {
+    out.userData.clear();
+  }
+  return true;
+}
+
+}  // namespace mvio::core

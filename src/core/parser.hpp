@@ -1,0 +1,60 @@
+#pragma once
+// Flexible parsing interface (paper §4.3 "Parsing module").
+//
+// MPI-Vector-IO presents file partitions and communication buffers as
+// collections of delimiter-separated strings; a Parser turns each string
+// into a GEOS-style geometry. The library ships parsers for WKT lines
+// (optionally followed by tab-separated attributes, which land in
+// Geometry::userData) and CSV point data (lon,lat[,attrs] — the New York
+// Taxi style the paper cites). Users plug in their own Parser for other
+// text formats (OSM XML, GeoJSON lines, ...), which is exactly the
+// extension point the paper describes.
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "geom/geometry.hpp"
+
+namespace mvio::core {
+
+/// Statistics from a bulk parse.
+struct ParseStats {
+  std::uint64_t records = 0;     ///< geometries successfully produced
+  std::uint64_t badRecords = 0;  ///< malformed records skipped
+  std::uint64_t bytes = 0;       ///< input bytes consumed
+};
+
+class Parser {
+ public:
+  virtual ~Parser() = default;
+
+  /// Parse a single record (one delimiter-separated string, delimiter
+  /// excluded). Returns false for records that should be skipped (blank
+  /// lines, padding) and throws util::Error for malformed content when
+  /// `strict` parsing is on.
+  [[nodiscard]] virtual bool parseRecord(std::string_view record, geom::Geometry& out) const = 0;
+
+  /// Record delimiter in the file (newline for all shipped formats).
+  [[nodiscard]] virtual char delimiter() const { return '\n'; }
+
+  /// Split `text` on the delimiter and parse every record, invoking `sink`
+  /// for each geometry. Malformed records are counted, not fatal (a
+  /// 100-GB run should not die on one bad line).
+  ParseStats parseAll(std::string_view text, const std::function<void(geom::Geometry&&)>& sink) const;
+};
+
+/// WKT records: "<wkt>" or "<wkt>\t<attributes...>". Attributes are stored
+/// in Geometry::userData verbatim.
+class WktParser final : public Parser {
+ public:
+  [[nodiscard]] bool parseRecord(std::string_view record, geom::Geometry& out) const override;
+};
+
+/// CSV point records: "x,y" or "x,y,<attributes...>" (taxi-trip style).
+class CsvPointParser final : public Parser {
+ public:
+  [[nodiscard]] bool parseRecord(std::string_view record, geom::Geometry& out) const override;
+};
+
+}  // namespace mvio::core

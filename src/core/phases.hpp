@@ -1,0 +1,37 @@
+#pragma once
+// Per-phase timing breakdown, matching the plots in the paper's §5.2:
+// partitioning / communication / computation (join, indexing), plus the
+// read and parse components of I/O. Times are virtual seconds from the
+// rank's sim::Clock; harnesses reduce with max() across ranks, as the
+// paper does ("we note the time taken by each process and take the
+// maximum time for each of the components").
+
+#include "mpi/runtime.hpp"
+
+namespace mvio::core {
+
+struct PhaseBreakdown {
+  double read = 0;       ///< file I/O (modelled)
+  double parse = 0;      ///< record parsing (measured CPU)
+  double partition = 0;  ///< grid projection + serialization (measured CPU)
+  double comm = 0;       ///< geometry exchange (modelled + buffer CPU)
+  double compute = 0;    ///< refine work: join / index build (measured CPU)
+
+  [[nodiscard]] double total() const { return read + parse + partition + comm + compute; }
+
+  /// Field-wise max across all ranks (collective).
+  [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
+    PhaseBreakdown out;
+    double mine[5] = {read, parse, partition, comm, compute};
+    double reduced[5] = {0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 5, mpi::Datatype::float64(), mpi::Op::max());
+    out.read = reduced[0];
+    out.parse = reduced[1];
+    out.partition = reduced[2];
+    out.comm = reduced[3];
+    out.compute = reduced[4];
+    return out;
+  }
+};
+
+}  // namespace mvio::core

@@ -1,0 +1,131 @@
+#include "core/range_query.hpp"
+
+#include <charconv>
+
+#include "geom/rtree.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+/// RefineTask matching data (layer R) against query boxes (layer S).
+/// Query geometries carry their batch index in userData.
+struct QueryTask final : RefineTask {
+  explicit QueryTask(std::vector<std::uint64_t>* counts, std::size_t fanout)
+      : counts_(counts), fanout_(fanout) {}
+
+  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
+                  std::vector<geom::Geometry>& s) override {
+    if (r.empty() || s.empty()) return;
+    std::vector<geom::RTree::Entry> entries;
+    entries.reserve(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      entries.push_back({r[i].envelope(), static_cast<std::uint64_t>(i)});
+    }
+    geom::RTree index(fanout_);
+    index.bulkLoad(std::move(entries));
+
+    for (const auto& q : s) {
+      std::size_t queryId = 0;
+      const auto [ptr, ec] =
+          std::from_chars(q.userData.data(), q.userData.data() + q.userData.size(), queryId);
+      MVIO_CHECK(ec == std::errc() && queryId < counts_->size(), "query geometry lost its batch index");
+      const geom::Envelope qBox = q.envelope();
+      index.query(qBox, [&](std::uint64_t id) {
+        const geom::Geometry& g = r[static_cast<std::size_t>(id)];
+        const geom::Coord ref{std::max(g.envelope().minX(), qBox.minX()),
+                              std::max(g.envelope().minY(), qBox.minY())};
+        if (grid.cellOfPoint(ref) != cell) return;
+        if (!geom::intersects(q, g)) return;
+        (*counts_)[queryId] += 1;
+      });
+    }
+  }
+
+  std::vector<std::uint64_t>* counts_;
+  std::size_t fanout_;
+};
+
+/// In-memory "parser" is not applicable for the query layer, so the batch
+/// is injected after the framework's load step via a custom Parser that
+/// replays pre-encoded query records. Each rank contributes a slice of the
+/// batch to avoid duplicate injection.
+class QueryBatchParser final : public Parser {
+ public:
+  bool parseRecord(std::string_view record, geom::Geometry& out) const override {
+    // record: "<id> <minX> <minY> <maxX> <maxY>"
+    std::size_t id = 0;
+    double v[4] = {0, 0, 0, 0};
+    const char* cur = record.data();
+    const char* end = record.data() + record.size();
+    auto skipSpace = [&] {
+      while (cur < end && *cur == ' ') ++cur;
+    };
+    skipSpace();
+    auto ri = std::from_chars(cur, end, id);
+    MVIO_CHECK(ri.ec == std::errc(), "bad query record id");
+    cur = ri.ptr;
+    for (double& x : v) {
+      skipSpace();
+      auto rd = std::from_chars(cur, end, x);
+      MVIO_CHECK(rd.ec == std::errc(), "bad query record coordinate");
+      cur = rd.ptr;
+    }
+    out = geom::Geometry::box(geom::Envelope(v[0], v[1], v[2], v[3]));
+    out.userData = std::to_string(id);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> batchRangeQuery(mpi::Comm& comm, pfs::Volume& volume,
+                                           const DatasetHandle& data,
+                                           const std::vector<geom::Envelope>& queries,
+                                           const RangeQueryConfig& cfg, RangeQueryStats* stats) {
+  MVIO_CHECK(!queries.empty(), "empty query batch");
+
+  // Encode the batch as a virtual text dataset so the query layer flows
+  // through the identical pipeline (partitioned read, parse, project,
+  // exchange) as a real file layer.
+  const std::string queryFile = "__query_batch_rank_all";
+  if (comm.rank() == 0) {
+    std::string all;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const geom::Envelope& q = queries[i];
+      all += std::to_string(i) + " " + std::to_string(q.minX()) + " " + std::to_string(q.minY()) + " " +
+             std::to_string(q.maxX()) + " " + std::to_string(q.maxY()) + "\n";
+    }
+    volume.createOrReplace(queryFile, std::make_shared<pfs::MemoryBackingStore>(std::move(all)));
+  }
+  comm.barrier();
+
+  std::vector<std::uint64_t> counts(queries.size(), 0);
+  QueryTask task(&counts, cfg.rtreeFanout);
+
+  QueryBatchParser queryParser;
+  DatasetHandle queryHandle;
+  queryHandle.path = queryFile;
+  queryHandle.parser = &queryParser;
+  queryHandle.partition = PartitionConfig{};  // equal split, message strategy
+
+  const FrameworkStats fw = runFilterRefine(comm, volume, data, &queryHandle, cfg.framework, task);
+
+  // Reduce per-query counts across ranks.
+  std::vector<std::uint64_t> global(queries.size(), 0);
+  comm.allreduce(counts.data(), global.data(), static_cast<int>(counts.size()), mpi::Datatype::uint64(),
+                 mpi::Op::sum());
+
+  if (stats != nullptr) {
+    stats->phases = fw.phases;
+    stats->cellsOwned = fw.cellsOwned;
+    stats->grid = fw.grid;
+    std::uint64_t total = 0;
+    for (auto c : global) total += c;
+    stats->totalMatches = total;
+  }
+  return global;
+}
+
+}  // namespace mvio::core

@@ -1,0 +1,112 @@
+#include "core/spatial_join.hpp"
+
+#include <algorithm>
+
+#include "geom/rtree.hpp"
+#include "geom/wkb.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool applyPredicate(JoinPredicate predicate, const geom::Geometry& r, const geom::Geometry& s) {
+  switch (predicate) {
+    case JoinPredicate::kIntersects:
+      return geom::intersects(r, s);
+    case JoinPredicate::kContains:
+      return geom::contains(r, s);
+  }
+  return false;
+}
+
+/// RefineTask running the per-cell filter (R-tree) + refine (exact
+/// predicate) with reference-point duplicate avoidance.
+class JoinTask final : public RefineTask {
+ public:
+  JoinTask(const JoinConfig& cfg, std::vector<JoinPair>* results)
+      : cfg_(cfg), results_(results) {}
+
+  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
+                  std::vector<geom::Geometry>& s) override {
+    if (r.empty() || s.empty()) return;
+
+    // Filter: bulk-load an R-tree over R's MBRs.
+    std::vector<geom::RTree::Entry> entries;
+    entries.reserve(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      entries.push_back({r[i].envelope(), static_cast<std::uint64_t>(i)});
+    }
+    geom::RTree index(cfg_.rtreeFanout);
+    index.bulkLoad(std::move(entries));
+
+    for (const auto& sg : s) {
+      index.query(sg.envelope(), [&](std::uint64_t id) {
+        ++candidates_;
+        const geom::Geometry& rg = r[static_cast<std::size_t>(id)];
+        // Duplicate avoidance: only the cell containing the reference
+        // point (lower-left corner of the MBR intersection) reports.
+        const geom::Coord ref{std::max(rg.envelope().minX(), sg.envelope().minX()),
+                              std::max(rg.envelope().minY(), sg.envelope().minY())};
+        if (grid.cellOfPoint(ref) != cell) return;
+        if (!applyPredicate(cfg_.predicate, rg, sg)) return;
+        ++pairs_;
+        if (results_ != nullptr) results_->push_back({geometryKey(rg), geometryKey(sg)});
+      });
+    }
+  }
+
+  [[nodiscard]] std::uint64_t pairs() const { return pairs_; }
+  [[nodiscard]] std::uint64_t candidates() const { return candidates_; }
+
+ private:
+  const JoinConfig& cfg_;
+  std::vector<JoinPair>* results_;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t candidates_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t geometryKey(const geom::Geometry& g) { return fnv1a(geom::writeWkb(g)); }
+
+JoinStats spatialJoin(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
+                      const DatasetHandle& s, const JoinConfig& cfg,
+                      std::vector<JoinPair>* localResults) {
+  JoinTask task(cfg, localResults);
+  const FrameworkStats fw = runFilterRefine(comm, volume, r, &s, cfg.framework, task);
+
+  JoinStats stats;
+  stats.phases = fw.phases;
+  stats.grid = fw.grid;
+  stats.cellsOwned = fw.cellsOwned;
+  stats.localPairs = task.pairs();
+  stats.globalPairs = comm.allreduceSumU64(task.pairs());
+  stats.candidatePairs = comm.allreduceSumU64(task.candidates());
+  return stats;
+}
+
+std::vector<JoinPair> serialJoin(const std::vector<geom::Geometry>& r,
+                                 const std::vector<geom::Geometry>& s, JoinPredicate predicate) {
+  std::vector<JoinPair> out;
+  for (const auto& rg : r) {
+    for (const auto& sg : s) {
+      if (!rg.envelope().intersects(sg.envelope())) continue;
+      if (!applyPredicate(predicate, rg, sg)) continue;
+      out.push_back({geometryKey(rg), geometryKey(sg)});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mvio::core

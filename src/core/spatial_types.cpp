@@ -1,0 +1,173 @@
+#include "core/spatial_types.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+double LineData::length() const {
+  const double dx = x2 - x1;
+  const double dy = y2 - y1;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+RectData RectData::fromEnvelope(const geom::Envelope& e) {
+  if (e.isNull()) return unionIdentity();
+  return {e.minX(), e.minY(), e.maxX(), e.maxY()};
+}
+
+geom::Envelope RectData::toEnvelope() const {
+  if (minX > maxX || minY > maxY) return geom::Envelope();  // null rect
+  return {minX, minY, maxX, maxY};
+}
+
+double RectData::area() const {
+  if (minX > maxX || minY > maxY) return 0.0;
+  return (maxX - minX) * (maxY - minY);
+}
+
+RectData RectData::unionIdentity() {
+  // A reversed rectangle acts as "null": union with anything returns the
+  // other operand, and its area is 0.
+  return {1.0, 1.0, -1.0, -1.0};
+}
+
+const mpi::Datatype& mpiPoint() {
+  static const mpi::Datatype t = mpi::Datatype::contiguous(2, mpi::Datatype::float64());
+  return t;
+}
+
+const mpi::Datatype& mpiLine() {
+  static const mpi::Datatype t = mpi::Datatype::contiguous(4, mpi::Datatype::float64());
+  return t;
+}
+
+const mpi::Datatype& mpiRect() {
+  static const mpi::Datatype t = mpi::Datatype::contiguous(4, mpi::Datatype::float64());
+  return t;
+}
+
+const mpi::Datatype& mpiRectStruct() {
+  // Four named double fields at explicit displacements — the
+  // MPI_Type_create_struct construction route of Figure 12. The committed
+  // typemap coalesces to the same 32 contiguous bytes as mpiRect().
+  static const mpi::Datatype t = [] {
+    const int lens[4] = {1, 1, 1, 1};
+    const std::int64_t disps[4] = {0, 8, 16, 24};
+    const mpi::Datatype types[4] = {mpi::Datatype::float64(), mpi::Datatype::float64(),
+                                    mpi::Datatype::float64(), mpi::Datatype::float64()};
+    return mpi::Datatype::structType(lens, disps, types);
+  }();
+  return t;
+}
+
+mpi::Datatype mpiMultiPoint(int n) {
+  MVIO_CHECK(n >= 1, "multi-point needs at least one point");
+  return mpi::Datatype::contiguous(n, mpiPoint());
+}
+
+mpi::Datatype mpiFixedPolygon(int n) {
+  MVIO_CHECK(n >= 3, "fixed polygon needs at least three vertices");
+  return mpi::Datatype::contiguous(n, mpiPoint());
+}
+
+namespace {
+
+enum class SpatialKind { kPoint, kLine, kRect };
+
+/// Map the reduce call's datatype to the spatial primitive it carries.
+/// The singleton types are recognised by identity; for other handles the
+/// element size decides (16 bytes -> point, 32 bytes -> rect).
+SpatialKind kindOf(const mpi::Datatype& type) {
+  if (type == mpiPoint()) return SpatialKind::kPoint;
+  if (type == mpiLine()) return SpatialKind::kLine;
+  if (type == mpiRect() || type == mpiRectStruct()) return SpatialKind::kRect;
+  if (type.size() == 16) return SpatialKind::kPoint;
+  if (type.size() == 32) return SpatialKind::kRect;
+  MVIO_CHECK(false, "spatial reduction on unsupported datatype: " + type.describe());
+  return SpatialKind::kRect;
+}
+
+/// Geometric measure used by spatial MIN/MAX.
+double measure(SpatialKind kind, const double* v) {
+  switch (kind) {
+    case SpatialKind::kPoint:
+      // Lexicographic order encoded as a scalar is impossible, so MIN/MAX
+      // on points compare distance from the origin (a total order that is
+      // still useful for extremes); ties are fine for reductions.
+      return std::sqrt(v[0] * v[0] + v[1] * v[1]);
+    case SpatialKind::kLine: {
+      const double dx = v[2] - v[0];
+      const double dy = v[3] - v[1];
+      return std::sqrt(dx * dx + dy * dy);
+    }
+    case SpatialKind::kRect: {
+      if (v[0] > v[2] || v[1] > v[3]) return 0.0;
+      return (v[2] - v[0]) * (v[3] - v[1]);
+    }
+  }
+  return 0.0;
+}
+
+void spatialExtreme(const void* in, void* inout, int count, const mpi::Datatype& type, bool wantMax) {
+  const SpatialKind kind = kindOf(type);
+  const std::size_t doublesPerElem = type.size() / sizeof(double);
+  const auto* a = static_cast<const double*>(in);
+  auto* b = static_cast<double*>(inout);
+  for (int i = 0; i < count; ++i) {
+    const double* ae = a + static_cast<std::size_t>(i) * doublesPerElem;
+    double* be = b + static_cast<std::size_t>(i) * doublesPerElem;
+    const double ma = measure(kind, ae);
+    const double mb = measure(kind, be);
+    const bool takeA = wantMax ? (ma > mb) : (ma < mb);
+    if (takeA) std::memcpy(be, ae, doublesPerElem * sizeof(double));
+  }
+}
+
+}  // namespace
+
+const mpi::Op& spatialMin() {
+  static const mpi::Op op = mpi::Op::create(
+      [](const void* in, void* inout, int count, const mpi::Datatype& type) {
+        spatialExtreme(in, inout, count, type, /*wantMax=*/false);
+      },
+      /*commutative=*/true, "SPATIAL_MIN");
+  return op;
+}
+
+const mpi::Op& spatialMax() {
+  static const mpi::Op op = mpi::Op::create(
+      [](const void* in, void* inout, int count, const mpi::Datatype& type) {
+        spatialExtreme(in, inout, count, type, /*wantMax=*/true);
+      },
+      /*commutative=*/true, "SPATIAL_MAX");
+  return op;
+}
+
+const mpi::Op& rectUnion() {
+  static const mpi::Op op = mpi::Op::create(
+      [](const void* in, void* inout, int count, const mpi::Datatype& type) {
+        MVIO_CHECK(type.size() == 32, "MPI_UNION requires MPI_RECT elements");
+        const auto* a = static_cast<const RectData*>(in);
+        auto* b = static_cast<RectData*>(inout);
+        for (int i = 0; i < count; ++i) {
+          const bool aNull = a[i].minX > a[i].maxX || a[i].minY > a[i].maxY;
+          const bool bNull = b[i].minX > b[i].maxX || b[i].minY > b[i].maxY;
+          if (aNull) continue;
+          if (bNull) {
+            b[i] = a[i];
+            continue;
+          }
+          b[i].minX = std::min(b[i].minX, a[i].minX);
+          b[i].minY = std::min(b[i].minY, a[i].minY);
+          b[i].maxX = std::max(b[i].maxX, a[i].maxX);
+          b[i].maxY = std::max(b[i].maxY, a[i].maxY);
+        }
+      },
+      /*commutative=*/true, "MPI_UNION");
+  return op;
+}
+
+}  // namespace mvio::core

@@ -1,0 +1,70 @@
+#pragma once
+// Spatial data-aware MPI (paper §4.2, Table 2, Figure 6).
+//
+// Derived MPI datatypes for spatial primitives:
+//   MPI_POINT  — 2 doubles (x, y)
+//   MPI_LINE   — 4 doubles (segment endpoints x1,y1,x2,y2)
+//   MPI_RECT   — 4 doubles (minX, minY, maxX, maxY) = an MBR
+// plus compound nests (multi-point, fixed-size polygon) built from them,
+// and the struct-flavoured MPI_RECT used by Figure 12's comparison of
+// MPI_Type_create_struct vs MPI_Type_contiguous.
+//
+// Spatial reduction operators redefine MIN/MAX for lines and rectangles
+// (smallest/largest by geometric measure) and add MPI_UNION on MBRs —
+// used by the partitioner to derive the global grid bounds from per-rank
+// local bounds with a single allreduce (Figure 6's usage pattern).
+
+#include "geom/envelope.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/op.hpp"
+
+namespace mvio::core {
+
+/// POD mirror of a point, layout-compatible with MPI_POINT.
+struct PointData {
+  double x = 0, y = 0;
+};
+
+/// POD mirror of a line segment, layout-compatible with MPI_LINE.
+struct LineData {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  [[nodiscard]] double length() const;
+};
+
+/// POD mirror of an MBR, layout-compatible with MPI_RECT.
+struct RectData {
+  double minX = 0, minY = 0, maxX = 0, maxY = 0;
+
+  static RectData fromEnvelope(const geom::Envelope& e);
+  [[nodiscard]] geom::Envelope toEnvelope() const;
+  [[nodiscard]] double area() const;
+  /// The identity element for MPI_UNION (a null rectangle).
+  static RectData unionIdentity();
+};
+
+/// MPI_POINT: contiguous type of 2 doubles.
+const mpi::Datatype& mpiPoint();
+/// MPI_LINE: contiguous type of 4 doubles.
+const mpi::Datatype& mpiLine();
+/// MPI_RECT: contiguous type of 4 doubles.
+const mpi::Datatype& mpiRect();
+/// MPI_RECT defined via MPI_Type_create_struct over four named double
+/// fields — identical typemap, different construction path (Figure 12).
+const mpi::Datatype& mpiRectStruct();
+/// Compound: fixed-size multi-point of n points (nested spatial type).
+mpi::Datatype mpiMultiPoint(int n);
+/// Compound: fixed-size polygon of n vertices (nested spatial type).
+mpi::Datatype mpiFixedPolygon(int n);
+
+/// MPI_MIN for spatial types: keeps the element with the smaller geometric
+/// measure (length for lines, area for rects; lexicographic (x,y) for
+/// points). Defined for MPI_POINT / MPI_LINE / MPI_RECT buffers.
+const mpi::Op& spatialMin();
+/// MPI_MAX counterpart.
+const mpi::Op& spatialMax();
+/// MPI_UNION: geometric union (bounding box) of MBRs; associative and
+/// commutative, with the null rectangle as identity. RECT only.
+const mpi::Op& rectUnion();
+
+}  // namespace mvio::core

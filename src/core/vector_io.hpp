@@ -1,0 +1,40 @@
+#pragma once
+// Umbrella header: the public API of MPI-Vector-IO.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   mvio::mpi::Runtime::run(nprocs, machine, [&](mvio::mpi::Comm& comm) {
+//     auto file = mvio::io::File::open(comm, volume, "lakes.wkt");
+//     auto part = mvio::core::readPartitioned(comm, file, {});
+//     mvio::core::WktParser parser;
+//     std::vector<mvio::geom::Geometry> geoms;
+//     parser.parseAll(part.text, [&](auto&& g) { geoms.push_back(std::move(g)); });
+//     ...
+//   });
+//
+// Layering (bottom to top):
+//   geom  — geometry engine (WKT/WKB, predicates, R-tree/quadtree)
+//   sim   — virtual clocks + machine models
+//   pfs   — simulated parallel filesystems (Lustre/GPFS)
+//   mpi   — MPI-subset runtime (threads as ranks)
+//   io    — MPI-IO file layer (Levels 0/1/3, two-phase collective I/O)
+//   core  — this library: partitioning, spatial MPI types, grid exchange,
+//           filter-refine framework, join / indexing / range query
+
+#include "core/exchange.hpp"
+#include "core/file_partition.hpp"
+#include "core/framework.hpp"
+#include "core/grid.hpp"
+#include "core/indexing.hpp"
+#include "core/overlay.hpp"
+#include "core/parser.hpp"
+#include "core/phases.hpp"
+#include "core/range_query.hpp"
+#include "core/spatial_join.hpp"
+#include "core/spatial_types.hpp"
+#include "geom/wkt.hpp"
+#include "io/file.hpp"
+#include "mpi/runtime.hpp"
+#include "pfs/gpfs.hpp"
+#include "pfs/lustre.hpp"
+#include "pfs/volume.hpp"

@@ -1,0 +1,137 @@
+#include "geom/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+Geometry convexHull(std::vector<Coord> points) {
+  MVIO_CHECK(points.size() >= 3, "convex hull needs at least 3 points");
+  std::sort(points.begin(), points.end(), [](const Coord& a, const Coord& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  MVIO_CHECK(points.size() >= 3, "convex hull needs at least 3 distinct points");
+
+  // Monotone chain: lower then upper hull.
+  std::vector<Coord> hull(points.size() * 2);
+  std::size_t k = 0;
+  for (const auto& p : points) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], p) <= 0) --k;
+    hull[k++] = p;
+  }
+  const std::size_t lower = k + 1;
+  for (auto it = points.rbegin() + 1; it != points.rend(); ++it) {
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], *it) <= 0) --k;
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);
+  MVIO_CHECK(hull.size() >= 3, "input is collinear: hull is degenerate");
+
+  Ring ring;
+  ring.coords = std::move(hull);
+  ring.coords.push_back(ring.coords.front());
+  return Geometry::polygon({std::move(ring)});
+}
+
+namespace {
+
+void collectVertices(const Geometry& g, std::vector<Coord>& out) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+      out.insert(out.end(), g.coords().begin(), g.coords().end());
+      break;
+    case GeometryType::kPolygon:
+      for (const auto& r : g.rings()) out.insert(out.end(), r.coords.begin(), r.coords.end());
+      break;
+    default:
+      for (const auto& p : g.parts()) collectVertices(p, out);
+      break;
+  }
+}
+
+void douglasPeucker(const std::vector<Coord>& path, std::size_t lo, std::size_t hi, double tolerance,
+                    std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1;
+  std::size_t worstAt = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = pointSegmentDistance(path[i], path[lo], path[hi]);
+    if (d > worst) {
+      worst = d;
+      worstAt = i;
+    }
+  }
+  if (worst > tolerance) {
+    keep[worstAt] = true;
+    douglasPeucker(path, lo, worstAt, tolerance, keep);
+    douglasPeucker(path, worstAt, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Geometry convexHull(const Geometry& g) {
+  std::vector<Coord> points;
+  collectVertices(g, points);
+  return convexHull(std::move(points));
+}
+
+std::vector<Coord> simplifyPath(const std::vector<Coord>& path, double tolerance) {
+  MVIO_CHECK(path.size() >= 2, "simplify needs at least 2 coordinates");
+  MVIO_CHECK(tolerance >= 0, "tolerance must be >= 0");
+  std::vector<bool> keep(path.size(), false);
+  keep.front() = keep.back() = true;
+  douglasPeucker(path, 0, path.size() - 1, tolerance, keep);
+  std::vector<Coord> out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (keep[i]) out.push_back(path[i]);
+  }
+  return out;
+}
+
+namespace {
+
+Ring simplifyRing(const Ring& ring, double tolerance) {
+  // Keep rings closed and valid (>= 4 coords incl. the closing repeat).
+  auto coords = simplifyPath(ring.coords, tolerance);
+  if (coords.size() < 4) return ring;  // too aggressive: keep the original
+  Ring out;
+  out.coords = std::move(coords);
+  return out;
+}
+
+}  // namespace
+
+Geometry simplify(const Geometry& g, double tolerance) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return g;
+    case GeometryType::kLineString: {
+      Geometry out = Geometry::lineString(simplifyPath(g.coords(), tolerance));
+      out.userData = g.userData;
+      return out;
+    }
+    case GeometryType::kPolygon: {
+      std::vector<Ring> rings;
+      rings.reserve(g.rings().size());
+      for (const auto& r : g.rings()) rings.push_back(simplifyRing(r, tolerance));
+      Geometry out = Geometry::polygon(std::move(rings));
+      out.userData = g.userData;
+      return out;
+    }
+    default: {
+      std::vector<Geometry> parts;
+      parts.reserve(g.parts().size());
+      for (const auto& p : g.parts()) parts.push_back(simplify(p, tolerance));
+      Geometry out = Geometry::multi(g.type(), std::move(parts));
+      out.userData = g.userData;
+      return out;
+    }
+  }
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,31 @@
+#pragma once
+// Additional computational-geometry / GIS algorithms from the GEOS
+// substrate ("computational geometry and GIS algorithms"): convex hull
+// and line simplification. Used by the overlay exemplar and available to
+// library users for pre-processing.
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace mvio::geom {
+
+/// Convex hull of a point set (Andrew's monotone chain). Returns the hull
+/// as a closed CCW ring polygon; degenerate inputs (< 3 distinct
+/// non-collinear points) throw.
+Geometry convexHull(std::vector<Coord> points);
+
+/// Convex hull of a geometry's vertices.
+Geometry convexHull(const Geometry& g);
+
+/// Douglas-Peucker line simplification: returns a subsequence of `path`
+/// whose maximum deviation from the original is <= tolerance. Endpoints
+/// are always kept; input must have >= 2 coordinates.
+std::vector<Coord> simplifyPath(const std::vector<Coord>& path, double tolerance);
+
+/// Simplify a geometry: LineStrings and polygon rings are Douglas-Peucker
+/// reduced (rings keep >= 4 coordinates); points pass through; multi
+/// geometries recurse.
+Geometry simplify(const Geometry& g, double tolerance);
+
+}  // namespace mvio::geom

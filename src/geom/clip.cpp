@@ -1,0 +1,171 @@
+#include "geom/clip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+namespace {
+
+enum class Edge { kLeft, kRight, kBottom, kTop };
+
+bool inside(const Coord& p, Edge e, const Envelope& r) {
+  switch (e) {
+    case Edge::kLeft: return p.x >= r.minX();
+    case Edge::kRight: return p.x <= r.maxX();
+    case Edge::kBottom: return p.y >= r.minY();
+    case Edge::kTop: return p.y <= r.maxY();
+  }
+  return false;
+}
+
+Coord intersect(const Coord& a, const Coord& b, Edge e, const Envelope& r) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  double t = 0;
+  switch (e) {
+    case Edge::kLeft: t = (r.minX() - a.x) / dx; break;
+    case Edge::kRight: t = (r.maxX() - a.x) / dx; break;
+    case Edge::kBottom: t = (r.minY() - a.y) / dy; break;
+    case Edge::kTop: t = (r.maxY() - a.y) / dy; break;
+  }
+  return {a.x + t * dx, a.y + t * dy};
+}
+
+double ringSignedArea(const std::vector<Coord>& ring) {
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    acc += ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+  }
+  return acc / 2.0;
+}
+
+}  // namespace
+
+std::vector<Coord> clipRingToRect(const std::vector<Coord>& ring, const Envelope& rect) {
+  MVIO_CHECK(!rect.isNull(), "cannot clip to a null rectangle");
+  // Work on the open form (drop the closing repeat), re-close at the end.
+  std::vector<Coord> poly(ring.begin(), ring.end());
+  if (poly.size() > 1 && poly.front() == poly.back()) poly.pop_back();
+
+  for (const Edge e : {Edge::kLeft, Edge::kRight, Edge::kBottom, Edge::kTop}) {
+    if (poly.empty()) break;
+    std::vector<Coord> out;
+    out.reserve(poly.size() + 4);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      const Coord& cur = poly[i];
+      const Coord& prev = poly[(i + poly.size() - 1) % poly.size()];
+      const bool curIn = inside(cur, e, rect);
+      const bool prevIn = inside(prev, e, rect);
+      if (curIn) {
+        if (!prevIn) out.push_back(intersect(prev, cur, e, rect));
+        out.push_back(cur);
+      } else if (prevIn) {
+        out.push_back(intersect(prev, cur, e, rect));
+      }
+    }
+    poly = std::move(out);
+  }
+  if (poly.size() < 3) return {};
+  poly.push_back(poly.front());
+  return poly;
+}
+
+std::optional<std::pair<Coord, Coord>> clipSegmentToRect(const Coord& a, const Coord& b,
+                                                         const Envelope& rect) {
+  MVIO_CHECK(!rect.isNull(), "cannot clip to a null rectangle");
+  // Liang-Barsky.
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  double t0 = 0.0, t1 = 1.0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.x - rect.minX(), rect.maxX() - a.x, a.y - rect.minY(), rect.maxY() - a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0) return std::nullopt;  // parallel and outside
+      continue;
+    }
+    const double t = q[i] / p[i];
+    if (p[i] < 0) {
+      t0 = std::max(t0, t);
+    } else {
+      t1 = std::min(t1, t);
+    }
+    if (t0 > t1) return std::nullopt;
+  }
+  return std::make_pair(Coord{a.x + t0 * dx, a.y + t0 * dy}, Coord{a.x + t1 * dx, a.y + t1 * dy});
+}
+
+double clippedArea(const Geometry& g, const Envelope& rect) {
+  if (!g.envelope().intersects(rect)) return 0.0;
+  switch (g.type()) {
+    case GeometryType::kPolygon: {
+      if (g.rings().empty()) return 0.0;
+      double a = std::abs(ringSignedArea(clipRingToRect(g.rings()[0].coords, rect)));
+      for (std::size_t i = 1; i < g.rings().size(); ++i) {
+        a -= std::abs(ringSignedArea(clipRingToRect(g.rings()[i].coords, rect)));
+      }
+      return std::max(a, 0.0);
+    }
+    case GeometryType::kMultiPolygon:
+    case GeometryType::kGeometryCollection: {
+      double a = 0;
+      for (const auto& p : g.parts()) a += clippedArea(p, rect);
+      return a;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+double clippedLength(const Geometry& g, const Envelope& rect) {
+  if (!g.envelope().intersects(rect)) return 0.0;
+  switch (g.type()) {
+    case GeometryType::kLineString: {
+      double len = 0;
+      const auto& c = g.coords();
+      for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+        if (const auto seg = clipSegmentToRect(c[i], c[i + 1], rect)) {
+          len += distance(seg->first, seg->second);
+        }
+      }
+      return len;
+    }
+    case GeometryType::kMultiLineString:
+    case GeometryType::kGeometryCollection: {
+      double len = 0;
+      for (const auto& p : g.parts()) len += clippedLength(p, rect);
+      return len;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+double clippedMeasure(const Geometry& g, const Envelope& rect) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return rect.contains(g.pointCoord()) ? 1.0 : 0.0;
+    case GeometryType::kMultiPoint: {
+      double n = 0;
+      for (const auto& p : g.parts()) n += clippedMeasure(p, rect);
+      return n;
+    }
+    case GeometryType::kLineString:
+    case GeometryType::kMultiLineString:
+      return clippedLength(g, rect);
+    case GeometryType::kPolygon:
+    case GeometryType::kMultiPolygon:
+      return clippedArea(g, rect);
+    case GeometryType::kGeometryCollection: {
+      double m = 0;
+      for (const auto& p : g.parts()) m += clippedMeasure(p, rect);
+      return m;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,28 @@
+#pragma once
+// 2D coordinate. The paper's data (WKT from OpenStreetMap) is planar 2D;
+// Z/M dimensions are out of scope and rejected by the readers.
+
+#include <cmath>
+
+namespace mvio::geom {
+
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Coord& a, const Coord& b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
+};
+
+inline double distance(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Twice the signed area of triangle (a,b,c); >0 means counter-clockwise.
+inline double cross(const Coord& a, const Coord& b, const Coord& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,240 @@
+#include "geom/geometry.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+const char* typeName(GeometryType t) {
+  switch (t) {
+    case GeometryType::kPoint: return "POINT";
+    case GeometryType::kLineString: return "LINESTRING";
+    case GeometryType::kPolygon: return "POLYGON";
+    case GeometryType::kMultiPoint: return "MULTIPOINT";
+    case GeometryType::kMultiLineString: return "MULTILINESTRING";
+    case GeometryType::kMultiPolygon: return "MULTIPOLYGON";
+    case GeometryType::kGeometryCollection: return "GEOMETRYCOLLECTION";
+  }
+  return "UNKNOWN";
+}
+
+Geometry Geometry::point(Coord c) {
+  Geometry g;
+  g.type_ = GeometryType::kPoint;
+  g.coords_ = {c};
+  return g;
+}
+
+Geometry Geometry::lineString(std::vector<Coord> coords) {
+  MVIO_CHECK(coords.size() >= 2, "LineString needs at least 2 coordinates");
+  Geometry g;
+  g.type_ = GeometryType::kLineString;
+  g.coords_ = std::move(coords);
+  g.rings_.clear();
+  return g;
+}
+
+Geometry Geometry::polygon(std::vector<Ring> rings) {
+  MVIO_CHECK(!rings.empty(), "Polygon needs a shell ring");
+  for (const auto& r : rings) {
+    MVIO_CHECK(r.coords.size() >= 4, "polygon ring needs >= 4 coordinates");
+    MVIO_CHECK(r.coords.front() == r.coords.back(), "polygon ring must be closed");
+  }
+  Geometry g;
+  g.type_ = GeometryType::kPolygon;
+  g.coords_.clear();
+  g.rings_ = std::move(rings);
+  return g;
+}
+
+Geometry Geometry::multi(GeometryType multiType, std::vector<Geometry> parts) {
+  MVIO_CHECK(multiType >= GeometryType::kMultiPoint, "multi() requires a collection type");
+  if (multiType != GeometryType::kGeometryCollection) {
+    const auto expected = static_cast<GeometryType>(static_cast<std::uint8_t>(multiType) - 3);
+    for (const auto& p : parts) {
+      MVIO_CHECK(p.type() == expected, "homogeneous multi-geometry part type mismatch");
+    }
+  }
+  Geometry g;
+  g.type_ = multiType;
+  g.coords_.clear();
+  g.parts_ = std::move(parts);
+  return g;
+}
+
+Geometry Geometry::box(const Envelope& e) {
+  MVIO_CHECK(!e.isNull(), "cannot build a polygon from a null envelope");
+  Ring shell;
+  shell.coords = {{e.minX(), e.minY()},
+                  {e.maxX(), e.minY()},
+                  {e.maxX(), e.maxY()},
+                  {e.minX(), e.maxY()},
+                  {e.minX(), e.minY()}};
+  return polygon({std::move(shell)});
+}
+
+bool Geometry::isEmpty() const {
+  switch (type_) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+      return coords_.empty();
+    case GeometryType::kPolygon:
+      return rings_.empty();
+    default:
+      return parts_.empty();
+  }
+}
+
+const Coord& Geometry::pointCoord() const {
+  MVIO_CHECK(type_ == GeometryType::kPoint && !coords_.empty(), "pointCoord() on non-point");
+  return coords_.front();
+}
+
+std::size_t Geometry::numVertices() const {
+  switch (type_) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+      return coords_.size();
+    case GeometryType::kPolygon: {
+      std::size_t n = 0;
+      for (const auto& r : rings_) n += r.coords.size();
+      return n;
+    }
+    default: {
+      std::size_t n = 0;
+      for (const auto& p : parts_) n += p.numVertices();
+      return n;
+    }
+  }
+}
+
+const Envelope& Geometry::envelope() const {
+  if (!envelopeValid_) {
+    computeEnvelope();
+    envelopeValid_ = true;
+  }
+  return cachedEnvelope_;
+}
+
+void Geometry::computeEnvelope() const {
+  Envelope e;
+  switch (type_) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+      for (const auto& c : coords_) e.expandToInclude(c);
+      break;
+    case GeometryType::kPolygon:
+      // The shell bounds the holes by definition, but tolerate odd data.
+      for (const auto& r : rings_) {
+        for (const auto& c : r.coords) e.expandToInclude(c);
+      }
+      break;
+    default:
+      for (const auto& p : parts_) e.expandToInclude(p.envelope());
+      break;
+  }
+  cachedEnvelope_ = e;
+}
+
+namespace {
+
+/// Shoelace signed area of a closed ring.
+double ringSignedArea(const std::vector<Coord>& ring) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    acc += ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+  }
+  return acc / 2.0;
+}
+
+double pathLength(const std::vector<Coord>& coords) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < coords.size(); ++i) acc += distance(coords[i], coords[i + 1]);
+  return acc;
+}
+
+}  // namespace
+
+double area(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+    case GeometryType::kMultiPoint:
+    case GeometryType::kMultiLineString:
+      return 0.0;
+    case GeometryType::kPolygon: {
+      if (g.rings().empty()) return 0.0;
+      double a = std::abs(ringSignedArea(g.rings()[0].coords));
+      for (std::size_t i = 1; i < g.rings().size(); ++i) {
+        a -= std::abs(ringSignedArea(g.rings()[i].coords));
+      }
+      return std::max(a, 0.0);
+    }
+    default: {
+      double a = 0.0;
+      for (const auto& p : g.parts()) a += area(p);
+      return a;
+    }
+  }
+}
+
+double length(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return 0.0;
+    case GeometryType::kLineString:
+      return pathLength(g.coords());
+    case GeometryType::kPolygon: {
+      double acc = 0.0;
+      for (const auto& r : g.rings()) acc += pathLength(r.coords);
+      return acc;
+    }
+    default: {
+      double acc = 0.0;
+      for (const auto& p : g.parts()) acc += length(p);
+      return acc;
+    }
+  }
+}
+
+namespace {
+
+void accumulateCentroid(const Geometry& g, double& sx, double& sy, std::size_t& n) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+      for (const auto& c : g.coords()) {
+        sx += c.x;
+        sy += c.y;
+        ++n;
+      }
+      break;
+    case GeometryType::kPolygon:
+      for (const auto& r : g.rings()) {
+        // Skip the duplicated closing coordinate.
+        for (std::size_t i = 0; i + 1 < r.coords.size(); ++i) {
+          sx += r.coords[i].x;
+          sy += r.coords[i].y;
+          ++n;
+        }
+      }
+      break;
+    default:
+      for (const auto& p : g.parts()) accumulateCentroid(p, sx, sy, n);
+      break;
+  }
+}
+
+}  // namespace
+
+Coord centroid(const Geometry& g) {
+  double sx = 0, sy = 0;
+  std::size_t n = 0;
+  accumulateCentroid(g, sx, sy, n);
+  if (n == 0) return Coord{};
+  return {sx / static_cast<double>(n), sy / static_cast<double>(n)};
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,116 @@
+#include "geom/quadtree.hpp"
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+QuadTree::QuadTree(const Envelope& bounds, std::size_t maxDepth, std::size_t nodeCapacity)
+    : maxDepth_(maxDepth), nodeCapacity_(nodeCapacity) {
+  MVIO_CHECK(!bounds.isNull(), "quadtree bounds must be non-null");
+  MVIO_CHECK(nodeCapacity_ >= 1, "node capacity must be >= 1");
+  nodes_.push_back(Node{bounds, {}, -1});
+}
+
+void QuadTree::subdivide(std::int32_t n) {
+  const Envelope b = nodes_[static_cast<std::size_t>(n)].bounds;
+  const double mx = (b.minX() + b.maxX()) / 2;
+  const double my = (b.minY() + b.maxY()) / 2;
+  const auto first = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{Envelope(b.minX(), b.minY(), mx, my), {}, -1});  // SW
+  nodes_.push_back(Node{Envelope(mx, b.minY(), b.maxX(), my), {}, -1});  // SE
+  nodes_.push_back(Node{Envelope(b.minX(), my, mx, b.maxY()), {}, -1});  // NW
+  nodes_.push_back(Node{Envelope(mx, my, b.maxX(), b.maxY()), {}, -1});  // NE
+  nodes_[static_cast<std::size_t>(n)].firstChild = first;
+}
+
+std::int32_t QuadTree::childFor(std::int32_t n, const Envelope& box) const {
+  const std::int32_t first = nodes_[static_cast<std::size_t>(n)].firstChild;
+  if (first < 0) return -1;
+  for (std::int32_t q = 0; q < 4; ++q) {
+    if (nodes_[static_cast<std::size_t>(first + q)].bounds.contains(box)) return first + q;
+  }
+  return -1;
+}
+
+void QuadTree::insert(const Envelope& box, std::uint64_t id) {
+  MVIO_CHECK(!box.isNull(), "cannot index a null envelope");
+  std::int32_t n = 0;
+  std::size_t depth = 0;
+  // Descend while a child quadrant fully contains the box.
+  while (true) {
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.firstChild < 0) {
+      if (node.entries.size() < nodeCapacity_ || depth >= maxDepth_) {
+        node.entries.push_back({box, id});
+        ++count_;
+        return;
+      }
+      // Split and redistribute entries that now fit in a child.
+      subdivide(n);
+      Node& reloaded = nodes_[static_cast<std::size_t>(n)];
+      std::vector<Entry> keep;
+      for (auto& e : reloaded.entries) {
+        const std::int32_t c = childFor(n, e.box);
+        if (c >= 0) {
+          nodes_[static_cast<std::size_t>(c)].entries.push_back(std::move(e));
+        } else {
+          keep.push_back(std::move(e));
+        }
+      }
+      nodes_[static_cast<std::size_t>(n)].entries = std::move(keep);
+      // Fall through to re-route the new box below.
+    }
+    const std::int32_t c = childFor(n, box);
+    if (c < 0) {
+      nodes_[static_cast<std::size_t>(n)].entries.push_back({box, id});
+      ++count_;
+      return;
+    }
+    n = c;
+    ++depth;
+  }
+}
+
+void QuadTree::query(const Envelope& queryBox, const std::function<void(std::uint64_t)>& fn) const {
+  if (queryBox.isNull()) return;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    // The root also holds entries clamped from outside the tree bounds, so
+    // it is never pruned by its rectangle.
+    if (n != 0 && !node.bounds.intersects(queryBox)) continue;
+    for (const auto& e : node.entries) {
+      if (e.box.intersects(queryBox)) fn(e.id);
+    }
+    if (node.firstChild >= 0) {
+      for (std::int32_t q = 0; q < 4; ++q) stack.push_back(node.firstChild + q);
+    }
+  }
+}
+
+std::vector<std::uint64_t> QuadTree::search(const Envelope& queryBox) const {
+  std::vector<std::uint64_t> out;
+  query(queryBox, [&](std::uint64_t id) { out.push_back(id); });
+  return out;
+}
+
+std::size_t QuadTree::depth() const {
+  // Breadth-first walk tracking levels; the tree is small relative to its
+  // entry count, so this is cheap enough for diagnostics.
+  std::size_t best = 1;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    const auto [n, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const std::int32_t first = nodes_[static_cast<std::size_t>(n)].firstChild;
+    if (first >= 0) {
+      for (std::int32_t q = 0; q < 4; ++q) stack.push_back({first + q, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace mvio::geom

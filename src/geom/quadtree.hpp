@@ -1,0 +1,53 @@
+#pragma once
+// Region quadtree over (Envelope, id) entries — the second spatial index
+// GEOS offers and the paper lists ("spatial data structures including
+// Quadtree and R-tree"). Entries live in the smallest quadrant that fully
+// contains their rectangle (MX-CIF style), so large rectangles sit at
+// shallow levels and never split.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/envelope.hpp"
+
+namespace mvio::geom {
+
+class QuadTree {
+ public:
+  /// `bounds` must cover every inserted rectangle; entries outside are
+  /// clamped to the root. `maxDepth` bounds subdivision.
+  explicit QuadTree(const Envelope& bounds, std::size_t maxDepth = 12, std::size_t nodeCapacity = 8);
+
+  void insert(const Envelope& box, std::uint64_t id);
+
+  /// Invoke `fn(id)` for every entry whose box intersects `query`.
+  void query(const Envelope& query, const std::function<void(std::uint64_t)>& fn) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> search(const Envelope& query) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Entry {
+    Envelope box;
+    std::uint64_t id;
+  };
+  struct Node {
+    Envelope bounds;
+    std::vector<Entry> entries;
+    std::int32_t firstChild = -1;  // four consecutive children or -1
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t maxDepth_;
+  std::size_t nodeCapacity_;
+  std::size_t count_ = 0;
+
+  void subdivide(std::int32_t n);
+  /// Child quadrant fully containing `box`, or -1.
+  [[nodiscard]] std::int32_t childFor(std::int32_t n, const Envelope& box) const;
+};
+
+}  // namespace mvio::geom

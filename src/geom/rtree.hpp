@@ -1,0 +1,74 @@
+#pragma once
+// R-tree spatial index over (Envelope, id) entries — the filter-phase index
+// GEOS provides in the paper's pipeline. Two construction modes:
+//
+//  * bulkLoad(): Sort-Tile-Recursive packing, used when the entry set is
+//    known up front (grid-cell boundary index, per-cell join index).
+//  * insert(): dynamic insertion with quadratic split (Guttman), used by
+//    streaming consumers.
+//
+// Queries report ids of entries whose rectangle intersects the query
+// rectangle; exact geometry tests happen in the caller's refine step.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/envelope.hpp"
+
+namespace mvio::geom {
+
+class RTree {
+ public:
+  struct Entry {
+    Envelope box;
+    std::uint64_t id = 0;
+  };
+
+  /// `maxEntries` is the node fan-out M; minimum fill is M*0.4 (Guttman's
+  /// recommendation).
+  explicit RTree(std::size_t maxEntries = 16);
+
+  /// Build by STR packing; replaces any existing content.
+  void bulkLoad(std::vector<Entry> entries);
+
+  /// Insert one entry (Guttman, quadratic split).
+  void insert(const Envelope& box, std::uint64_t id);
+
+  /// Invoke `fn(id)` for every entry whose box intersects `query`.
+  void query(const Envelope& query, const std::function<void(std::uint64_t)>& fn) const;
+
+  /// Convenience: collect matching ids (unordered).
+  [[nodiscard]] std::vector<std::uint64_t> search(const Envelope& query) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Height of the tree (0 when empty, 1 for a single leaf).
+  [[nodiscard]] std::size_t height() const;
+  /// Bounding box of everything in the index.
+  [[nodiscard]] Envelope bounds() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    Envelope box;
+    std::vector<Entry> entries;        // leaf payload
+    std::vector<std::int32_t> children;  // internal children (indices into nodes_)
+  };
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t maxEntries_;
+  std::size_t minEntries_;
+  std::size_t count_ = 0;
+
+  std::int32_t newNode(bool leaf);
+  void recomputeBox(std::int32_t n);
+  std::int32_t chooseLeaf(std::int32_t n, const Envelope& box);
+  /// Split node `n`; returns the index of the new sibling.
+  std::int32_t splitNode(std::int32_t n);
+  void adjustTree(std::vector<std::int32_t>& path, std::int32_t splitSibling);
+  std::int32_t buildStr(std::vector<Entry>& entries, std::size_t lo, std::size_t hi, int level);
+};
+
+}  // namespace mvio::geom

@@ -1,0 +1,111 @@
+#include "geom/space_curve.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+namespace {
+
+/// Spread the low 32 bits of v so a bit at position i lands at 2i.
+std::uint64_t spreadBits(std::uint64_t v) {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint64_t compactBits(std::uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return v;
+}
+
+void checkOrder(int order) { MVIO_CHECK(order >= 1 && order <= 31, "curve order must be in [1,31]"); }
+
+}  // namespace
+
+std::uint64_t zOrderKey(std::uint32_t x, std::uint32_t y, int order) {
+  checkOrder(order);
+  const std::uint32_t mask = order == 31 ? 0x7fffffffu : ((1u << order) - 1);
+  return spreadBits(x & mask) | (spreadBits(y & mask) << 1);
+}
+
+void zOrderDecode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y) {
+  checkOrder(order);
+  x = static_cast<std::uint32_t>(compactBits(key));
+  y = static_cast<std::uint32_t>(compactBits(key >> 1));
+}
+
+std::uint64_t hilbertKey(std::uint32_t x, std::uint32_t y, int order) {
+  checkOrder(order);
+  std::uint64_t rx = 0, ry = 0, d = 0;
+  std::uint64_t xx = x, yy = y;
+  for (std::uint64_t s = 1ULL << (order - 1); s > 0; s >>= 1) {
+    rx = (xx & s) > 0 ? 1 : 0;
+    ry = (yy & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        xx = s - 1 - xx;
+        yy = s - 1 - yy;
+      }
+      std::swap(xx, yy);
+    }
+  }
+  return d;
+}
+
+void hilbertDecode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y) {
+  checkOrder(order);
+  std::uint64_t rx = 0, ry = 0;
+  std::uint64_t xx = 0, yy = 0;
+  std::uint64_t t = key;
+  for (std::uint64_t s = 1; s < (1ULL << order); s <<= 1) {
+    rx = 1 & (t / 2);
+    ry = 1 & (t ^ rx);
+    if (ry == 0) {
+      if (rx == 1) {
+        xx = s - 1 - xx;
+        yy = s - 1 - yy;
+      }
+      std::swap(xx, yy);
+    }
+    xx += s * rx;
+    yy += s * ry;
+    t /= 4;
+  }
+  x = static_cast<std::uint32_t>(xx);
+  y = static_cast<std::uint32_t>(yy);
+}
+
+std::uint32_t CurveGrid::cellX(const Coord& c) const {
+  MVIO_CHECK(!bounds.isNull() && bounds.width() > 0, "curve grid needs non-degenerate bounds");
+  const auto n = static_cast<double>(1ULL << order);
+  const double t = (c.x - bounds.minX()) / bounds.width() * n;
+  return static_cast<std::uint32_t>(std::clamp(t, 0.0, n - 1));
+}
+
+std::uint32_t CurveGrid::cellY(const Coord& c) const {
+  MVIO_CHECK(!bounds.isNull() && bounds.height() > 0, "curve grid needs non-degenerate bounds");
+  const auto n = static_cast<double>(1ULL << order);
+  const double t = (c.y - bounds.minY()) / bounds.height() * n;
+  return static_cast<std::uint32_t>(std::clamp(t, 0.0, n - 1));
+}
+
+std::uint64_t CurveGrid::zKey(const Coord& c) const { return zOrderKey(cellX(c), cellY(c), order); }
+
+std::uint64_t CurveGrid::hilbertKeyOf(const Coord& c) const {
+  return hilbertKey(cellX(c), cellY(c), order);
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,43 @@
+#pragma once
+// Space-filling curves for spatial locality (paper §4.1: "To ensure
+// spatial data locality, points and line segments are often sorted in 2D
+// using Z-order and Hilbert curve").
+//
+// Both curves map a 2D cell coordinate on a 2^order x 2^order grid to a
+// 1D key; sorting geometries by the key of their centroid cell clusters
+// spatially-near records together in the file, which is what makes the
+// paper's contiguous-vs-round-robin partitioning comparison (Figure 5)
+// meaningful.
+
+#include <cstdint>
+
+#include "geom/coord.hpp"
+#include "geom/envelope.hpp"
+
+namespace mvio::geom {
+
+/// Interleave the low `order` bits of x and y (Morton code). order <= 31.
+std::uint64_t zOrderKey(std::uint32_t x, std::uint32_t y, int order);
+
+/// Decode a Morton code back to (x, y).
+void zOrderDecode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y);
+
+/// Hilbert curve index of cell (x, y) on a 2^order grid (Butz/Lam-Shapiro
+/// iterative rotation algorithm). order <= 31.
+std::uint64_t hilbertKey(std::uint32_t x, std::uint32_t y, int order);
+
+/// Decode a Hilbert index back to (x, y).
+void hilbertDecode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y);
+
+/// Map a point inside `bounds` to its curve cell on a 2^order grid.
+struct CurveGrid {
+  Envelope bounds;
+  int order = 16;
+
+  [[nodiscard]] std::uint32_t cellX(const Coord& c) const;
+  [[nodiscard]] std::uint32_t cellY(const Coord& c) const;
+  [[nodiscard]] std::uint64_t zKey(const Coord& c) const;
+  [[nodiscard]] std::uint64_t hilbertKeyOf(const Coord& c) const;
+};
+
+}  // namespace mvio::geom

@@ -1,0 +1,168 @@
+#include "geom/wkb.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+namespace {
+
+constexpr std::uint8_t kLittleEndian = 1;  // NDR
+constexpr std::uint8_t kBigEndian = 0;     // XDR
+
+static_assert(std::endian::native == std::endian::little,
+              "WKB writer assumes a little-endian host");
+
+template <typename T>
+void appendRaw(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+struct Reader {
+  const char* cur;
+  const char* end;
+  bool swap = false;
+
+  [[noreturn]] void fail(const char* what) const { throw util::Error(std::string("WKB: ") + what, __FILE__, __LINE__); }
+
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - cur) < n) fail("truncated input");
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*cur++);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, cur, 4);
+    cur += 4;
+    if (swap) v = __builtin_bswap32(v);
+    return v;
+  }
+
+  double f64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, cur, 8);
+    cur += 8;
+    if (swap) v = __builtin_bswap64(v);
+    double d;
+    std::memcpy(&d, &v, 8);
+    return d;
+  }
+
+  Coord coord() {
+    const double x = f64();
+    const double y = f64();
+    return {x, y};
+  }
+};
+
+Geometry readOne(Reader& r);
+
+std::vector<Coord> readCoordSeq(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Coord> coords;
+  coords.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) coords.push_back(r.coord());
+  return coords;
+}
+
+Geometry readOne(Reader& r) {
+  const std::uint8_t order = r.u8();
+  if (order != kLittleEndian && order != kBigEndian) r.fail("bad byte-order marker");
+  r.swap = (order == kBigEndian);
+  const std::uint32_t typeCode = r.u32();
+  if (typeCode < 1 || typeCode > 7) r.fail("unsupported geometry type code");
+  const auto type = static_cast<GeometryType>(typeCode);
+  switch (type) {
+    case GeometryType::kPoint:
+      return Geometry::point(r.coord());
+    case GeometryType::kLineString: {
+      auto coords = readCoordSeq(r);
+      if (coords.size() < 2) r.fail("LineString needs >= 2 coordinates");
+      return Geometry::lineString(std::move(coords));
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = r.u32();
+      if (nRings == 0) r.fail("polygon without rings");
+      std::vector<Ring> rings;
+      rings.reserve(nRings);
+      for (std::uint32_t i = 0; i < nRings; ++i) {
+        Ring ring;
+        ring.coords = readCoordSeq(r);
+        if (ring.coords.size() < 4 || !(ring.coords.front() == ring.coords.back())) {
+          r.fail("bad polygon ring");
+        }
+        rings.push_back(std::move(ring));
+      }
+      return Geometry::polygon(std::move(rings));
+    }
+    default: {
+      const std::uint32_t nParts = r.u32();
+      std::vector<Geometry> parts;
+      parts.reserve(nParts);
+      for (std::uint32_t i = 0; i < nParts; ++i) {
+        const bool savedSwap = r.swap;  // nested geometries carry their own marker
+        parts.push_back(readOne(r));
+        r.swap = savedSwap;
+      }
+      return Geometry::multi(type, std::move(parts));
+    }
+  }
+}
+
+void writeCoordSeq(std::string& out, const std::vector<Coord>& coords) {
+  appendRaw(out, static_cast<std::uint32_t>(coords.size()));
+  for (const auto& c : coords) {
+    appendRaw(out, c.x);
+    appendRaw(out, c.y);
+  }
+}
+
+}  // namespace
+
+void appendWkb(const Geometry& g, std::string& out) {
+  appendRaw(out, kLittleEndian);
+  appendRaw(out, static_cast<std::uint32_t>(g.type()));
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      appendRaw(out, g.pointCoord().x);
+      appendRaw(out, g.pointCoord().y);
+      break;
+    case GeometryType::kLineString:
+      writeCoordSeq(out, g.coords());
+      break;
+    case GeometryType::kPolygon:
+      appendRaw(out, static_cast<std::uint32_t>(g.rings().size()));
+      for (const auto& r : g.rings()) writeCoordSeq(out, r.coords);
+      break;
+    default:
+      appendRaw(out, static_cast<std::uint32_t>(g.parts().size()));
+      for (const auto& p : g.parts()) appendWkb(p, out);
+      break;
+  }
+}
+
+std::string writeWkb(const Geometry& g) {
+  std::string out;
+  out.reserve(16 + g.numVertices() * 16);
+  appendWkb(g, out);
+  return out;
+}
+
+Geometry readWkb(std::string_view bytes, std::size_t* consumed) {
+  Reader r{bytes.data(), bytes.data() + bytes.size(), false};
+  Geometry g = readOne(r);
+  if (consumed != nullptr) *consumed = static_cast<std::size_t>(r.cur - bytes.data());
+  return g;
+}
+
+}  // namespace mvio::geom

@@ -1,0 +1,28 @@
+#pragma once
+// Well-Known Binary reader/writer (OGC, 2D). WKB is what spatial databases
+// exchange and what MPI ranks serialize into communication buffers when a
+// compact binary wire format is preferred over coordinate-array framing.
+// Both byte orders are read; writing emits the host's native order
+// (little-endian on every platform we target) with the standard order byte.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace mvio::geom {
+
+/// Serialize one geometry to WKB bytes.
+std::string writeWkb(const Geometry& g);
+
+/// Append WKB bytes to an existing buffer (bulk serialization path).
+void appendWkb(const Geometry& g, std::string& out);
+
+/// Parse one WKB geometry from the start of `bytes`; `consumed` (if
+/// non-null) receives the number of bytes read. Throws util::Error on
+/// malformed input.
+Geometry readWkb(std::string_view bytes, std::size_t* consumed = nullptr);
+
+}  // namespace mvio::geom

@@ -1,0 +1,323 @@
+#include "geom/wkt.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mvio::geom {
+
+namespace {
+
+/// Cursor over the WKT text. All scanning helpers skip leading whitespace.
+struct Scanner {
+  const char* cur;
+  const char* end;
+  const char* begin;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw util::Error("WKT parse error at byte " + std::to_string(cur - begin) + ": " + what, __FILE__,
+                      __LINE__);
+  }
+
+  void skipSpace() {
+    while (cur < end && (*cur == ' ' || *cur == '\t' || *cur == '\r' || *cur == '\n')) ++cur;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return cur >= end;
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (cur < end && *cur == c) {
+      ++cur;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  /// Case-insensitive keyword scan: [A-Za-z]+.
+  std::string keyword() {
+    skipSpace();
+    const char* start = cur;
+    while (cur < end && std::isalpha(static_cast<unsigned char>(*cur))) ++cur;
+    if (cur == start) fail("expected keyword");
+    std::string word(start, cur);
+    for (auto& ch : word) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    return word;
+  }
+
+  double number() {
+    skipSpace();
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(cur, end, value);
+    if (ec != std::errc()) fail("expected number");
+    cur = ptr;
+    return value;
+  }
+
+  Coord coord() {
+    const double x = number();
+    const double y = number();
+    // A third ordinate would mean Z/M data, which we do not support.
+    skipSpace();
+    if (cur < end && (*cur == '-' || *cur == '+' || std::isdigit(static_cast<unsigned char>(*cur)))) {
+      fail("3D/measured coordinates are not supported");
+    }
+    return {x, y};
+  }
+
+  bool consumeEmpty() {
+    skipSpace();
+    static constexpr std::string_view kEmpty = "EMPTY";
+    if (static_cast<std::size_t>(end - cur) >= kEmpty.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kEmpty.size(); ++i) {
+        if (std::toupper(static_cast<unsigned char>(cur[i])) != kEmpty[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        cur += kEmpty.size();
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::vector<Coord> coordSequence(Scanner& s) {
+  std::vector<Coord> coords;
+  s.expect('(');
+  coords.push_back(s.coord());
+  while (s.consume(',')) coords.push_back(s.coord());
+  s.expect(')');
+  return coords;
+}
+
+Ring ringFrom(Scanner& s) {
+  Ring r;
+  r.coords = coordSequence(s);
+  if (r.coords.size() < 4) s.fail("polygon ring needs >= 4 coordinates");
+  if (!(r.coords.front() == r.coords.back())) s.fail("polygon ring is not closed");
+  return r;
+}
+
+Geometry parseGeometry(Scanner& s);
+
+Geometry parseTyped(Scanner& s, const std::string& type) {
+  if (type == "POINT") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+    s.expect('(');
+    const Coord c = s.coord();
+    s.expect(')');
+    return Geometry::point(c);
+  }
+  if (type == "LINESTRING") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+    auto coords = coordSequence(s);
+    if (coords.size() < 2) s.fail("LINESTRING needs >= 2 coordinates");
+    return Geometry::lineString(std::move(coords));
+  }
+  if (type == "POLYGON") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+    s.expect('(');
+    std::vector<Ring> rings;
+    rings.push_back(ringFrom(s));
+    while (s.consume(',')) rings.push_back(ringFrom(s));
+    s.expect(')');
+    return Geometry::polygon(std::move(rings));
+  }
+  if (type == "MULTIPOINT") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiPoint, {});
+    s.expect('(');
+    std::vector<Geometry> parts;
+    do {
+      // Both "MULTIPOINT ((1 2), (3 4))" and "MULTIPOINT (1 2, 3 4)" occur
+      // in the wild; accept either.
+      if (s.consume('(')) {
+        const Coord c = s.coord();
+        s.expect(')');
+        parts.push_back(Geometry::point(c));
+      } else {
+        parts.push_back(Geometry::point(s.coord()));
+      }
+    } while (s.consume(','));
+    s.expect(')');
+    return Geometry::multi(GeometryType::kMultiPoint, std::move(parts));
+  }
+  if (type == "MULTILINESTRING") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiLineString, {});
+    s.expect('(');
+    std::vector<Geometry> parts;
+    do {
+      auto coords = coordSequence(s);
+      if (coords.size() < 2) s.fail("LINESTRING needs >= 2 coordinates");
+      parts.push_back(Geometry::lineString(std::move(coords)));
+    } while (s.consume(','));
+    s.expect(')');
+    return Geometry::multi(GeometryType::kMultiLineString, std::move(parts));
+  }
+  if (type == "MULTIPOLYGON") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiPolygon, {});
+    s.expect('(');
+    std::vector<Geometry> parts;
+    do {
+      s.expect('(');
+      std::vector<Ring> rings;
+      rings.push_back(ringFrom(s));
+      while (s.consume(',')) rings.push_back(ringFrom(s));
+      s.expect(')');
+      parts.push_back(Geometry::polygon(std::move(rings)));
+    } while (s.consume(','));
+    s.expect(')');
+    return Geometry::multi(GeometryType::kMultiPolygon, std::move(parts));
+  }
+  if (type == "GEOMETRYCOLLECTION") {
+    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+    s.expect('(');
+    std::vector<Geometry> parts;
+    do {
+      parts.push_back(parseGeometry(s));
+    } while (s.consume(','));
+    s.expect(')');
+    return Geometry::multi(GeometryType::kGeometryCollection, std::move(parts));
+  }
+  s.fail("unknown geometry type: " + type);
+}
+
+Geometry parseGeometry(Scanner& s) {
+  const std::string type = s.keyword();
+  return parseTyped(s, type);
+}
+
+void writeCoord(std::string& out, const Coord& c, int precision) {
+  char buf[64];
+  int n = std::snprintf(buf, sizeof buf, "%.*g %.*g", precision, c.x, precision, c.y);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void writeCoordSeq(std::string& out, const std::vector<Coord>& coords, int precision) {
+  out.push_back('(');
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (i) out.append(", ");
+    writeCoord(out, coords[i], precision);
+  }
+  out.push_back(')');
+}
+
+void writeBody(std::string& out, const Geometry& g, int precision);
+
+void writeTagged(std::string& out, const Geometry& g, int precision) {
+  out.append(typeName(g.type()));
+  out.push_back(' ');
+  writeBody(out, g, precision);
+}
+
+void writeBody(std::string& out, const Geometry& g, int precision) {
+  if (g.isEmpty()) {
+    out.append("EMPTY");
+    return;
+  }
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      out.push_back('(');
+      writeCoord(out, g.pointCoord(), precision);
+      out.push_back(')');
+      break;
+    case GeometryType::kLineString:
+      writeCoordSeq(out, g.coords(), precision);
+      break;
+    case GeometryType::kPolygon: {
+      out.push_back('(');
+      for (std::size_t i = 0; i < g.rings().size(); ++i) {
+        if (i) out.append(", ");
+        writeCoordSeq(out, g.rings()[i].coords, precision);
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kMultiPoint: {
+      out.push_back('(');
+      for (std::size_t i = 0; i < g.parts().size(); ++i) {
+        if (i) out.append(", ");
+        out.push_back('(');
+        writeCoord(out, g.parts()[i].pointCoord(), precision);
+        out.push_back(')');
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kMultiLineString: {
+      out.push_back('(');
+      for (std::size_t i = 0; i < g.parts().size(); ++i) {
+        if (i) out.append(", ");
+        writeCoordSeq(out, g.parts()[i].coords(), precision);
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      out.push_back('(');
+      for (std::size_t i = 0; i < g.parts().size(); ++i) {
+        if (i) out.append(", ");
+        const auto& poly = g.parts()[i];
+        out.push_back('(');
+        for (std::size_t r = 0; r < poly.rings().size(); ++r) {
+          if (r) out.append(", ");
+          writeCoordSeq(out, poly.rings()[r].coords, precision);
+        }
+        out.push_back(')');
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kGeometryCollection: {
+      out.push_back('(');
+      for (std::size_t i = 0; i < g.parts().size(); ++i) {
+        if (i) out.append(", ");
+        writeTagged(out, g.parts()[i], precision);
+      }
+      out.push_back(')');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Geometry readWkt(std::string_view text) {
+  Scanner s{text.data(), text.data() + text.size(), text.data()};
+  Geometry g = parseGeometry(s);
+  if (!s.atEnd()) s.fail("trailing characters after geometry");
+  return g;
+}
+
+bool tryReadWkt(std::string_view text, Geometry& out, std::string* error) {
+  try {
+    out = readWkt(text);
+    return true;
+  } catch (const util::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+std::string writeWkt(const Geometry& g, int precision) {
+  MVIO_CHECK(precision >= 1 && precision <= 17, "precision must be in [1,17]");
+  std::string out;
+  out.reserve(32 + g.numVertices() * 20);
+  writeTagged(out, g, precision);
+  return out;
+}
+
+}  // namespace mvio::geom

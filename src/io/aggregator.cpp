@@ -1,0 +1,49 @@
+#include "io/aggregator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace mvio::io {
+
+int aggregatorCount(int nodes, int stripeCount, bool stripedFs, int cbNodesHint) {
+  MVIO_CHECK(nodes >= 1, "need at least one node");
+  if (cbNodesHint > 0) return std::min(cbNodesHint, nodes);
+  if (!stripedFs) return nodes;  // ROMIO default on GPFS: one aggregator per node
+  MVIO_CHECK(stripeCount >= 1, "need at least one stripe");
+  if (stripeCount % nodes == 0 || nodes % stripeCount == 0) return nodes;
+  // Largest divisor of stripeCount that is <= nodes.
+  int best = 1;
+  for (int d = 1; d <= stripeCount; ++d) {
+    if (stripeCount % d == 0 && d <= nodes) best = std::max(best, d);
+  }
+  return best;
+}
+
+std::vector<int> chooseAggregatorRanks(mpi::Comm& comm, int aggregators) {
+  MVIO_CHECK(aggregators >= 1, "need at least one aggregator");
+  // First rank on each distinct node, in node order.
+  std::map<int, int> firstRankOfNode;
+  for (int r = 0; r < comm.size(); ++r) {
+    const int node = comm.nodeOfRank(r);
+    if (!firstRankOfNode.contains(node)) firstRankOfNode[node] = r;
+  }
+  std::vector<int> nodeLeaders;
+  nodeLeaders.reserve(firstRankOfNode.size());
+  for (const auto& [node, rank] : firstRankOfNode) nodeLeaders.push_back(rank);
+
+  const int n = static_cast<int>(nodeLeaders.size());
+  const int a = std::min(aggregators, n);
+  // Spread the A aggregators evenly over the N nodes.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(a));
+  for (int i = 0; i < a; ++i) {
+    out.push_back(nodeLeaders[static_cast<std::size_t>(static_cast<long>(i) * n / a)]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mvio::io

@@ -1,0 +1,30 @@
+#pragma once
+// Collective-buffering aggregator selection (ROMIO's cb_nodes logic).
+//
+// On Lustre, ROMIO picks the number of I/O aggregators ("readers") from
+// the node count and the file's stripe count; the paper's Figure 11 shows
+// the performance cliff this causes when the node count is neither a
+// multiple nor a divisor of the stripe count (24/48/72 nodes vs 64 OSTs).
+// The rule implemented here follows the paper's description:
+//   * stripeCount % nodes == 0 or nodes % stripeCount == 0 → nodes readers
+//   * otherwise → the largest divisor of stripeCount that is <= nodes
+// On filesystems without user striping (GPFS) ROMIO defaults to one
+// aggregator per compute node.
+
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace mvio::io {
+
+/// Number of aggregators for `nodes` compute nodes on a file striped over
+/// `stripeCount` targets. `cbNodesHint` > 0 forces a value (MPI_Info
+/// cb_nodes); `stripedFs` selects the Lustre rule vs the GPFS default.
+int aggregatorCount(int nodes, int stripeCount, bool stripedFs, int cbNodesHint);
+
+/// Pick the aggregator ranks within `comm`: one rank per chosen node,
+/// nodes spread evenly across the communicator. Returned list is sorted by
+/// rank and has exactly min(aggregators, #distinct nodes in comm) entries.
+std::vector<int> chooseAggregatorRanks(mpi::Comm& comm, int aggregators);
+
+}  // namespace mvio::io

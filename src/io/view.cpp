@@ -1,0 +1,77 @@
+#include "io/view.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mvio::io {
+
+ViewMap::ViewMap() : ViewMap(0, mpi::Datatype::byte(), mpi::Datatype::byte()) {}
+
+ViewMap::ViewMap(std::uint64_t disp, mpi::Datatype etype, mpi::Datatype filetype)
+    : disp_(disp), etype_(std::move(etype)), filetype_(std::move(filetype)) {
+  tileSize_ = filetype_.size();
+  tileExtent_ = filetype_.extent();
+  MVIO_CHECK(tileSize_ > 0, "filetype must have nonzero size");
+  MVIO_CHECK(tileExtent_ >= tileSize_, "filetype extent must cover its payload");
+  MVIO_CHECK(etype_.size() > 0, "etype must have nonzero size");
+  MVIO_CHECK(tileSize_ % etype_.size() == 0, "filetype size must be a multiple of etype size");
+  for (const auto& b : filetype_.blocks()) {
+    MVIO_CHECK(b.offset >= 0, "file views require non-negative block offsets");
+  }
+  contiguousBytes_ = disp_ == 0 && filetype_.isContiguous();
+}
+
+void ViewMap::runs(std::uint64_t pos, std::uint64_t len, std::vector<Run>& out) const {
+  if (len == 0) return;
+  if (contiguousBytes_) {
+    if (!out.empty() && out.back().offset + out.back().length == pos) {
+      out.back().length += len;
+    } else {
+      out.push_back({pos, len});
+    }
+    return;
+  }
+
+  auto emit = [&out](std::uint64_t off, std::uint64_t n) {
+    if (n == 0) return;
+    if (!out.empty() && out.back().offset + out.back().length == off) {
+      out.back().length += n;
+    } else {
+      out.push_back({off, n});
+    }
+  };
+
+  const auto& blocks = filetype_.blocks();
+  std::uint64_t tile = pos / tileSize_;
+  std::uint64_t inTile = pos % tileSize_;  // position within the tile's payload
+  std::uint64_t remaining = len;
+
+  while (remaining > 0) {
+    const std::uint64_t tileBase = disp_ + tile * tileExtent_;
+    std::uint64_t skipped = 0;  // payload bytes of this tile already passed
+    for (const auto& b : blocks) {
+      if (remaining == 0) break;
+      if (inTile >= skipped + b.length) {
+        skipped += b.length;
+        continue;
+      }
+      const std::uint64_t startInBlock = inTile - skipped;
+      const std::uint64_t take = std::min<std::uint64_t>(b.length - startInBlock, remaining);
+      emit(tileBase + static_cast<std::uint64_t>(b.offset) + startInBlock, take);
+      inTile += take;
+      remaining -= take;
+      skipped += b.length;
+    }
+    tile += 1;
+    inTile = 0;
+  }
+}
+
+std::vector<Run> ViewMap::runs(std::uint64_t pos, std::uint64_t len) const {
+  std::vector<Run> out;
+  runs(pos, len, out);
+  return out;
+}
+
+}  // namespace mvio::io

@@ -1,0 +1,51 @@
+#pragma once
+// MPI-IO file views. A view = (displacement, etype, filetype) exposes a
+// possibly non-contiguous window of the file as a linear stream: the
+// filetype is tiled from `disp` onward and only its typemap blocks are
+// visible. ViewMap translates ranges of that stream into absolute
+// (offset, length) runs in the file — the unit both the independent
+// (data-sieving) and collective (two-phase) read paths work with.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+
+namespace mvio::io {
+
+/// One contiguous piece of the file touched by an access.
+struct Run {
+  std::uint64_t offset = 0;  ///< absolute file offset, bytes
+  std::uint64_t length = 0;  ///< bytes
+};
+
+class ViewMap {
+ public:
+  /// Default view: byte-contiguous from offset 0 (MPI's default).
+  ViewMap();
+
+  ViewMap(std::uint64_t disp, mpi::Datatype etype, mpi::Datatype filetype);
+
+  /// Bytes visible per filetype tile.
+  [[nodiscard]] std::uint64_t tileSize() const { return tileSize_; }
+  [[nodiscard]] const mpi::Datatype& etype() const { return etype_; }
+  [[nodiscard]] const mpi::Datatype& filetype() const { return filetype_; }
+  [[nodiscard]] bool isContiguousByteView() const { return contiguousBytes_; }
+
+  /// Append absolute-file runs covering view-stream bytes [pos, pos+len);
+  /// adjacent runs are coalesced.
+  void runs(std::uint64_t pos, std::uint64_t len, std::vector<Run>& out) const;
+
+  /// Convenience: materialize the run list.
+  [[nodiscard]] std::vector<Run> runs(std::uint64_t pos, std::uint64_t len) const;
+
+ private:
+  std::uint64_t disp_;
+  mpi::Datatype etype_;
+  mpi::Datatype filetype_;
+  std::uint64_t tileSize_;    // filetype.size()
+  std::uint64_t tileExtent_;  // filetype.extent()
+  bool contiguousBytes_;
+};
+
+}  // namespace mvio::io

@@ -1,0 +1,128 @@
+#include "osm/datasets.hpp"
+
+#include "util/error.hpp"
+
+namespace mvio::osm {
+
+namespace {
+
+constexpr std::uint64_t kMB = 1000ull * 1000ull;
+constexpr std::uint64_t kGB = 1000ull * kMB;
+
+const DatasetInfo kCatalog[] = {
+    {"cemetery", "Polygon", 56 * kMB, 193'000, 2.1},
+    {"lakes", "Polygon", 9 * kGB, 8'000'000, 328.0},
+    {"roads", "Polygon", 24 * kGB, 72'000'000, 786.0},
+    {"all_objects", "Polygon", 92 * kGB, 263'000'000, 4728.0},
+    {"road_network", "Line", 137 * kGB, 717'000'000, 2873.0},
+    {"all_nodes", "Point", 96 * kGB, 2'700'000'000ull, 3782.0},
+};
+
+}  // namespace
+
+const DatasetInfo& datasetInfo(DatasetId id) { return kCatalog[static_cast<int>(id)]; }
+
+SynthSpec datasetSpec(DatasetId id, std::uint64_t seed) {
+  SynthSpec s;
+  s.seed = seed;
+  switch (id) {
+    case DatasetId::kCemetery:
+      // Small urban polygons, ~290 B/record: modest vertex counts.
+      s.polygonWeight = 1.0;
+      s.minVertices = 4;
+      s.maxVertices = 64;
+      s.vertexAlpha = 2.5;
+      s.minRadius = 5e-4;
+      s.maxRadius = 0.01;
+      s.space.clusters = 96;
+      break;
+    case DatasetId::kLakes:
+      // ~1.1 KB/record: heavier tails, shorelines get big.
+      s.polygonWeight = 1.0;
+      s.minVertices = 8;
+      s.maxVertices = 4096;
+      s.vertexAlpha = 1.9;
+      s.minRadius = 1e-3;
+      s.maxRadius = 1.5;
+      s.space.clusters = 32;
+      break;
+    case DatasetId::kRoads:
+      // Table 3 lists Roads as polygonal; ~330 B/record.
+      s.polygonWeight = 1.0;
+      s.minVertices = 4;
+      s.maxVertices = 256;
+      s.vertexAlpha = 2.4;
+      s.minRadius = 5e-4;
+      s.maxRadius = 0.05;
+      s.space.clusters = 64;
+      break;
+    case DatasetId::kAllObjects:
+      // Mixed planet extract, polygon-dominated, ~350 B/record.
+      s.polygonWeight = 0.7;
+      s.lineWeight = 0.2;
+      s.pointWeight = 0.1;
+      s.minVertices = 4;
+      s.maxVertices = 512;
+      s.vertexAlpha = 2.3;
+      s.minRadius = 5e-4;
+      s.maxRadius = 0.2;
+      s.space.clusters = 48;
+      break;
+    case DatasetId::kRoadNetwork:
+      // Line edges, ~190 B/record: short polylines.
+      s.polygonWeight = 0.0;
+      s.lineWeight = 1.0;
+      s.minSegments = 2;
+      s.maxSegments = 24;
+      s.segmentAlpha = 2.2;
+      s.stepLength = 0.005;
+      s.space.clusters = 96;
+      break;
+    case DatasetId::kAllNodes:
+      // GPS nodes, ~35 B/record; attributes kept terse by precision.
+      s.polygonWeight = 0.0;
+      s.pointWeight = 1.0;
+      s.precision = 5;
+      s.space.clusters = 96;
+      break;
+  }
+  return s;
+}
+
+InstalledDataset installVirtualDataset(pfs::Volume& volume, DatasetId id, double scale,
+                                       pfs::StripeSettings stripe, std::uint64_t blockSize,
+                                       std::size_t poolSize, std::size_t cacheBlocks,
+                                       std::uint64_t seed) {
+  MVIO_CHECK(scale > 0, "scale must be positive");
+  const DatasetInfo& info = datasetInfo(id);
+  auto bytes = static_cast<std::uint64_t>(static_cast<double>(info.paperBytes) * scale);
+  bytes = std::max(bytes, blockSize);
+
+  RecordGenerator gen(datasetSpec(id, seed));
+  auto pool = std::make_shared<const RecordPool>(gen, poolSize);
+  auto store = makeVirtualWktFile(pool, bytes, blockSize, seed, cacheBlocks);
+
+  InstalledDataset out;
+  out.path = std::string(info.name) + ".wkt";
+  out.bytes = store->size();
+  out.id = id;
+  volume.createOrReplace(out.path, std::move(store), stripe);
+  return out;
+}
+
+InstalledDataset installExactDataset(pfs::Volume& volume, DatasetId id, std::uint64_t count,
+                                     pfs::StripeSettings stripe, std::uint64_t seed) {
+  MVIO_CHECK(count >= 1, "need at least one record");
+  const DatasetInfo& info = datasetInfo(id);
+  RecordGenerator gen(datasetSpec(id, seed));
+  auto store = std::make_shared<pfs::MemoryBackingStore>(generateWktText(gen, count));
+
+  InstalledDataset out;
+  out.path = std::string(info.name) + ".wkt";
+  out.bytes = store->size();
+  out.id = id;
+  volume.createOrReplace(out.path, std::move(store), stripe);
+  return out;
+}
+
+}  // namespace mvio::osm

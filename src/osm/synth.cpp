@@ -1,0 +1,143 @@
+#include "osm/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/wkt.hpp"
+#include "util/error.hpp"
+
+namespace mvio::osm {
+
+RecordGenerator::RecordGenerator(SynthSpec spec) : spec_(std::move(spec)) {
+  MVIO_CHECK(spec_.polygonWeight + spec_.lineWeight + spec_.pointWeight > 0, "empty record mix");
+  MVIO_CHECK(spec_.minVertices >= 3, "polygons need >= 3 distinct vertices");
+  MVIO_CHECK(spec_.maxVertices >= spec_.minVertices, "bad vertex range");
+  MVIO_CHECK(!spec_.space.world.isNull(), "world bounds required");
+
+  // Cluster centers are a fixed function of the seed.
+  util::Rng rng(spec_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  clusterCenters_.reserve(static_cast<std::size_t>(std::max(spec_.space.clusters, 1)));
+  for (int i = 0; i < std::max(spec_.space.clusters, 1); ++i) {
+    clusterCenters_.push_back({rng.uniform(spec_.space.world.minX(), spec_.space.world.maxX()),
+                               rng.uniform(spec_.space.world.minY(), spec_.space.world.maxY())});
+  }
+}
+
+util::Rng RecordGenerator::rngFor(std::uint64_t i) const {
+  util::SplitMix64 mixer(spec_.seed ^ (i * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
+  return util::Rng(mixer.next());
+}
+
+RecordKind RecordGenerator::kindOf(std::uint64_t i) const {
+  util::Rng rng = rngFor(i);
+  const double total = spec_.polygonWeight + spec_.lineWeight + spec_.pointWeight;
+  const double u = rng.uniform() * total;
+  if (u < spec_.polygonWeight) return RecordKind::kPolygon;
+  if (u < spec_.polygonWeight + spec_.lineWeight) return RecordKind::kLine;
+  return RecordKind::kPoint;
+}
+
+geom::Coord RecordGenerator::samplePosition(util::Rng& rng) const {
+  const auto& w = spec_.space.world;
+  if (rng.uniform() < spec_.space.uniformFraction || clusterCenters_.empty()) {
+    return {rng.uniform(w.minX(), w.maxX()), rng.uniform(w.minY(), w.maxY())};
+  }
+  const auto& c = clusterCenters_[static_cast<std::size_t>(rng.below(clusterCenters_.size()))];
+  const double x = std::clamp(rng.normal(c.x, spec_.space.clusterStddev), w.minX(), w.maxX());
+  const double y = std::clamp(rng.normal(c.y, spec_.space.clusterStddev), w.minY(), w.maxY());
+  return {x, y};
+}
+
+namespace {
+
+/// Star-shaped ring around `center`: n distinct vertices at sorted angles
+/// with jittered radii — always a valid simple polygon ring.
+geom::Ring starRing(util::Rng& rng, const geom::Coord& center, double radius, std::uint32_t n) {
+  geom::Ring ring;
+  ring.coords.reserve(n + 1);
+  const double twoPi = 6.283185307179586;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const double theta = twoPi * (static_cast<double>(k) + 0.8 * rng.uniform()) / static_cast<double>(n);
+    const double r = radius * (0.55 + 0.45 * rng.uniform());
+    ring.coords.push_back({center.x + r * std::cos(theta), center.y + r * std::sin(theta)});
+  }
+  ring.coords.push_back(ring.coords.front());
+  return ring;
+}
+
+}  // namespace
+
+geom::Geometry RecordGenerator::makeGeometry(util::Rng& rng, RecordKind kind) const {
+  switch (kind) {
+    case RecordKind::kPoint:
+      return geom::Geometry::point(samplePosition(rng));
+    case RecordKind::kLine: {
+      const auto n = static_cast<std::uint32_t>(
+          rng.powerLaw(spec_.minSegments, spec_.maxSegments, spec_.segmentAlpha));
+      std::vector<geom::Coord> coords;
+      coords.reserve(n + 1);
+      geom::Coord cur = samplePosition(rng);
+      coords.push_back(cur);
+      double heading = rng.uniform(0.0, 6.283185307179586);
+      for (std::uint32_t k = 0; k < n; ++k) {
+        heading += rng.normal(0.0, 0.5);  // roads bend gently
+        cur = {cur.x + spec_.stepLength * std::cos(heading),
+               cur.y + spec_.stepLength * std::sin(heading)};
+        coords.push_back(cur);
+      }
+      return geom::Geometry::lineString(std::move(coords));
+    }
+    case RecordKind::kPolygon: {
+      const auto n = static_cast<std::uint32_t>(
+          rng.powerLaw(spec_.minVertices, spec_.maxVertices, spec_.vertexAlpha));
+      const geom::Coord center = samplePosition(rng);
+      // Log-uniform radius: small features dominate, a few are huge.
+      const double radius =
+          spec_.minRadius * std::pow(spec_.maxRadius / spec_.minRadius, rng.uniform());
+      std::vector<geom::Ring> rings;
+      rings.push_back(starRing(rng, center, radius, std::max<std::uint32_t>(n, 3)));
+      if (rng.uniform() < spec_.holeProbability && n >= 8) {
+        rings.push_back(starRing(rng, center, radius * 0.3, std::max<std::uint32_t>(n / 3, 3)));
+      }
+      return geom::Geometry::polygon(std::move(rings));
+    }
+  }
+  MVIO_UNREACHABLE("unknown record kind");
+}
+
+geom::Geometry RecordGenerator::geometry(std::uint64_t i) const {
+  util::Rng rng = rngFor(i);
+  const double total = spec_.polygonWeight + spec_.lineWeight + spec_.pointWeight;
+  const double u = rng.uniform() * total;
+  RecordKind kind;
+  if (u < spec_.polygonWeight) {
+    kind = RecordKind::kPolygon;
+  } else if (u < spec_.polygonWeight + spec_.lineWeight) {
+    kind = RecordKind::kLine;
+  } else {
+    kind = RecordKind::kPoint;
+  }
+  return makeGeometry(rng, kind);
+}
+
+std::string RecordGenerator::record(std::uint64_t i) const {
+  const geom::Geometry g = geometry(i);
+  std::string out = geom::writeWkt(g, spec_.precision);
+  if (spec_.attributes) {
+    out += "\tid=";
+    out += std::to_string(i);
+    out += ";source=synthetic-osm";
+  }
+  return out;
+}
+
+std::string generateWktText(const RecordGenerator& gen, std::uint64_t count) {
+  std::string out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out += gen.record(i);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mvio::osm

@@ -1,0 +1,96 @@
+#pragma once
+// Synthetic OSM-like vector data (DESIGN.md §2: dataset substitution).
+//
+// The paper's experiments run on OpenStreetMap extracts (Table 3). We
+// reproduce their *statistics* with seeded generators:
+//  * spatial skew: a mixture of Gaussian clusters over a world bounding
+//    box plus a uniform background (real map data is heavily clustered —
+//    the paper's motivation for declustering / load balancing);
+//  * vertex-count skew: power-law distributed ring sizes, so a few
+//    geometries are orders of magnitude larger than the median (the
+//    paper's ">100K coordinates", "11 MB largest polygon");
+//  * record shapes: WKT POLYGON (with occasional holes), LINESTRING
+//    random-walk "roads", POINT nodes, or a mix ("All Objects"), each
+//    optionally followed by tab-separated OSM-ish attribute tags.
+//
+// Everything is a pure function of (spec.seed, record index): the same
+// index always yields byte-identical records, which is what makes the
+// virtual multi-GB files (virtual_file.hpp) and all tests reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/envelope.hpp"
+#include "geom/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace mvio::osm {
+
+/// Clustered spatial distribution over a world rectangle.
+struct SpatialDistribution {
+  geom::Envelope world{-180.0, -85.0, 180.0, 85.0};
+  int clusters = 48;
+  double clusterStddev = 2.5;     ///< degrees
+  double uniformFraction = 0.15;  ///< background fraction drawn uniformly
+};
+
+enum class RecordKind : std::uint8_t { kPolygon, kLine, kPoint };
+
+struct SynthSpec {
+  /// Mix weights for record kinds (normalized internally).
+  double polygonWeight = 1.0;
+  double lineWeight = 0.0;
+  double pointWeight = 0.0;
+
+  SpatialDistribution space;
+
+  // Polygon shape parameters.
+  std::uint32_t minVertices = 4;
+  std::uint32_t maxVertices = 256;
+  double vertexAlpha = 2.2;      ///< power-law exponent for ring sizes
+  double minRadius = 0.001;      ///< degrees
+  double maxRadius = 0.3;
+  double holeProbability = 0.08;
+
+  // Polyline parameters (random-walk roads).
+  std::uint32_t minSegments = 2;
+  std::uint32_t maxSegments = 48;
+  double segmentAlpha = 1.8;
+  double stepLength = 0.01;
+
+  bool attributes = true;  ///< append "\tid=...;tag=..." to each record
+  int precision = 6;       ///< WKT coordinate digits
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic record factory for one SynthSpec.
+class RecordGenerator {
+ public:
+  explicit RecordGenerator(SynthSpec spec);
+
+  /// The WKT record for index `i` (no trailing newline).
+  [[nodiscard]] std::string record(std::uint64_t i) const;
+
+  /// The parsed geometry of record `i` (attributes omitted). Provided for
+  /// tests; equals readWkt(record(i)) up to coordinate printing precision.
+  [[nodiscard]] geom::Geometry geometry(std::uint64_t i) const;
+
+  /// Kind of record `i`.
+  [[nodiscard]] RecordKind kindOf(std::uint64_t i) const;
+
+  [[nodiscard]] const SynthSpec& spec() const { return spec_; }
+
+ private:
+  SynthSpec spec_;
+  std::vector<geom::Coord> clusterCenters_;
+
+  [[nodiscard]] util::Rng rngFor(std::uint64_t i) const;
+  [[nodiscard]] geom::Coord samplePosition(util::Rng& rng) const;
+  [[nodiscard]] geom::Geometry makeGeometry(util::Rng& rng, RecordKind kind) const;
+};
+
+/// Concatenate records [0, count) separated (and terminated) by newlines.
+std::string generateWktText(const RecordGenerator& gen, std::uint64_t count);
+
+}  // namespace mvio::osm

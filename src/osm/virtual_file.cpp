@@ -1,0 +1,75 @@
+#include "osm/virtual_file.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mvio::osm {
+
+RecordPool::RecordPool(const RecordGenerator& gen, std::size_t poolSize) {
+  MVIO_CHECK(poolSize >= 1, "pool needs at least one record");
+  records_.reserve(poolSize);
+  for (std::size_t i = 0; i < poolSize; ++i) {
+    records_.push_back(gen.record(i));
+    maxRecordBytes_ = std::max(maxRecordBytes_, records_.back().size());
+  }
+}
+
+std::shared_ptr<pfs::GeneratedBackingStore> makeVirtualWktFile(std::shared_ptr<const RecordPool> pool,
+                                                               std::uint64_t totalBytes,
+                                                               std::uint64_t blockSize,
+                                                               std::uint64_t seed,
+                                                               std::size_t cacheBlocks) {
+  MVIO_CHECK(pool != nullptr, "record pool required");
+  MVIO_CHECK(blockSize >= (pool->maxRecordBytes() + 1) * 2,
+             "block size must be at least twice the largest pooled record");
+  MVIO_CHECK(totalBytes >= blockSize, "file must hold at least one block");
+
+  auto generator = [pool, seed](std::uint64_t blockIndex, char* out, std::size_t n) {
+    util::SplitMix64 mixer(seed ^ (blockIndex * 0xA24BAED4963EE407ULL + 0x9FB21C651E98DF25ULL));
+    util::Rng rng(mixer.next());
+    std::size_t pos = 0;
+    // Keep appending whole records while one more (plus its newline) is
+    // guaranteed to fit in the worst case.
+    while (pos + pool->maxRecordBytes() + 1 <= n) {
+      const std::string& rec = pool->at(static_cast<std::size_t>(rng.below(pool->size())));
+      std::memcpy(out + pos, rec.data(), rec.size());
+      pos += rec.size();
+      out[pos++] = '\n';
+    }
+    // Pad the tail with spaces; parsers skip whitespace-only records.
+    if (pos < n) {
+      std::memset(out + pos, ' ', n - pos);
+      out[n - 1] = '\n';
+    }
+  };
+
+  return std::make_shared<pfs::GeneratedBackingStore>(totalBytes, blockSize, std::move(generator),
+                                                      cacheBlocks);
+}
+
+std::shared_ptr<pfs::GeneratedBackingStore> makeVirtualBinaryFile(
+    std::uint64_t count, std::size_t recordBytes, std::function<void(std::uint64_t, char*)> fill,
+    std::uint64_t blockSize, std::size_t cacheBlocks) {
+  MVIO_CHECK(recordBytes >= 1, "records must have at least one byte");
+  MVIO_CHECK(blockSize % recordBytes == 0,
+             "binary block size must be a whole number of records so records never straddle blocks");
+  MVIO_CHECK(fill != nullptr, "record fill function required");
+
+  const std::uint64_t totalBytes = count * recordBytes;
+  const std::uint64_t recordsPerBlock = blockSize / recordBytes;
+  auto generator = [recordBytes, recordsPerBlock, fill = std::move(fill)](std::uint64_t blockIndex,
+                                                                          char* out, std::size_t n) {
+    const std::uint64_t firstRecord = blockIndex * recordsPerBlock;
+    MVIO_CHECK(n % recordBytes == 0, "partial record in generated block");
+    const std::uint64_t records = n / recordBytes;
+    for (std::uint64_t r = 0; r < records; ++r) {
+      fill(firstRecord + r, out + r * recordBytes);
+    }
+  };
+  return std::make_shared<pfs::GeneratedBackingStore>(totalBytes, blockSize, std::move(generator),
+                                                      cacheBlocks);
+}
+
+}  // namespace mvio::osm

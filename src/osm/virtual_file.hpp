@@ -1,0 +1,58 @@
+#pragma once
+// Virtual dataset files: multi-GB-shaped WKT/binary files in O(1) memory.
+//
+// A RecordPool pre-renders a few hundred distinct records from a
+// RecordGenerator. A pool-backed block generator then fills each
+// fixed-size block of a pfs::GeneratedBackingStore with records chosen by
+// a per-block seeded RNG, newline-terminated, padding the block tail with
+// spaces (parsers skip whitespace-only records). Bytes at any offset are
+// a pure function of (seed, block index), so a "92 GB" file costs only
+// the pool plus an LRU of materialized blocks.
+//
+// Records never straddle generator blocks, but file *partitions* (which
+// ranks cut at arbitrary byte offsets) still split records — the exact
+// problem Algorithm 1 exists to solve — because partition boundaries fall
+// mid-block.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osm/synth.hpp"
+#include "pfs/backing.hpp"
+
+namespace mvio::osm {
+
+/// Pre-rendered record strings (indices 0..size-1 of a generator).
+class RecordPool {
+ public:
+  RecordPool(const RecordGenerator& gen, std::size_t poolSize);
+
+  [[nodiscard]] const std::string& at(std::size_t i) const { return records_[i]; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t maxRecordBytes() const { return maxRecordBytes_; }
+
+ private:
+  std::vector<std::string> records_;
+  std::size_t maxRecordBytes_ = 0;
+};
+
+/// WKT virtual file of exactly `totalBytes` bytes built from `pool`.
+/// `blockSize` must exceed the pool's largest record by a healthy margin
+/// (checked); `cacheBlocks` bounds resident memory.
+std::shared_ptr<pfs::GeneratedBackingStore> makeVirtualWktFile(std::shared_ptr<const RecordPool> pool,
+                                                               std::uint64_t totalBytes,
+                                                               std::uint64_t blockSize,
+                                                               std::uint64_t seed,
+                                                               std::size_t cacheBlocks = 64);
+
+/// Binary fixed-record virtual file: `count` records of `recordBytes`
+/// each, filled by `fill(recordIndex, out)` — used for the MBR and point
+/// binary files of Figures 12/15.
+std::shared_ptr<pfs::GeneratedBackingStore> makeVirtualBinaryFile(
+    std::uint64_t count, std::size_t recordBytes,
+    std::function<void(std::uint64_t, char*)> fill, std::uint64_t blockSize = 4ull << 20,
+    std::size_t cacheBlocks = 64);
+
+}  // namespace mvio::osm

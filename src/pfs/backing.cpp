@@ -1,0 +1,121 @@
+#include "pfs/backing.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mvio::pfs {
+
+void BackingStore::write(std::uint64_t, const char*, std::size_t) {
+  MVIO_CHECK(false, "backing store is read-only");
+}
+
+// ---- MemoryBackingStore --------------------------------------------------
+
+MemoryBackingStore::MemoryBackingStore(std::string bytes) : bytes_(std::move(bytes)) {}
+
+MemoryBackingStore::MemoryBackingStore(std::uint64_t size) : bytes_(size, '\0') {}
+
+void MemoryBackingStore::read(std::uint64_t offset, char* dst, std::size_t n) const {
+  MVIO_CHECK(offset + n <= bytes_.size(), "read past end of file");
+  std::memcpy(dst, bytes_.data() + offset, n);
+}
+
+void MemoryBackingStore::write(std::uint64_t offset, const char* src, std::size_t n) {
+  MVIO_CHECK(offset + n <= bytes_.size(), "write past end of file");
+  std::memcpy(bytes_.data() + offset, src, n);
+}
+
+// ---- GeneratedBackingStore -----------------------------------------------
+
+GeneratedBackingStore::GeneratedBackingStore(std::uint64_t totalSize, std::uint64_t blockSize,
+                                             BlockGenerator generator, std::size_t cacheBlocks)
+    : totalSize_(totalSize),
+      blockSize_(blockSize),
+      generator_(std::move(generator)),
+      cacheCapacity_(cacheBlocks) {
+  MVIO_CHECK(blockSize_ > 0, "block size must be positive");
+  MVIO_CHECK(cacheCapacity_ >= 1, "cache needs at least one slot");
+  MVIO_CHECK(generator_ != nullptr, "generator required");
+}
+
+std::vector<char> GeneratedBackingStore::materialize(std::uint64_t blockIndex) const {
+  const std::uint64_t begin = blockIndex * blockSize_;
+  const std::uint64_t len = std::min(blockSize_, totalSize_ - begin);
+  std::vector<char> bytes(len);
+  generator_(blockIndex, bytes.data(), bytes.size());
+  return bytes;
+}
+
+void GeneratedBackingStore::read(std::uint64_t offset, char* dst, std::size_t n) const {
+  MVIO_CHECK(offset + n <= totalSize_, "read past end of file");
+  std::uint64_t cur = offset;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const std::uint64_t blockIndex = cur / blockSize_;
+    const std::uint64_t inBlock = cur - blockIndex * blockSize_;
+    const std::uint64_t take = std::min<std::uint64_t>(remaining, blockSize_ - inBlock);
+
+    bool copied = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = cache_.find(blockIndex);
+      if (it != cache_.end()) {
+        lru_.erase(it->second.lruPos);
+        lru_.push_front(blockIndex);
+        it->second.lruPos = lru_.begin();
+        std::memcpy(dst, it->second.bytes.data() + inBlock, take);
+        copied = true;
+      }
+    }
+    if (!copied) {
+      // Generate outside the lock; racing threads may generate the same
+      // block, which is harmless because generation is deterministic.
+      std::vector<char> bytes = materialize(blockIndex);
+      std::memcpy(dst, bytes.data() + inBlock, take);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cache_.find(blockIndex) == cache_.end()) {
+        while (cache_.size() >= cacheCapacity_) {
+          cache_.erase(lru_.back());
+          lru_.pop_back();
+        }
+        lru_.push_front(blockIndex);
+        cache_.emplace(blockIndex, CacheEntry{std::move(bytes), lru_.begin()});
+      }
+    }
+
+    cur += take;
+    dst += take;
+    remaining -= take;
+  }
+}
+
+// ---- HostFileBackingStore ------------------------------------------------
+
+HostFileBackingStore::HostFileBackingStore(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  MVIO_CHECK(fd_ >= 0, "cannot open host file: " + path);
+  struct stat st{};
+  MVIO_CHECK(::fstat(fd_, &st) == 0, "cannot stat host file: " + path);
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+HostFileBackingStore::~HostFileBackingStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HostFileBackingStore::read(std::uint64_t offset, char* dst, std::size_t n) const {
+  MVIO_CHECK(offset + n <= size_, "read past end of file");
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, dst + done, n - done, static_cast<off_t>(offset + done));
+    MVIO_CHECK(got > 0, "pread failed");
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace mvio::pfs

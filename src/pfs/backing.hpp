@@ -1,0 +1,109 @@
+#pragma once
+// Backing stores hold the *contents* of simulated parallel-filesystem files.
+// The storage models (lustre.hpp/gpfs.hpp) decide *when* a read completes;
+// backing stores decide *what* bytes it returns. Keeping the two orthogonal
+// lets a 1.4 GB "92 GB-shaped" virtual file exist in O(1) memory while
+// every byte read by the partitioning algorithms is still real data.
+//
+// Three implementations:
+//  * MemoryBackingStore  — plain byte buffer, writable (output files, tests).
+//  * GeneratedBackingStore — deterministic block generator + LRU block
+//    cache; used for the large synthetic WKT/binary datasets. Blocks are
+//    regenerated on demand from (seed, blockIndex), so the same offset
+//    always returns the same bytes.
+//  * HostFileBackingStore — a real file on the host filesystem (pread), so
+//    examples can ingest user-provided data.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mvio::pfs {
+
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Copy `n` bytes starting at `offset` into `dst`. [offset, offset+n)
+  /// must lie within the file. Thread-safe.
+  virtual void read(std::uint64_t offset, char* dst, std::size_t n) const = 0;
+
+  /// Overwrite `n` bytes at `offset`. Throws for read-only stores.
+  virtual void write(std::uint64_t offset, const char* src, std::size_t n);
+};
+
+/// Writable in-memory store.
+class MemoryBackingStore : public BackingStore {
+ public:
+  explicit MemoryBackingStore(std::string bytes);
+  /// Pre-sized zero-filled store (output files).
+  explicit MemoryBackingStore(std::uint64_t size);
+
+  [[nodiscard]] std::uint64_t size() const override { return bytes_.size(); }
+  void read(std::uint64_t offset, char* dst, std::size_t n) const override;
+  void write(std::uint64_t offset, const char* src, std::size_t n) override;
+
+  /// Direct access for test assertions.
+  [[nodiscard]] const std::string& contents() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Deterministic generated store. The generator must fill `out` (whose size
+/// is the block size, or the tail remainder for the final block) purely as
+/// a function of `blockIndex`.
+class GeneratedBackingStore : public BackingStore {
+ public:
+  using BlockGenerator = std::function<void(std::uint64_t blockIndex, char* out, std::size_t n)>;
+
+  GeneratedBackingStore(std::uint64_t totalSize, std::uint64_t blockSize, BlockGenerator generator,
+                        std::size_t cacheBlocks = 64);
+
+  [[nodiscard]] std::uint64_t size() const override { return totalSize_; }
+  void read(std::uint64_t offset, char* dst, std::size_t n) const override;
+
+  [[nodiscard]] std::uint64_t blockSize() const { return blockSize_; }
+
+ private:
+  std::uint64_t totalSize_;
+  std::uint64_t blockSize_;
+  BlockGenerator generator_;
+
+  struct CacheEntry {
+    std::vector<char> bytes;
+    std::list<std::uint64_t>::iterator lruPos;
+  };
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  mutable std::list<std::uint64_t> lru_;  // front = most recent
+  std::size_t cacheCapacity_;
+
+  [[nodiscard]] std::vector<char> materialize(std::uint64_t blockIndex) const;
+};
+
+/// Read-only view of a real host file.
+class HostFileBackingStore : public BackingStore {
+ public:
+  explicit HostFileBackingStore(const std::string& path);
+  ~HostFileBackingStore() override;
+
+  HostFileBackingStore(const HostFileBackingStore&) = delete;
+  HostFileBackingStore& operator=(const HostFileBackingStore&) = delete;
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  void read(std::uint64_t offset, char* dst, std::size_t n) const override;
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace mvio::pfs

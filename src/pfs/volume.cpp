@@ -1,0 +1,46 @@
+#include "pfs/volume.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mvio::pfs {
+
+Volume::Volume(std::shared_ptr<StorageModel> model) : model_(std::move(model)) {
+  MVIO_CHECK(model_ != nullptr, "volume needs a storage model");
+}
+
+void Volume::create(const std::string& name, std::shared_ptr<BackingStore> data, StripeSettings stripe) {
+  MVIO_CHECK(data != nullptr, "file needs a backing store");
+  stripe.stripeCount = std::clamp(stripe.stripeCount, 1, model_->serverCount());
+  std::lock_guard<std::mutex> lock(mutex_);
+  MVIO_CHECK(!files_.contains(name), "file already exists: " + name);
+  files_[name] = std::make_shared<FileObject>(FileObject{name, std::move(data), stripe});
+}
+
+void Volume::createOrReplace(const std::string& name, std::shared_ptr<BackingStore> data,
+                             StripeSettings stripe) {
+  MVIO_CHECK(data != nullptr, "file needs a backing store");
+  stripe.stripeCount = std::clamp(stripe.stripeCount, 1, model_->serverCount());
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[name] = std::make_shared<FileObject>(FileObject{name, std::move(data), stripe});
+}
+
+std::shared_ptr<FileObject> Volume::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(name);
+  MVIO_CHECK(it != files_.end(), "no such file: " + name);
+  return it->second;
+}
+
+bool Volume::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.contains(name);
+}
+
+void Volume::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MVIO_CHECK(files_.erase(name) == 1, "no such file: " + name);
+}
+
+}  // namespace mvio::pfs

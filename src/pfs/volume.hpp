@@ -1,0 +1,54 @@
+#pragma once
+// A Volume is one mounted simulated parallel filesystem: a storage timing
+// model plus a name → file registry. The MPI-IO layer (src/io) opens files
+// by name against a Volume, exactly as an MPI program opens a path on a
+// Lustre mount. Files carry their striping settings (settable at create
+// time, like `lfs setstripe`).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pfs/backing.hpp"
+#include "pfs/storage_model.hpp"
+
+namespace mvio::pfs {
+
+/// One file on a Volume: contents + layout.
+struct FileObject {
+  std::string name;
+  std::shared_ptr<BackingStore> data;
+  StripeSettings stripe;
+};
+
+class Volume {
+ public:
+  explicit Volume(std::shared_ptr<StorageModel> model);
+
+  /// Register a file. Striping is clamped to the model's server count; on
+  /// filesystems without user striping (GPFS) the settings are recorded but
+  /// ignored by the model. Throws if the name exists.
+  void create(const std::string& name, std::shared_ptr<BackingStore> data, StripeSettings stripe = {});
+
+  /// Replace a file if it exists, otherwise create it.
+  void createOrReplace(const std::string& name, std::shared_ptr<BackingStore> data,
+                       StripeSettings stripe = {});
+
+  /// Look up a file; throws if missing.
+  [[nodiscard]] std::shared_ptr<FileObject> lookup(const std::string& name) const;
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+
+  [[nodiscard]] StorageModel& model() { return *model_; }
+  [[nodiscard]] const StorageModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<StorageModel> model_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<FileObject>> files_;
+};
+
+}  // namespace mvio::pfs

@@ -1,0 +1,35 @@
+#include "sim/machine.hpp"
+
+namespace mvio::sim {
+
+MachineModel MachineModel::comet(int nodes) {
+  MVIO_CHECK(nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.nodes = nodes;
+  m.ranksPerNode = 16;  // the paper runs 16 MPI processes per 24-core node
+  m.interNode = LinkModel{2.0e-6, 7.0e9};   // FDR InfiniBand, 56 Gb/s
+  m.intraNode = LinkModel{3.0e-7, 12.0e9};
+  return m;
+}
+
+MachineModel MachineModel::roger(int nodes) {
+  MVIO_CHECK(nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.nodes = nodes;
+  m.ranksPerNode = 20;  // 20 MPI processes per node on ROGER
+  m.interNode = LinkModel{5.0e-6, 1.25e9};  // 10 GbE uplink per node
+  m.intraNode = LinkModel{3.0e-7, 12.0e9};
+  return m;
+}
+
+MachineModel MachineModel::testbed(int ranks) {
+  MVIO_CHECK(ranks >= 1, "need at least one rank");
+  MachineModel m;
+  m.nodes = 1;
+  m.ranksPerNode = ranks;
+  m.interNode = LinkModel{1.0e-6, 10.0e9};
+  m.intraNode = LinkModel{1.0e-7, 20.0e9};
+  return m;
+}
+
+}  // namespace mvio::sim

@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mvio::util {
+
+Cli::Cli(std::string programDescription) : description_(std::move(programDescription)) {}
+
+Cli& Cli::flag(const std::string& name, const std::string& defaultValue, const std::string& help) {
+  MVIO_CHECK(!entries_.contains(name), "duplicate flag: " + name);
+  entries_[name] = Entry{defaultValue, help};
+  order_.push_back(name);
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n\nFlags:\n", description_.c_str());
+      for (const auto& name : order_) {
+        const auto& e = entries_.at(name);
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(), e.help.c_str(), e.value.c_str());
+      }
+      return false;
+    }
+    MVIO_CHECK(arg.size() > 2 && arg[0] == '-' && arg[1] == '-', "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      MVIO_CHECK(i + 1 < argc, "missing value for flag --" + arg);
+      value = argv[++i];
+    }
+    auto it = entries_.find(arg);
+    MVIO_CHECK(it != entries_.end(), "unknown flag --" + arg);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::str(const std::string& name) const {
+  auto it = entries_.find(name);
+  MVIO_CHECK(it != entries_.end(), "unregistered flag --" + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  MVIO_CHECK(end != nullptr && *end == '\0' && !v.empty(), "flag --" + name + " is not an integer: " + v);
+  return parsed;
+}
+
+double Cli::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  MVIO_CHECK(end != nullptr && *end == '\0' && !v.empty(), "flag --" + name + " is not a number: " + v);
+  return parsed;
+}
+
+bool Cli::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  MVIO_CHECK(false, "flag --" + name + " is not a boolean: " + v);
+  return false;
+}
+
+}  // namespace mvio::util

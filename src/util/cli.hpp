@@ -1,0 +1,39 @@
+#pragma once
+// Tiny command-line flag parser for examples and bench harnesses.
+// Flags look like `--name=value` or `--name value`; `--help` prints the
+// registered flags. No positional-argument support is needed here.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvio::util {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class Cli {
+ public:
+  explicit Cli(std::string programDescription);
+
+  Cli& flag(const std::string& name, const std::string& defaultValue, const std::string& help);
+
+  /// Parse argv; on `--help` prints usage and returns false (caller exits 0).
+  /// Throws util::Error on unknown flags or missing values.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mvio::util

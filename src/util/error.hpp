@@ -1,0 +1,49 @@
+#pragma once
+// Error handling primitives shared by every mvio module.
+//
+// The library reports programmer errors (bad arguments, protocol misuse)
+// via mvio::util::Error, carrying the failing expression and location.
+// MVIO_CHECK is used for preconditions that remain active in release
+// builds: partitioning and I/O code paths validate offsets and counts on
+// every call because the cost is negligible next to the I/O itself.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mvio::util {
+
+/// Exception thrown on precondition violation or unrecoverable library error.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string_view what, std::string_view file, int line)
+      : std::runtime_error(compose(what, file, line)) {}
+
+ private:
+  static std::string compose(std::string_view what, std::string_view file, int line) {
+    std::ostringstream os;
+    os << what << " (" << file << ":" << line << ")";
+    return os.str();
+  }
+};
+
+[[noreturn]] inline void raise(std::string_view msg, const char* file, int line) {
+  throw Error(msg, file, line);
+}
+
+}  // namespace mvio::util
+
+/// Precondition check that stays on in release builds.
+#define MVIO_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mvio::util::raise(std::string("MVIO_CHECK failed: ") + #cond + \
+                              " — " + (msg),                          \
+                          __FILE__, __LINE__);                        \
+    }                                                                 \
+  } while (0)
+
+/// Marker for unreachable code paths.
+#define MVIO_UNREACHABLE(msg) ::mvio::util::raise(std::string("unreachable: ") + (msg), __FILE__, __LINE__)

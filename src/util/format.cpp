@@ -1,0 +1,90 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mvio::util {
+
+namespace {
+
+std::string formatUnit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string formatBytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e12) return formatUnit(b / 1e12, "TB");
+  if (b >= 1e9) return formatUnit(b / 1e9, "GB");
+  if (b >= 1e6) return formatUnit(b / 1e6, "MB");
+  if (b >= 1e3) return formatUnit(b / 1e3, "KB");
+  return formatUnit(b, "B");
+}
+
+std::string formatSeconds(double seconds) {
+  if (seconds >= 1.0) return formatUnit(seconds, "s");
+  if (seconds >= 1e-3) return formatUnit(seconds * 1e3, "ms");
+  if (seconds >= 1e-6) return formatUnit(seconds * 1e6, "us");
+  return formatUnit(seconds * 1e9, "ns");
+}
+
+std::string formatBandwidth(double bytesPerSecond) {
+  if (bytesPerSecond >= 1e9) return formatUnit(bytesPerSecond / 1e9, "GB/s");
+  if (bytesPerSecond >= 1e6) return formatUnit(bytesPerSecond / 1e6, "MB/s");
+  if (bytesPerSecond >= 1e3) return formatUnit(bytesPerSecond / 1e3, "KB/s");
+  return formatUnit(bytesPerSecond, "B/s");
+}
+
+std::string formatFixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MVIO_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  MVIO_CHECK(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace mvio::util

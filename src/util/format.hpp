@@ -1,0 +1,41 @@
+#pragma once
+// Human-readable formatting helpers used by benchmarks and logging:
+// byte counts (KiB/MiB/GiB), durations, throughput, and a fixed-width
+// plain-text table printer that renders the paper-style result rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvio::util {
+
+/// "1.50 MB", "22.0 GB" — decimal units as used in the paper.
+std::string formatBytes(std::uint64_t bytes);
+
+/// "12.3 us", "4.56 s" — picks the natural unit.
+std::string formatSeconds(double seconds);
+
+/// "8.92 GB/s".
+std::string formatBandwidth(double bytesPerSecond);
+
+/// Fixed-point with the given number of decimals.
+std::string formatFixed(double value, int decimals);
+
+/// Plain-text table with aligned columns; used by every bench harness so
+/// the regenerated tables/figures share one look.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; the row must have as many cells as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Render with single-space-padded columns and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mvio::util

@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All synthetic data in this repository is generated from explicit seeds so
+// that every test and benchmark is reproducible bit-for-bit. xoshiro256**
+// is used as the workhorse generator; SplitMix64 expands a single user seed
+// into the four words of xoshiro state (the construction recommended by the
+// xoshiro authors). The generators are header-only and allocation-free.
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+namespace mvio::util {
+
+/// SplitMix64: fast 64-bit mixer used for seeding and per-block hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general purpose PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-derive the full 256-bit state from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's unbiased bounded generation (rejection variant).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (no caching; cheap enough for data gen).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Discrete Pareto-ish sample: power-law distributed integer in [lo, hi].
+  /// Used for OSM-like vertex-count distributions where a few geometries
+  /// are orders of magnitude larger than the median.
+  std::uint64_t powerLaw(std::uint64_t lo, std::uint64_t hi, double alpha) {
+    const double u = uniform();
+    const double loD = static_cast<double>(lo);
+    const double hiD = static_cast<double>(hi) + 1.0;
+    const double oneMinus = 1.0 - alpha;
+    const double x = std::pow(u * (std::pow(hiD, oneMinus) - std::pow(loD, oneMinus)) +
+                                  std::pow(loD, oneMinus),
+                              1.0 / oneMinus);
+    auto v = static_cast<std::uint64_t>(x);
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace mvio::util

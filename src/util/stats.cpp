@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace mvio::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+double RunningStats::variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentiles::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  MVIO_CHECK(hi > lo, "histogram range must be non-empty");
+  MVIO_CHECK(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+std::uint64_t Histogram::bucketCount(std::size_t i) const {
+  MVIO_CHECK(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+std::string Histogram::str() const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(40.0 * static_cast<double>(counts_[i]) / static_cast<double>(peak));
+    os << formatFixed(lo_ + width * static_cast<double>(i), 2) << "  " << std::string(bar, '#') << "  "
+       << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mvio::util

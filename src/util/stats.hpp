@@ -1,0 +1,66 @@
+#pragma once
+// Small statistics helpers: running summaries and fixed-bucket histograms.
+// Used by benchmarks (per-phase timing distributions across ranks) and by
+// the data generators (validating that synthetic vertex-count distributions
+// match their configured power law).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvio::util {
+
+/// Streaming min/max/mean/variance (Welford) over doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Exact percentile over a retained sample (fine at bench scale).
+class Percentiles {
+ public:
+  void add(double x) { values_.push_back(x); }
+
+  /// q in [0,1]; nearest-rank method. Returns 0 for an empty sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Histogram over [lo, hi) with equal-width buckets plus under/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const;
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// ASCII rendering for logs.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace mvio::util

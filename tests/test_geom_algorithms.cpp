@@ -1,0 +1,202 @@
+// Tests for the extended GIS algorithms: space-filling curves (Z-order +
+// Hilbert, including locality properties), convex hull and
+// Douglas-Peucker simplification.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/algorithms.hpp"
+#include "geom/space_curve.hpp"
+#include "geom/wkt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mg = mvio::geom;
+
+// ---- Z-order ----------------------------------------------------------------
+
+TEST(ZOrder, KnownSmallValues) {
+  EXPECT_EQ(mg::zOrderKey(0, 0, 4), 0u);
+  EXPECT_EQ(mg::zOrderKey(1, 0, 4), 1u);
+  EXPECT_EQ(mg::zOrderKey(0, 1, 4), 2u);
+  EXPECT_EQ(mg::zOrderKey(1, 1, 4), 3u);
+  EXPECT_EQ(mg::zOrderKey(2, 0, 4), 4u);
+  EXPECT_EQ(mg::zOrderKey(3, 3, 4), 15u);
+}
+
+TEST(ZOrder, RoundTrips) {
+  mvio::util::Rng rng(1);
+  for (int order : {4, 10, 16, 31}) {
+    for (int t = 0; t < 200; ++t) {
+      const auto x = static_cast<std::uint32_t>(rng.below(1ull << order));
+      const auto y = static_cast<std::uint32_t>(rng.below(1ull << order));
+      std::uint32_t bx = 0, by = 0;
+      mg::zOrderDecode(mg::zOrderKey(x, y, order), order, bx, by);
+      EXPECT_EQ(bx, x);
+      EXPECT_EQ(by, y);
+    }
+  }
+}
+
+// ---- Hilbert ------------------------------------------------------------------
+
+TEST(Hilbert, IsABijectionOnSmallGrids) {
+  for (int order : {1, 2, 3, 4}) {
+    const std::uint64_t n = 1ull << order;
+    std::set<std::uint64_t> keys;
+    for (std::uint32_t x = 0; x < n; ++x) {
+      for (std::uint32_t y = 0; y < n; ++y) {
+        const auto k = mg::hilbertKey(x, y, order);
+        EXPECT_LT(k, n * n);
+        EXPECT_TRUE(keys.insert(k).second) << "duplicate key at (" << x << "," << y << ")";
+      }
+    }
+    EXPECT_EQ(keys.size(), n * n);
+  }
+}
+
+TEST(Hilbert, ConsecutiveKeysAreAdjacentCells) {
+  // The defining property: the curve visits a neighbouring cell at each
+  // step (Z-order does not have this).
+  const int order = 5;
+  const std::uint64_t n = 1ull << order;
+  std::uint32_t px = 0, py = 0;
+  mg::hilbertDecode(0, order, px, py);
+  for (std::uint64_t k = 1; k < n * n; ++k) {
+    std::uint32_t x = 0, y = 0;
+    mg::hilbertDecode(k, order, x, y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    EXPECT_EQ(manhattan, 1) << "jump at key " << k;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, RoundTrips) {
+  mvio::util::Rng rng(2);
+  for (int order : {4, 8, 16}) {
+    for (int t = 0; t < 200; ++t) {
+      const auto x = static_cast<std::uint32_t>(rng.below(1ull << order));
+      const auto y = static_cast<std::uint32_t>(rng.below(1ull << order));
+      std::uint32_t bx = 0, by = 0;
+      mg::hilbertDecode(mg::hilbertKey(x, y, order), order, bx, by);
+      EXPECT_EQ(bx, x);
+      EXPECT_EQ(by, y);
+    }
+  }
+}
+
+TEST(CurveGrid, SortingImprovesLocality) {
+  // Sorting clustered points by Hilbert key should place near points near
+  // each other in sequence: the average distance between consecutive
+  // points must shrink substantially vs random order.
+  mvio::util::Rng rng(3);
+  std::vector<mg::Coord> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+
+  auto avgStep = [&](const std::vector<mg::Coord>& v) {
+    double s = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) s += mg::distance(v[i - 1], v[i]);
+    return s / static_cast<double>(v.size() - 1);
+  };
+  const double randomStep = avgStep(pts);
+
+  const mg::CurveGrid grid{mg::Envelope(0, 0, 100, 100), 12};
+  auto sorted = pts;
+  std::sort(sorted.begin(), sorted.end(), [&](const mg::Coord& a, const mg::Coord& b) {
+    return grid.hilbertKeyOf(a) < grid.hilbertKeyOf(b);
+  });
+  EXPECT_LT(avgStep(sorted), randomStep / 5.0);
+
+  auto zsorted = pts;
+  std::sort(zsorted.begin(), zsorted.end(),
+            [&](const mg::Coord& a, const mg::Coord& b) { return grid.zKey(a) < grid.zKey(b); });
+  EXPECT_LT(avgStep(zsorted), randomStep / 4.0);
+}
+
+// ---- Convex hull -----------------------------------------------------------
+
+TEST(ConvexHull, Square) {
+  const auto hull = mg::convexHull(std::vector<mg::Coord>{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 1}});
+  EXPECT_EQ(hull.type(), mg::GeometryType::kPolygon);
+  EXPECT_EQ(hull.rings()[0].coords.size(), 5u);  // 4 corners + closure
+  EXPECT_DOUBLE_EQ(mg::area(hull), 16.0);
+}
+
+TEST(ConvexHull, RejectsDegenerate) {
+  EXPECT_THROW(mg::convexHull(std::vector<mg::Coord>{{0, 0}, {1, 1}}), mvio::util::Error);
+  EXPECT_THROW(mg::convexHull(std::vector<mg::Coord>{{0, 0}, {1, 1}, {2, 2}, {3, 3}}),
+               mvio::util::Error);  // collinear
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  mvio::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<mg::Coord> pts;
+    for (int i = 0; i < 60; ++i) pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+    const auto hull = mg::convexHull(pts);
+    for (const auto& p : pts) {
+      EXPECT_TRUE(mg::containsPoint(hull, p));
+    }
+    // Hull of the hull is the hull (idempotence).
+    const auto again = mg::convexHull(hull);
+    EXPECT_NEAR(mg::area(again), mg::area(hull), 1e-9);
+  }
+}
+
+// ---- Simplification ----------------------------------------------------------
+
+TEST(Simplify, RemovesCollinearNoise) {
+  std::vector<mg::Coord> path;
+  for (int i = 0; i <= 100; ++i) path.push_back({static_cast<double>(i), (i % 2) * 0.001});
+  const auto out = mg::simplifyPath(path, 0.01);
+  EXPECT_LE(out.size(), 3u);  // nearly straight line collapses
+  EXPECT_EQ(out.front(), path.front());
+  EXPECT_EQ(out.back(), path.back());
+}
+
+TEST(Simplify, KeepsSalientCorners) {
+  const std::vector<mg::Coord> path = {{0, 0}, {5, 0.01}, {10, 0}, {10, 10}};
+  const auto out = mg::simplifyPath(path, 0.1);
+  ASSERT_EQ(out.size(), 3u);  // the 90-degree corner survives
+  EXPECT_EQ(out[1].x, 10);
+  EXPECT_EQ(out[1].y, 0);
+}
+
+TEST(Simplify, ErrorBoundHolds) {
+  mvio::util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<mg::Coord> path;
+    mg::Coord cur{0, 0};
+    for (int i = 0; i < 80; ++i) {
+      cur = {cur.x + rng.uniform(0.1, 1.0), cur.y + rng.uniform(-1, 1)};
+      path.push_back(cur);
+    }
+    const double tol = 0.5;
+    const auto out = mg::simplifyPath(path, tol);
+    // Every original point must be within tol of the simplified chain.
+    for (const auto& p : path) {
+      double best = 1e18;
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        best = std::min(best, mg::pointSegmentDistance(p, out[i - 1], out[i]));
+      }
+      EXPECT_LE(best, tol + 1e-9);
+    }
+  }
+}
+
+TEST(Simplify, GeometryVariantsAndRingSafety) {
+  // A tiny ring must survive (never drop below 4 coords).
+  const auto g = mg::readWkt("POLYGON ((0 0, 1 0, 1 1, 0 0))");
+  const auto s = mg::simplify(g, 100.0);
+  EXPECT_EQ(s.rings()[0].coords.size(), 4u);
+
+  const auto line = mg::Geometry::lineString({{0, 0}, {1, 0.0001}, {2, 0}});
+  EXPECT_EQ(mg::simplify(line, 0.01).coords().size(), 2u);
+
+  const auto pt = mg::Geometry::point({3, 4});
+  EXPECT_EQ(mg::simplify(pt, 1.0).pointCoord().x, 3);
+}

@@ -1,0 +1,179 @@
+// Derived datatype tests: typemap construction (contiguous / vector /
+// indexed / struct / resized), extents, coalescing, and pack/unpack round
+// trips including property tests over random nestings.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpi/datatype.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mm = mvio::mpi;
+
+TEST(Datatype, Builtins) {
+  EXPECT_EQ(mm::Datatype::float64().size(), 8u);
+  EXPECT_EQ(mm::Datatype::float64().extent(), 8u);
+  EXPECT_TRUE(mm::Datatype::int32().isContiguous());
+  EXPECT_EQ(mm::Datatype::byte().scalarKind(), mm::Datatype::ScalarKind::kByte);
+}
+
+TEST(Datatype, ContiguousCoalesces) {
+  const auto t = mm::Datatype::contiguous(4, mm::Datatype::float64());
+  EXPECT_EQ(t.size(), 32u);
+  EXPECT_EQ(t.extent(), 32u);
+  EXPECT_EQ(t.blocks().size(), 1u);  // adjacent doubles merge into one block
+  EXPECT_TRUE(t.isContiguous());
+  EXPECT_EQ(t.scalarKind(), mm::Datatype::ScalarKind::kFloat64);
+}
+
+TEST(Datatype, VectorLayout) {
+  // 3 rows of 2 doubles with stride 4 doubles: a classic column slice.
+  const auto t = mm::Datatype::vector(3, 2, 4, mm::Datatype::float64());
+  EXPECT_EQ(t.size(), 48u);
+  EXPECT_EQ(t.extent(), (2ull * 4 + 2) * 8);  // (count-1)*stride + blocklength elements
+  ASSERT_EQ(t.blocks().size(), 3u);
+  EXPECT_EQ(t.blocks()[0].offset, 0);
+  EXPECT_EQ(t.blocks()[1].offset, 32);
+  EXPECT_EQ(t.blocks()[2].offset, 64);
+  EXPECT_FALSE(t.isContiguous());
+}
+
+TEST(Datatype, IndexedLayout) {
+  const int lens[] = {2, 1};
+  const int disps[] = {0, 5};
+  const auto t = mm::Datatype::indexed(lens, disps, mm::Datatype::int32());
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 24u);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[0].length, 8u);
+  EXPECT_EQ(t.blocks()[1].offset, 20);
+}
+
+TEST(Datatype, StructLayoutWithPadding) {
+  // struct { double a; int b; } with natural padding to 16 bytes.
+  const int lens[] = {1, 1};
+  const std::int64_t disps[] = {0, 8};
+  const mm::Datatype types[] = {mm::Datatype::float64(), mm::Datatype::int32()};
+  auto t = mm::Datatype::structType(lens, disps, types);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 12u);  // no implicit padding; resized() adds it
+  t = t.resized(0, 16);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.scalarKind(), mm::Datatype::ScalarKind::kNone);
+}
+
+TEST(Datatype, PackUnpackContiguous) {
+  const double src[4] = {1, 2, 3, 4};
+  const auto t = mm::Datatype::contiguous(2, mm::Datatype::float64());
+  std::string packed;
+  t.pack(src, 2, packed);
+  EXPECT_EQ(packed.size(), 32u);
+  double dst[4] = {};
+  t.unpack(packed.data(), packed.size(), dst, 2);
+  EXPECT_EQ(0, std::memcmp(src, dst, sizeof src));
+}
+
+TEST(Datatype, PackUnpackStrided) {
+  // Pack a column out of a 3x4 row-major matrix.
+  double m[12];
+  for (int i = 0; i < 12; ++i) m[i] = i;
+  const auto column = mm::Datatype::vector(3, 1, 4, mm::Datatype::float64());
+  std::string packed;
+  column.pack(m, 1, packed);
+  ASSERT_EQ(packed.size(), 24u);
+  double vals[3];
+  std::memcpy(vals, packed.data(), 24);
+  EXPECT_EQ(vals[0], 0);
+  EXPECT_EQ(vals[1], 4);
+  EXPECT_EQ(vals[2], 8);
+
+  double out[12] = {};
+  column.unpack(packed.data(), packed.size(), out, 1);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[4], 4);
+  EXPECT_EQ(out[8], 8);
+  EXPECT_EQ(out[1], 0.0);  // holes untouched
+}
+
+TEST(Datatype, UnpackRejectsSizeMismatch) {
+  const auto t = mm::Datatype::contiguous(2, mm::Datatype::float64());
+  std::string bogus(15, 'x');
+  double dst[2];
+  EXPECT_THROW(t.unpack(bogus.data(), bogus.size(), dst, 1), mvio::util::Error);
+}
+
+TEST(Datatype, MultipleElementsRespectExtent) {
+  // Two elements of a resized type: payload pulls from extent-strided slots.
+  const int lens[] = {1};
+  const std::int64_t disps[] = {0};
+  const mm::Datatype types[] = {mm::Datatype::int32()};
+  const auto padded = mm::Datatype::structType(lens, disps, types).resized(0, 8);
+  std::int32_t src[4] = {10, 99, 20, 98};  // 99/98 are padding noise
+  std::string packed;
+  padded.pack(src, 2, packed);
+  ASSERT_EQ(packed.size(), 8u);
+  std::int32_t vals[2];
+  std::memcpy(vals, packed.data(), 8);
+  EXPECT_EQ(vals[0], 10);
+  EXPECT_EQ(vals[1], 20);
+}
+
+class DatatypeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatatypeRoundTrip, RandomTypemapsRoundTrip) {
+  mvio::util::Rng rng(42 + GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random nesting depth 1-3 over random base types.
+    mm::Datatype t = rng.below(2) ? mm::Datatype::float64() : mm::Datatype::int32();
+    const int depth = 1 + static_cast<int>(rng.below(3));
+    for (int d = 0; d < depth; ++d) {
+      switch (rng.below(3)) {
+        case 0:
+          t = mm::Datatype::contiguous(1 + static_cast<int>(rng.below(4)), t);
+          break;
+        case 1: {
+          const int count = 1 + static_cast<int>(rng.below(3));
+          const int bl = 1 + static_cast<int>(rng.below(3));
+          const int stride = bl + static_cast<int>(rng.below(3));
+          t = mm::Datatype::vector(count, bl, stride, t);
+          break;
+        }
+        default: {
+          std::vector<int> lens, disps;
+          int at = 0;
+          const int blocks = 1 + static_cast<int>(rng.below(3));
+          for (int b = 0; b < blocks; ++b) {
+            const int len = 1 + static_cast<int>(rng.below(2));
+            lens.push_back(len);
+            disps.push_back(at);
+            at += len + static_cast<int>(rng.below(2));
+          }
+          t = mm::Datatype::indexed(lens, disps, t);
+          break;
+        }
+      }
+      if (t.size() > 4096) break;  // keep trials small
+    }
+
+    const int count = 1 + static_cast<int>(rng.below(3));
+    const std::size_t span = t.extent() * static_cast<std::size_t>(count);
+    std::vector<char> src(span);
+    for (auto& c : src) c = static_cast<char>(rng.below(256));
+
+    std::string packed;
+    t.pack(src.data(), count, packed);
+    EXPECT_EQ(packed.size(), t.size() * static_cast<std::size_t>(count));
+
+    std::vector<char> dst(span, '\0');
+    t.unpack(packed.data(), packed.size(), dst.data(), count);
+    // Re-pack from the unpacked buffer: payloads must match bit-exactly.
+    std::string repacked;
+    t.pack(dst.data(), count, repacked);
+    EXPECT_EQ(packed, repacked);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatatypeRoundTrip, ::testing::Values(1, 2, 3, 4));

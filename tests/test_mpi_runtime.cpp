@@ -1,0 +1,427 @@
+// MPI runtime tests: point-to-point semantics (tags, wildcards, FIFO per
+// pair), every collective against a serial reference, user-defined
+// reduction ops, communicator split, virtual-clock behaviour and error
+// propagation across ranks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace mm = mvio::mpi;
+
+TEST(Runtime, RanksSeeCorrectIdentity) {
+  std::atomic<int> sum{0};
+  mm::Runtime::run(5, [&](mm::Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 5);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(Runtime, SendRecvBasic) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 42;
+      comm.send(&v, 1, mm::Datatype::int32(), 1, 7);
+    } else {
+      int v = 0;
+      const mm::Status st = comm.recv(&v, 1, mm::Datatype::int32(), 0, 7);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.count(mm::Datatype::int32()), 1);
+    }
+  });
+}
+
+TEST(Runtime, TagMatchingOutOfOrder) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 1, b = 2;
+      comm.send(&a, 1, mm::Datatype::int32(), 1, 10);
+      comm.send(&b, 1, mm::Datatype::int32(), 1, 20);
+    } else {
+      int v = 0;
+      comm.recv(&v, 1, mm::Datatype::int32(), 0, 20);  // skip over tag 10
+      EXPECT_EQ(v, 2);
+      comm.recv(&v, 1, mm::Datatype::int32(), 0, 10);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Runtime, FifoPerPairWithSameTag) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send(&i, 1, mm::Datatype::int32(), 1, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        int v = -1;
+        comm.recv(&v, 1, mm::Datatype::int32(), 0, 3);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Runtime, AnySourceAnyTag) {
+  mm::Runtime::run(4, [](mm::Comm& comm) {
+    if (comm.rank() != 0) {
+      const int v = comm.rank() * 100;
+      comm.send(&v, 1, mm::Datatype::int32(), 0, comm.rank());
+    } else {
+      int seen = 0;
+      for (int i = 0; i < 3; ++i) {
+        int v = 0;
+        const mm::Status st = comm.recv(&v, 1, mm::Datatype::int32(), mm::kAnySource, mm::kAnyTag);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        seen |= 1 << st.source;
+      }
+      EXPECT_EQ(seen, 0b1110);
+    }
+  });
+}
+
+TEST(Runtime, ProbeThenSizedRecv) {
+  // The paper's pattern: MPI_Probe + MPI_Get_count to size the buffer.
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload(123, 1.5);
+      comm.send(payload.data(), 123, mm::Datatype::float64(), 1, 0);
+    } else {
+      const mm::Status st = comm.probe(0, 0);
+      const int n = st.count(mm::Datatype::float64());
+      EXPECT_EQ(n, 123);
+      std::vector<double> buf(static_cast<std::size_t>(n));
+      comm.recv(buf.data(), n, mm::Datatype::float64(), 0, 0);
+      EXPECT_EQ(buf[100], 1.5);
+    }
+  });
+}
+
+TEST(Runtime, IprobeNonBlocking) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      mm::Status st;
+      EXPECT_FALSE(comm.iprobe(1, 5, &st));  // nothing sent yet
+      comm.barrier();
+      // Wait until the message lands (bounded spin; it is already sent
+      // before the barrier completes on rank 1... barrier does not imply
+      // delivery ordering, so poll).
+      while (!comm.iprobe(1, 5, &st)) {
+      }
+      EXPECT_EQ(st.bytes, 4u);
+    } else {
+      comm.barrier();
+      const int v = 9;
+      comm.send(&v, 1, mm::Datatype::int32(), 0, 5);
+    }
+  });
+}
+
+TEST(Runtime, RecvTruncationIsAnError) {
+  EXPECT_THROW(mm::Runtime::run(2,
+                                [](mm::Comm& comm) {
+                                  if (comm.rank() == 0) {
+                                    const double v[4] = {1, 2, 3, 4};
+                                    comm.send(v, 4, mm::Datatype::float64(), 1, 0);
+                                  } else {
+                                    double small[2];
+                                    comm.recv(small, 2, mm::Datatype::float64(), 0, 0);
+                                  }
+                                }),
+               mvio::util::Error);
+}
+
+TEST(Runtime, ErrorInOneRankPropagatesWithoutHanging) {
+  EXPECT_THROW(mm::Runtime::run(4,
+                                [](mm::Comm& comm) {
+                                  if (comm.rank() == 2) {
+                                    throw mvio::util::Error("deliberate", __FILE__, __LINE__);
+                                  }
+                                  // Everyone else blocks in a recv that will never match.
+                                  int v;
+                                  comm.recv(&v, 1, mm::Datatype::int32(), comm.rank(), 99);
+                                }),
+               mvio::util::Error);
+}
+
+// ---- Collectives ---------------------------------------------------------
+
+TEST(Collectives, Barrier) {
+  std::atomic<int> phase{0};
+  mm::Runtime::run(8, [&](mm::Comm& comm) {
+    phase.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase.load(), 8);
+  });
+}
+
+TEST(Collectives, BcastFromEveryRoot) {
+  mm::Runtime::run(5, [](mm::Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::array<double, 3> buf{};
+      if (comm.rank() == root) buf = {1.0 * root, 2.0 * root, 3.0 * root};
+      comm.bcast(buf.data(), 3, mm::Datatype::float64(), root);
+      EXPECT_EQ(buf[0], 1.0 * root);
+      EXPECT_EQ(buf[2], 3.0 * root);
+    }
+  });
+}
+
+TEST(Collectives, GatherAndGatherv) {
+  mm::Runtime::run(6, [](mm::Comm& comm) {
+    const int mine = comm.rank() + 1;
+    std::vector<int> all(6, 0);
+    comm.gather(&mine, 1, mm::Datatype::int32(), comm.rank() == 2 ? all.data() : nullptr, 2);
+    if (comm.rank() == 2) {
+      for (int i = 0; i < 6; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i + 1);
+    }
+
+    // gatherv: rank r contributes r+1 values of value r.
+    std::vector<int> sendBuf(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
+    std::vector<int> counts, displs;
+    std::vector<int> recvBuf;
+    if (comm.rank() == 0) {
+      int total = 0;
+      for (int r = 0; r < 6; ++r) {
+        counts.push_back(r + 1);
+        displs.push_back(total);
+        total += r + 1;
+      }
+      recvBuf.assign(static_cast<std::size_t>(total), -1);
+    }
+    comm.gatherv(sendBuf.data(), comm.rank() + 1, mm::Datatype::int32(), recvBuf.data(),
+                 counts.empty() ? nullptr : counts.data(), displs.empty() ? nullptr : displs.data(), 0);
+    if (comm.rank() == 0) {
+      int idx = 0;
+      for (int r = 0; r < 6; ++r) {
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(recvBuf[static_cast<std::size_t>(idx++)], r);
+      }
+    }
+  });
+}
+
+TEST(Collectives, Allgather) {
+  mm::Runtime::run(7, [](mm::Comm& comm) {
+    const double mine = 10.0 + comm.rank();
+    std::vector<double> all(7, 0);
+    comm.allgather(&mine, 1, mm::Datatype::float64(), all.data());
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], 10.0 + i);
+  });
+}
+
+TEST(Collectives, AlltoallTransposesBlocks) {
+  const int p = 5;
+  mm::Runtime::run(p, [](mm::Comm& comm) {
+    const int n = comm.size();
+    std::vector<int> send(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) send[static_cast<std::size_t>(j)] = comm.rank() * 100 + j;
+    std::vector<int> recv(static_cast<std::size_t>(n), -1);
+    comm.alltoall(send.data(), 1, mm::Datatype::int32(), recv.data());
+    for (int j = 0; j < n; ++j) EXPECT_EQ(recv[static_cast<std::size_t>(j)], j * 100 + comm.rank());
+  });
+}
+
+TEST(Collectives, AlltoallvVariableSizes) {
+  const int p = 4;
+  mm::Runtime::run(p, [](mm::Comm& comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    // Rank i sends (i + j + 1) ints of value i*10+j to rank j.
+    std::vector<int> scounts(static_cast<std::size_t>(n)), sdispls(static_cast<std::size_t>(n));
+    std::vector<int> rcounts(static_cast<std::size_t>(n)), rdispls(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int j = 0; j < n; ++j) {
+      scounts[static_cast<std::size_t>(j)] = me + j + 1;
+      sdispls[static_cast<std::size_t>(j)] = total;
+      total += me + j + 1;
+    }
+    std::vector<int> send(static_cast<std::size_t>(total));
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < scounts[static_cast<std::size_t>(j)]; ++k) {
+        send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(j)] + k)] = me * 10 + j;
+      }
+    }
+    int rtotal = 0;
+    for (int j = 0; j < n; ++j) {
+      rcounts[static_cast<std::size_t>(j)] = j + me + 1;
+      rdispls[static_cast<std::size_t>(j)] = rtotal;
+      rtotal += j + me + 1;
+    }
+    std::vector<int> recv(static_cast<std::size_t>(rtotal), -1);
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(), rcounts.data(),
+                   rdispls.data(), mm::Datatype::int32());
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < rcounts[static_cast<std::size_t>(j)]; ++k) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(j)] + k)], j * 10 + me);
+      }
+    }
+  });
+}
+
+TEST(Collectives, ReduceSumMinMax) {
+  mm::Runtime::run(6, [](mm::Comm& comm) {
+    const double mine[2] = {1.0 * comm.rank(), 10.0 - comm.rank()};
+    double out[2] = {-1, -1};
+    comm.reduce(mine, out, 2, mm::Datatype::float64(), mm::Op::sum(), 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out[0], 15.0);
+      EXPECT_EQ(out[1], 45.0);
+    }
+    comm.allreduce(mine, out, 2, mm::Datatype::float64(), mm::Op::max());
+    EXPECT_EQ(out[0], 5.0);
+    EXPECT_EQ(out[1], 10.0);
+    comm.allreduce(mine, out, 2, mm::Datatype::float64(), mm::Op::min());
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_EQ(out[1], 5.0);
+  });
+}
+
+TEST(Collectives, UserDefinedNonCommutativeOpPreservesRankOrder) {
+  // Op: string-like concatenation encoded as order-sensitive arithmetic:
+  // combine(a, b) = a * 10 + b on single digits, which is associative but
+  // NOT commutative. MPI semantics: result = r0 op r1 op ... op rP-1.
+  const auto concatOp = mm::Op::create(
+      [](const void* in, void* inout, int count, const mm::Datatype&) {
+        const auto* a = static_cast<const std::int64_t*>(in);
+        auto* b = static_cast<std::int64_t*>(inout);
+        for (int i = 0; i < count; ++i) {
+          std::int64_t shift = 10;
+          while (shift <= b[i]) shift *= 10;
+          b[i] = a[i] * shift + b[i];
+        }
+      },
+      /*commutative=*/false, "CONCAT");
+
+  mm::Runtime::run(4, [&](mm::Comm& comm) {
+    const std::int64_t mine = comm.rank() + 1;  // digits 1,2,3,4
+    std::int64_t out = 0;
+    comm.reduce(&mine, &out, 1, mm::Datatype::int64(), concatOp, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out, 1234);
+    }
+    std::int64_t scanOut = 0;
+    comm.scan(&mine, &scanOut, 1, mm::Datatype::int64(), concatOp);
+    const std::int64_t expect[] = {1, 12, 123, 1234};
+    EXPECT_EQ(scanOut, expect[comm.rank()]);
+  });
+}
+
+TEST(Collectives, ScanInclusiveSum) {
+  mm::Runtime::run(8, [](mm::Comm& comm) {
+    const std::int64_t mine = comm.rank() + 1;
+    std::int64_t out = 0;
+    comm.scan(&mine, &out, 1, mm::Datatype::int64(), mm::Op::sum());
+    EXPECT_EQ(out, static_cast<std::int64_t>((comm.rank() + 1) * (comm.rank() + 2) / 2));
+  });
+}
+
+TEST(Collectives, ConvenienceReductions) {
+  mm::Runtime::run(5, [](mm::Comm& comm) {
+    EXPECT_EQ(comm.allreduceMax(static_cast<double>(comm.rank())), 4.0);
+    EXPECT_EQ(comm.allreduceSum(1.0), 5.0);
+    EXPECT_EQ(comm.allreduceSumU64(static_cast<std::uint64_t>(comm.rank())), 10u);
+  });
+}
+
+// ---- split -----------------------------------------------------------------
+
+TEST(Split, EvenOddGroups) {
+  mm::Runtime::run(6, [](mm::Comm& comm) {
+    mm::Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives work inside the sub-communicator.
+    const std::uint64_t total = sub.allreduceSumU64(static_cast<std::uint64_t>(comm.rank()));
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(total, 0u + 2u + 4u);
+    } else {
+      EXPECT_EQ(total, 1u + 3u + 5u);
+    }
+    // P2P inside the subgroup.
+    if (sub.rank() == 0) {
+      const int v = 77;
+      sub.send(&v, 1, mm::Datatype::int32(), 1, 0);
+    } else if (sub.rank() == 1) {
+      int v = 0;
+      sub.recv(&v, 1, mm::Datatype::int32(), 0, 0);
+      EXPECT_EQ(v, 77);
+    }
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  mm::Runtime::run(4, [](mm::Comm& comm) {
+    // Reverse order via descending keys.
+    mm::Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+// ---- Virtual time -----------------------------------------------------------
+
+TEST(VirtualTime, SendAdvancesClockAndRecvSynchronises) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<char> big(1 << 20, 'x');
+      const double before = comm.clock().now();
+      comm.send(big.data(), static_cast<int>(big.size()), mm::Datatype::char_(), 1, 0);
+      EXPECT_GT(comm.clock().now(), before);  // transfer charged to sender
+    } else {
+      std::vector<char> big(1 << 20);
+      comm.recv(big.data(), static_cast<int>(big.size()), mm::Datatype::char_(), 0, 0);
+      // Receiver's clock is at least the transfer completion time.
+      EXPECT_GT(comm.clock().now(), 0.0);
+    }
+  });
+}
+
+TEST(VirtualTime, CollectivesAlignClocks) {
+  mm::Runtime::run(4, [](mm::Comm& comm) {
+    comm.clock().advanceBy(comm.rank() * 1.0);  // skewed clocks
+    comm.syncClocks();
+    EXPECT_GE(comm.clock().now(), 3.0);  // aligned to the max
+    const double now = comm.clock().now();
+    EXPECT_EQ(comm.allreduceMax(now), comm.allreduceMax(now));  // all equal
+  });
+}
+
+TEST(VirtualTime, CpuChargeAdvancesClock) {
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    const double before = comm.clock().now();
+    {
+      mm::CpuCharge charge(comm);
+      // Burn a little CPU.
+      volatile double x = 1.0;
+      for (int i = 0; i < 200000; ++i) x = x * 1.0000001 + 0.5;
+    }
+    EXPECT_GT(comm.clock().now(), before);
+  });
+}
+
+TEST(Machine, NodeMapping) {
+  const auto m = mvio::sim::MachineModel::comet(3);
+  EXPECT_EQ(m.totalRanks(), 48);
+  EXPECT_EQ(m.nodeOf(0), 0);
+  EXPECT_EQ(m.nodeOf(15), 0);
+  EXPECT_EQ(m.nodeOf(16), 1);
+  EXPECT_EQ(m.nodeOf(47), 2);
+  EXPECT_THROW((void)m.nodeOf(48), mvio::util::Error);
+  // Cross-node transfers are slower than intra-node.
+  EXPECT_GT(m.transferSeconds(0, 16, 1 << 20), m.transferSeconds(0, 1, 1 << 20));
+}
+
+TEST(Machine, RuntimeUsesMachineNodes) {
+  mm::Runtime::run(32, mvio::sim::MachineModel::comet(2), [](mm::Comm& comm) {
+    EXPECT_EQ(comm.nodeId(), comm.rank() / 16);
+    EXPECT_EQ(comm.nodeOfRank(17), 1);
+  });
+}

@@ -1,0 +1,199 @@
+// Synthetic data generator tests: determinism, parseability, statistical
+// shape (record sizes, spatial skew), the record pool, virtual WKT files
+// (byte determinism, full-file parse), virtual binary files, and the
+// Table 3 catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "core/parser.hpp"
+#include "pfs/lustre.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "geom/wkt.hpp"
+#include "osm/datasets.hpp"
+#include "osm/synth.hpp"
+#include "osm/virtual_file.hpp"
+#include "util/stats.hpp"
+
+namespace mg = mvio::geom;
+namespace mo = mvio::osm;
+
+TEST(Synth, RecordsAreDeterministic) {
+  const mo::RecordGenerator a(mo::datasetSpec(mo::DatasetId::kLakes, 7));
+  const mo::RecordGenerator b(mo::datasetSpec(mo::DatasetId::kLakes, 7));
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(a.record(i), b.record(i));
+  const mo::RecordGenerator c(mo::datasetSpec(mo::DatasetId::kLakes, 8));
+  EXPECT_NE(a.record(0), c.record(0));
+}
+
+TEST(Synth, EveryRecordParses) {
+  for (const auto id : {mo::DatasetId::kCemetery, mo::DatasetId::kLakes, mo::DatasetId::kRoads,
+                        mo::DatasetId::kAllObjects, mo::DatasetId::kRoadNetwork, mo::DatasetId::kAllNodes}) {
+    const mo::RecordGenerator gen(mo::datasetSpec(id));
+    mvio::core::WktParser parser;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      mg::Geometry g;
+      ASSERT_TRUE(parser.parseRecord(gen.record(i), g)) << "dataset " << static_cast<int>(id);
+      EXPECT_FALSE(g.isEmpty());
+      EXPECT_NE(g.userData.find("id="), std::string::npos);
+    }
+  }
+}
+
+TEST(Synth, KindsMatchSpec) {
+  const mo::RecordGenerator lines(mo::datasetSpec(mo::DatasetId::kRoadNetwork));
+  const mo::RecordGenerator points(mo::datasetSpec(mo::DatasetId::kAllNodes));
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(lines.geometry(i).type(), mg::GeometryType::kLineString);
+    EXPECT_EQ(points.geometry(i).type(), mg::GeometryType::kPoint);
+  }
+  // Mixed dataset produces several kinds.
+  const mo::RecordGenerator mixed(mo::datasetSpec(mo::DatasetId::kAllObjects));
+  std::set<mg::GeometryType> kinds;
+  for (std::uint64_t i = 0; i < 200; ++i) kinds.insert(mixed.geometry(i).type());
+  EXPECT_GE(kinds.size(), 3u);
+}
+
+TEST(Synth, VertexCountsAreHeavyTailed) {
+  const mo::RecordGenerator gen(mo::datasetSpec(mo::DatasetId::kLakes));
+  mvio::util::RunningStats st;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    st.add(static_cast<double>(gen.geometry(i).numVertices()));
+  }
+  EXPECT_LT(st.mean(), 200.0);  // most records are small
+  EXPECT_GT(st.max(), 800.0);   // the tail is long
+}
+
+TEST(Synth, SpatialSkewIsPresent) {
+  // With clustering, a small fraction of the world should hold a large
+  // fraction of the centroids.
+  mo::SynthSpec spec = mo::datasetSpec(mo::DatasetId::kCemetery);
+  const mo::RecordGenerator gen(spec);
+  const auto& w = spec.space.world;
+  const int gridN = 16;
+  std::vector<int> cellCounts(static_cast<std::size_t>(gridN * gridN), 0);
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    const auto c = mvio::geom::centroid(gen.geometry(static_cast<std::uint64_t>(i)));
+    const int cx = std::clamp(static_cast<int>((c.x - w.minX()) / w.width() * gridN), 0, gridN - 1);
+    const int cy = std::clamp(static_cast<int>((c.y - w.minY()) / w.height() * gridN), 0, gridN - 1);
+    cellCounts[static_cast<std::size_t>(cy * gridN + cx)]++;
+  }
+  std::sort(cellCounts.rbegin(), cellCounts.rend());
+  int top = 0;
+  for (int i = 0; i < gridN * gridN / 10; ++i) top += cellCounts[static_cast<std::size_t>(i)];
+  EXPECT_GT(top, samples / 3) << "top 10% of cells should hold > 1/3 of data under skew";
+}
+
+TEST(Synth, AverageRecordSizesTrackTable3) {
+  // All Nodes should be far smaller per record than Lakes.
+  const mo::RecordGenerator nodes(mo::datasetSpec(mo::DatasetId::kAllNodes));
+  const mo::RecordGenerator lakes(mo::datasetSpec(mo::DatasetId::kLakes));
+  double nodesAvg = 0, lakesAvg = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    nodesAvg += static_cast<double>(nodes.record(i).size());
+    lakesAvg += static_cast<double>(lakes.record(i).size());
+  }
+  nodesAvg /= 400;
+  lakesAvg /= 400;
+  EXPECT_LT(nodesAvg, 80.0);
+  EXPECT_GT(lakesAvg, 300.0);
+}
+
+TEST(RecordPool, TracksMaxSize) {
+  const mo::RecordGenerator gen(mo::datasetSpec(mo::DatasetId::kCemetery));
+  const mo::RecordPool pool(gen, 64);
+  EXPECT_EQ(pool.size(), 64u);
+  std::size_t maxSeen = 0;
+  for (std::size_t i = 0; i < 64; ++i) maxSeen = std::max(maxSeen, pool.at(i).size());
+  EXPECT_EQ(pool.maxRecordBytes(), maxSeen);
+}
+
+TEST(VirtualWktFile, ByteDeterminismAtRandomOffsets) {
+  const mo::RecordGenerator gen(mo::datasetSpec(mo::DatasetId::kCemetery));
+  auto pool = std::make_shared<const mo::RecordPool>(gen, 64);
+  auto f1 = mo::makeVirtualWktFile(pool, 1 << 20, 1 << 16, 99, 4);
+  auto f2 = mo::makeVirtualWktFile(pool, 1 << 20, 1 << 16, 99, 4);
+  mvio::util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto off = rng.below((1 << 20) - 256);
+    char a[256], b[256];
+    f1->read(off, a, 256);
+    f2->read(off, b, 256);
+    EXPECT_EQ(0, std::memcmp(a, b, 256));
+  }
+}
+
+TEST(VirtualWktFile, EveryBlockEndsWithNewlineAndParses) {
+  const mo::RecordGenerator gen(mo::datasetSpec(mo::DatasetId::kCemetery));
+  auto pool = std::make_shared<const mo::RecordPool>(gen, 32);
+  const std::uint64_t blockSize = 1 << 15;
+  auto f = mo::makeVirtualWktFile(pool, 1 << 19, blockSize, 5, 4);
+
+  std::string text(f->size(), '\0');
+  f->read(0, text.data(), text.size());
+  // Block boundaries land on newlines: no record straddles blocks.
+  for (std::uint64_t b = blockSize; b <= f->size(); b += blockSize) {
+    EXPECT_EQ(text[static_cast<std::size_t>(b - 1)], '\n');
+  }
+  // The whole file parses; only whitespace padding is skipped.
+  mvio::core::WktParser parser;
+  std::uint64_t count = 0;
+  const auto stats = parser.parseAll(text, [&](mg::Geometry&&) { ++count; });
+  EXPECT_EQ(stats.badRecords, 0u);
+  EXPECT_GT(count, 100u);
+  EXPECT_EQ(stats.records, count);
+}
+
+TEST(VirtualBinaryFile, RecordsAddressable) {
+  auto fill = [](std::uint64_t i, char* out) {
+    double vals[4] = {static_cast<double>(i), i + 0.5, i + 1.0, i + 1.5};
+    std::memcpy(out, vals, 32);
+  };
+  auto f = mo::makeVirtualBinaryFile(10000, 32, fill, 1 << 12, 4);
+  EXPECT_EQ(f->size(), 320000u);
+  // Random record reads, including ones crossing block boundaries.
+  mvio::util::Rng rng(2);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t i = rng.below(10000);
+    double vals[4];
+    f->read(i * 32, reinterpret_cast<char*>(vals), 32);
+    EXPECT_EQ(vals[0], static_cast<double>(i));
+    EXPECT_EQ(vals[3], i + 1.5);
+  }
+}
+
+TEST(VirtualBinaryFile, RejectsMisalignedBlocks) {
+  auto fill = [](std::uint64_t, char*) {};
+  EXPECT_THROW(mo::makeVirtualBinaryFile(100, 24, fill, 1000, 4), mvio::util::Error);
+}
+
+TEST(Datasets, CatalogMatchesTable3) {
+  const auto& lakes = mo::datasetInfo(mo::DatasetId::kLakes);
+  EXPECT_STREQ(lakes.name, "lakes");
+  EXPECT_EQ(lakes.paperBytes, 9'000'000'000ull);
+  EXPECT_EQ(lakes.paperCount, 8'000'000u);
+  EXPECT_EQ(mo::datasetInfo(mo::DatasetId::kAllNodes).paperCount, 2'700'000'000ull);
+  EXPECT_DOUBLE_EQ(mo::datasetInfo(mo::DatasetId::kAllObjects).paperSeqIoSeconds, 4728.0);
+}
+
+TEST(Datasets, InstallersWork) {
+  mvio::pfs::LustreParams params;
+  auto vol = std::make_shared<mvio::pfs::Volume>(std::make_shared<mvio::pfs::LustreModel>(params));
+  const auto virt = mo::installVirtualDataset(*vol, mo::DatasetId::kCemetery, 0.1, {1 << 20, 8});
+  EXPECT_TRUE(vol->exists(virt.path));
+  EXPECT_NEAR(static_cast<double>(virt.bytes), 5.6e6, 1e6);
+
+  const auto exact = mo::installExactDataset(*vol, mo::DatasetId::kRoadNetwork, 100);
+  EXPECT_TRUE(vol->exists(exact.path));
+  auto obj = vol->lookup(exact.path);
+  std::string text(obj->data->size(), '\0');
+  obj->data->read(0, text.data(), text.size());
+  mvio::core::WktParser parser;
+  std::uint64_t n = 0;
+  parser.parseAll(text, [&](mg::Geometry&&) { ++n; });
+  EXPECT_EQ(n, 100u);
+}

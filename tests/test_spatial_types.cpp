@@ -1,0 +1,147 @@
+// Spatial-aware MPI tests (Table 2 / Figure 6): derived spatial
+// datatypes, MPI_UNION reduction and scan, spatial MIN/MAX operators,
+// and the algebraic properties the paper requires (associativity,
+// identity element).
+
+#include <gtest/gtest.h>
+
+#include "core/spatial_types.hpp"
+#include "mpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace mc = mvio::core;
+namespace mm = mvio::mpi;
+
+TEST(SpatialTypes, LayoutsMatchPods) {
+  EXPECT_EQ(mc::mpiPoint().size(), sizeof(mc::PointData));
+  EXPECT_EQ(mc::mpiLine().size(), sizeof(mc::LineData));
+  EXPECT_EQ(mc::mpiRect().size(), sizeof(mc::RectData));
+  EXPECT_TRUE(mc::mpiRect().isContiguous());
+  // The struct-built MPI_RECT commits to the same typemap.
+  EXPECT_EQ(mc::mpiRectStruct().size(), mc::mpiRect().size());
+  EXPECT_EQ(mc::mpiRectStruct().extent(), mc::mpiRect().extent());
+  EXPECT_TRUE(mc::mpiRectStruct().isContiguous());
+  // Nested compound types.
+  EXPECT_EQ(mc::mpiMultiPoint(5).size(), 5 * 16u);
+  EXPECT_EQ(mc::mpiFixedPolygon(8).size(), 8 * 16u);
+}
+
+TEST(SpatialTypes, RectEnvelopeConversions) {
+  const mvio::geom::Envelope e(1, 2, 3, 4);
+  const auto r = mc::RectData::fromEnvelope(e);
+  EXPECT_EQ(r.minX, 1);
+  EXPECT_EQ(r.maxY, 4);
+  EXPECT_EQ(r.toEnvelope(), e);
+  EXPECT_TRUE(mc::RectData::unionIdentity().toEnvelope().isNull());
+  EXPECT_EQ(mc::RectData::unionIdentity().area(), 0.0);
+}
+
+TEST(SpatialOps, UnionIsAssociativeCommutativeWithIdentity) {
+  mvio::util::Rng rng(3);
+  const auto& op = mc::rectUnion();
+  for (int trial = 0; trial < 200; ++trial) {
+    auto rect = [&] {
+      const double x = rng.uniform(-50, 50), y = rng.uniform(-50, 50);
+      return mc::RectData{x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10)};
+    };
+    const mc::RectData a = rect(), b = rect(), c = rect();
+    auto combine = [&](mc::RectData in, mc::RectData inout) {
+      op.apply(&in, &inout, 1, mc::mpiRect());
+      return inout;
+    };
+    // (a u b) u c == a u (b u c)
+    const auto left = combine(c, combine(b, a));    // note: apply(in, inout) = in u inout
+    const auto right = combine(combine(c, b), a);
+    EXPECT_EQ(left.toEnvelope(), right.toEnvelope());
+    // commutative
+    EXPECT_EQ(combine(a, b).toEnvelope(), combine(b, a).toEnvelope());
+    // identity
+    EXPECT_EQ(combine(mc::RectData::unionIdentity(), a).toEnvelope(), a.toEnvelope());
+    EXPECT_EQ(combine(a, mc::RectData::unionIdentity()).toEnvelope(), a.toEnvelope());
+  }
+}
+
+TEST(SpatialOps, MinMaxPickGeometricExtremes) {
+  const auto& mn = mc::spatialMin();
+  const auto& mx = mc::spatialMax();
+
+  mc::RectData small{0, 0, 1, 1};
+  mc::RectData big{0, 0, 10, 10};
+  mc::RectData out = big;
+  mn.apply(&small, &out, 1, mc::mpiRect());
+  EXPECT_EQ(out.area(), 1.0);
+  out = small;
+  mx.apply(&big, &out, 1, mc::mpiRect());
+  EXPECT_EQ(out.area(), 100.0);
+
+  mc::LineData shortLine{0, 0, 1, 0};
+  mc::LineData longLine{0, 0, 10, 0};
+  mc::LineData lineOut = longLine;
+  mn.apply(&shortLine, &lineOut, 1, mc::mpiLine());
+  EXPECT_EQ(lineOut.length(), 1.0);
+}
+
+TEST(SpatialOps, ReduceUnionAcrossRanks) {
+  // Figure 6's exact pattern: every rank contributes its local MBR; the
+  // reduction yields the global grid extent.
+  mm::Runtime::run(8, [](mm::Comm& comm) {
+    const double r = comm.rank();
+    mc::RectData mine{r * 10, r * 5, r * 10 + 8, r * 5 + 4};
+    mc::RectData out = mc::RectData::unionIdentity();
+    comm.reduce(&mine, &out, 1, mc::mpiRect(), mc::rectUnion(), 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out.toEnvelope(), mvio::geom::Envelope(0, 0, 78, 39));
+    }
+    // allreduce variant used by buildGlobalGrid.
+    mc::RectData all = mc::RectData::unionIdentity();
+    comm.allreduce(&mine, &all, 1, mc::mpiRect(), mc::rectUnion());
+    EXPECT_EQ(all.toEnvelope(), mvio::geom::Envelope(0, 0, 78, 39));
+  });
+}
+
+TEST(SpatialOps, ScanUnionIsPrefixUnion) {
+  // Figure 13 benchmarks MPI_Scan with geometric union; verify semantics.
+  mm::Runtime::run(6, [](mm::Comm& comm) {
+    const double r = comm.rank();
+    mc::RectData mine{r, r, r + 1, r + 1};
+    mc::RectData out = mc::RectData::unionIdentity();
+    comm.scan(&mine, &out, 1, mc::mpiRect(), mc::rectUnion());
+    // Prefix union of [0..rank] unit squares along the diagonal.
+    EXPECT_EQ(out.toEnvelope(), mvio::geom::Envelope(0, 0, r + 1, r + 1));
+  });
+}
+
+TEST(SpatialOps, VectorReduceOfManyRects) {
+  // Reduce an array of MBRs element-wise (the Figure 13 workload shape).
+  const int n = 1000;
+  mm::Runtime::run(4, [n](mm::Comm& comm) {
+    mvio::util::Rng rng(100 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<mc::RectData> mine(static_cast<std::size_t>(n));
+    for (auto& r : mine) {
+      const double x = rng.uniform(-10, 10), y = rng.uniform(-10, 10);
+      r = {x, y, x + 1, y + 1};
+    }
+    std::vector<mc::RectData> out(static_cast<std::size_t>(n), mc::RectData::unionIdentity());
+    comm.allreduce(mine.data(), out.data(), n, mc::mpiRect(), mc::rectUnion());
+    // Every output must contain this rank's input.
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(out[static_cast<std::size_t>(i)].toEnvelope().contains(
+          mine[static_cast<std::size_t>(i)].toEnvelope()));
+    }
+  });
+}
+
+TEST(SpatialTypes, SendRecvWithSpatialDatatype) {
+  // Figure 6 usage: spatial types flow through plain MPI calls.
+  mm::Runtime::run(2, [](mm::Comm& comm) {
+    if (comm.rank() == 0) {
+      const mc::RectData r{1, 2, 3, 4};
+      comm.send(&r, 1, mc::mpiRect(), 1, 0);
+    } else {
+      mc::RectData r{};
+      const auto st = comm.recv(&r, 1, mc::mpiRect(), 0, 0);
+      EXPECT_EQ(st.count(mc::mpiRect()), 1);
+      EXPECT_EQ(r.maxY, 4);
+    }
+  });
+}

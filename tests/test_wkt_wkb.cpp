@@ -1,0 +1,187 @@
+// WKT and WKB reader/writer tests: grammar coverage, round trips
+// (including property round trips over random geometries), error cases.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "geom/wkb.hpp"
+#include "geom/wkt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mg = mvio::geom;
+
+TEST(Wkt, ParsesPoint) {
+  const auto g = mg::readWkt("POINT (30 10)");
+  EXPECT_EQ(g.type(), mg::GeometryType::kPoint);
+  EXPECT_EQ(g.pointCoord().x, 30);
+  EXPECT_EQ(g.pointCoord().y, 10);
+}
+
+TEST(Wkt, ParsesThePaperPolygon) {
+  // The exact example from the paper's §2.
+  const auto g = mg::readWkt("POLYGON ((30 10, 40 40, 20 40, 30 10))");
+  EXPECT_EQ(g.type(), mg::GeometryType::kPolygon);
+  ASSERT_EQ(g.rings().size(), 1u);
+  EXPECT_EQ(g.rings()[0].coords.size(), 4u);
+  EXPECT_EQ(g.envelope(), mg::Envelope(20, 10, 40, 40));
+}
+
+TEST(Wkt, ParsesPolygonWithHole) {
+  const auto g = mg::readWkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_EQ(g.rings().size(), 2u);
+}
+
+TEST(Wkt, ParsesLineString) {
+  const auto g = mg::readWkt("LINESTRING (0 0, 1 1, 2 0)");
+  EXPECT_EQ(g.type(), mg::GeometryType::kLineString);
+  EXPECT_EQ(g.coords().size(), 3u);
+}
+
+TEST(Wkt, ParsesMultiPointBothForms) {
+  const auto a = mg::readWkt("MULTIPOINT ((1 2), (3 4))");
+  const auto b = mg::readWkt("MULTIPOINT (1 2, 3 4)");
+  ASSERT_EQ(a.parts().size(), 2u);
+  ASSERT_EQ(b.parts().size(), 2u);
+  EXPECT_EQ(a.parts()[1].pointCoord().x, b.parts()[1].pointCoord().x);
+}
+
+TEST(Wkt, ParsesMultiLineAndMultiPolygon) {
+  const auto ml = mg::readWkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+  EXPECT_EQ(ml.parts().size(), 2u);
+  const auto mp = mg::readWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5), (5.2 5.2, 5.4 5.2, 5.4 5.4, 5.2 5.2)))");
+  ASSERT_EQ(mp.parts().size(), 2u);
+  EXPECT_EQ(mp.parts()[1].rings().size(), 2u);
+}
+
+TEST(Wkt, ParsesGeometryCollection) {
+  const auto g = mg::readWkt("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))");
+  EXPECT_EQ(g.type(), mg::GeometryType::kGeometryCollection);
+  ASSERT_EQ(g.parts().size(), 2u);
+  EXPECT_EQ(g.parts()[0].type(), mg::GeometryType::kPoint);
+}
+
+TEST(Wkt, EmptyGeometries) {
+  EXPECT_TRUE(mg::readWkt("MULTIPOLYGON EMPTY").isEmpty());
+  EXPECT_TRUE(mg::readWkt("GEOMETRYCOLLECTION EMPTY").isEmpty());
+  EXPECT_TRUE(mg::readWkt("POINT EMPTY").isEmpty());
+}
+
+TEST(Wkt, CaseAndWhitespaceInsensitive) {
+  EXPECT_NO_THROW(mg::readWkt("  polygon((0 0,1 0,1 1,0 0))  "));
+  EXPECT_NO_THROW(mg::readWkt("Point(1.5e2 -4)"));
+}
+
+TEST(Wkt, ScientificNotationAndNegatives) {
+  const auto g = mg::readWkt("POINT (-1.25e-3 7.5E2)");
+  EXPECT_DOUBLE_EQ(g.pointCoord().x, -0.00125);
+  EXPECT_DOUBLE_EQ(g.pointCoord().y, 750.0);
+}
+
+TEST(Wkt, Rejects3D) {
+  EXPECT_THROW(mg::readWkt("POINT (1 2 3)"), mvio::util::Error);
+}
+
+TEST(Wkt, RejectsMalformed) {
+  EXPECT_THROW(mg::readWkt("POLYGON ((0 0, 1 0, 1 1))"), mvio::util::Error);       // unclosed ring
+  EXPECT_THROW(mg::readWkt("POLYGON ((0 0, 1 0, 0 0))"), mvio::util::Error);       // too few points
+  EXPECT_THROW(mg::readWkt("TRIANGLE ((0 0, 1 0, 0 1, 0 0))"), mvio::util::Error); // unknown type
+  EXPECT_THROW(mg::readWkt("POINT (1 2) garbage"), mvio::util::Error);             // trailing junk
+  EXPECT_THROW(mg::readWkt("POINT (1"), mvio::util::Error);                        // truncated
+  EXPECT_THROW(mg::readWkt(""), mvio::util::Error);
+  EXPECT_THROW(mg::readWkt("LINESTRING (1 1)"), mvio::util::Error);                // one point
+}
+
+TEST(Wkt, TryReadDoesNotThrow) {
+  mg::Geometry g;
+  std::string err;
+  EXPECT_FALSE(mg::tryReadWkt("POINT (", g, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(mg::tryReadWkt("POINT (1 2)", g));
+}
+
+TEST(Wkt, WriterMatchesKnownForms) {
+  EXPECT_EQ(mg::writeWkt(mg::readWkt("POINT (30 10)")), "POINT (30 10)");
+  EXPECT_EQ(mg::writeWkt(mg::readWkt("POLYGON ((30 10, 40 40, 20 40, 30 10))")),
+            "POLYGON ((30 10, 40 40, 20 40, 30 10))");
+  EXPECT_EQ(mg::writeWkt(mg::readWkt("MULTIPOLYGON EMPTY")), "MULTIPOLYGON EMPTY");
+}
+
+// ---- WKB -------------------------------------------------------------------
+
+TEST(Wkb, PointRoundTrip) {
+  const auto g = mg::Geometry::point({1.5, -2.5});
+  const std::string bytes = mg::writeWkb(g);
+  EXPECT_EQ(bytes.size(), 1 + 4 + 16u);
+  std::size_t consumed = 0;
+  const auto back = mg::readWkb(bytes, &consumed);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(back.pointCoord().x, 1.5);
+}
+
+TEST(Wkb, BigEndianRead) {
+  // Hand-built big-endian POINT (1 2).
+  std::string bytes;
+  bytes.push_back('\x00');                                  // XDR
+  bytes.append({'\x00', '\x00', '\x00', '\x01'});           // type 1
+  auto appendBe = [&](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, 8);
+    for (int i = 7; i >= 0; --i) bytes.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  };
+  appendBe(1.0);
+  appendBe(2.0);
+  const auto g = mg::readWkb(bytes);
+  EXPECT_EQ(g.pointCoord().x, 1.0);
+  EXPECT_EQ(g.pointCoord().y, 2.0);
+}
+
+TEST(Wkb, RejectsTruncatedAndBadMarkers) {
+  const auto g = mg::Geometry::point({1, 2});
+  std::string bytes = mg::writeWkb(g);
+  EXPECT_THROW(mg::readWkb(bytes.substr(0, bytes.size() - 3)), mvio::util::Error);
+  bytes[0] = '\x07';
+  EXPECT_THROW(mg::readWkb(bytes), mvio::util::Error);
+}
+
+class WkbRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WkbRoundTrip, RandomGeometriesSurviveBothEncodings) {
+  mvio::util::Rng rng(500 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random polygon (sometimes with hole), line, point or multi.
+    mg::Geometry g;
+    const auto kind = rng.below(4);
+    if (kind == 0) {
+      g = mg::Geometry::point({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    } else if (kind == 1) {
+      std::vector<mg::Coord> coords;
+      const int n = 2 + static_cast<int>(rng.below(20));
+      for (int i = 0; i < n; ++i) coords.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+      g = mg::Geometry::lineString(std::move(coords));
+    } else if (kind == 2) {
+      mg::Ring ring;
+      const int n = 3 + static_cast<int>(rng.below(10));
+      for (int i = 0; i < n; ++i) {
+        const double th = 2 * M_PI * i / n;
+        ring.coords.push_back({std::cos(th), std::sin(th)});
+      }
+      ring.coords.push_back(ring.coords.front());
+      g = mg::Geometry::polygon({ring});
+    } else {
+      g = mg::Geometry::multi(mg::GeometryType::kMultiPoint,
+                              {mg::Geometry::point({1, 2}), mg::Geometry::point({3, 4})});
+    }
+
+    // WKB round trip is bit exact.
+    const auto viaWkb = mg::readWkb(mg::writeWkb(g));
+    EXPECT_EQ(mg::writeWkb(viaWkb), mg::writeWkb(g));
+    // WKT round trip at full precision is value exact.
+    const auto viaWkt = mg::readWkt(mg::writeWkt(g, 17));
+    EXPECT_EQ(mg::writeWkb(viaWkt), mg::writeWkb(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WkbRoundTrip, ::testing::Values(1, 2, 3));
