@@ -27,11 +27,14 @@ int main() {
     std::memcpy(out, vals, 32);
   };
 
-  util::TextTable table({"procs", "struct time", "contiguous time", "contig/struct"});
+  util::TextTable table(
+      {"procs", "struct time", "contiguous time", "contig/struct", "struct copied", "contig copied"});
   for (const int procs : {20, 40, 80}) {
     const int nodes = procs / 20;
     double times[2] = {0, 0};
+    std::uint64_t copied[2] = {0, 0};
     for (int mode = 0; mode < 2; ++mode) {  // 0 = struct, 1 = contiguous
+      const bench::Counters c0 = bench::countersNow();
       auto volume = bench::rogerVolume(nodes, 1.0);
       volume->createOrReplace("rects.bin", osm::makeVirtualBinaryFile(kRects, 32, fill, 4ull << 20, 96),
                               {});
@@ -59,13 +62,16 @@ int main() {
             rects[i].maxX = raw[i * 4 + 2];
             rects[i].maxY = raw[i * 4 + 3];
           }
+          util::perf::addBytesCopied(perRank * 32);  // user-side assembly pass
         }
         const double t1 = comm.allreduceMax(comm.clock().now());
         if (comm.rank() == 0) times[mode] = t1 - t0;
       });
+      copied[mode] = bench::countersSince(c0).bytesCopied;
     }
     table.addRow({std::to_string(procs), util::formatSeconds(times[0]), util::formatSeconds(times[1]),
-                  util::formatFixed(times[1] / times[0], 2)});
+                  util::formatFixed(times[1] / times[0], 2), util::formatBytes(copied[0]),
+                  util::formatBytes(copied[1])});
   }
   std::printf("%s\n", table.str().c_str());
   return 0;

@@ -1,9 +1,13 @@
 // Micro-benchmarks (google-benchmark): the geometry-engine hot paths that
-// dominate the pipeline's compute phases — WKT parsing, WKB round trips,
-// R-tree construction/query, exact predicates.
+// dominate the pipeline's compute phases — WKT parsing (per-Geometry vs
+// arena-backed batch), exchange packing (per-destination staging vs
+// single-pack), WKB round trips, R-tree construction/query, exact
+// predicates. The parse/pack pairs report allocations and payload bytes
+// copied per record via the bench/common.hpp counters.
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "geom/rtree.hpp"
 #include "geom/wkb.hpp"
 #include "geom/wkt.hpp"
@@ -23,6 +27,125 @@ std::vector<std::string> polygonRecords(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) out.push_back(geom::writeWkt(gen.geometry(i), 6));
   return out;
 }
+
+/// Newline-delimited WKT text with tab-separated attributes, as the
+/// pipeline's parse phase sees it after the partitioned read.
+std::string recordText(std::size_t n) {
+  const auto records = polygonRecords(n);
+  std::string text;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    text += records[i];
+    text += "\tosm_id=";
+    text += std::to_string(i);
+    text += '\n';
+  }
+  return text;
+}
+
+void reportPerRecord(benchmark::State& state, const bench::Counters& delta, std::uint64_t records) {
+  if (records == 0) return;
+  state.counters["allocs/rec"] =
+      static_cast<double>(delta.allocs) / static_cast<double>(records);
+  state.counters["copiedB/rec"] =
+      static_cast<double>(delta.bytesCopied) / static_cast<double>(records);
+}
+
+// Bulk parse, per-Geometry path: one heap Geometry per record.
+void BM_ParseAllLegacy(benchmark::State& state) {
+  const std::string text = recordText(256);
+  core::WktParser parser;
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    std::vector<geom::Geometry> out;
+    const auto stats = parser.parseAll(text, [&](geom::Geometry&& g) { out.push_back(std::move(g)); });
+    records += stats.records;
+    benchmark::DoNotOptimize(out.size());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseAllLegacy);
+
+// Bulk parse, batch path: records parse straight into reused arenas.
+void BM_ParseAllBatch(benchmark::State& state) {
+  const std::string text = recordText(256);
+  core::WktParser parser;
+  geom::GeometryBatch out;
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    out.clear();
+    const auto stats = parser.parseAll(text, out);
+    records += stats.records;
+    benchmark::DoNotOptimize(out.size());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseAllBatch);
+
+// Exchange packing, legacy staging: serialize into per-destination strings,
+// then concatenate into the send buffer (two copies of every payload byte).
+void BM_ExchangePackStaging(benchmark::State& state) {
+  constexpr int kDests = 8;
+  const std::string text = recordText(256);
+  core::WktParser parser;
+  std::vector<core::CellGeometry> geoms;
+  parser.parseAll(text, [&](geom::Geometry&& g) {
+    geoms.push_back({static_cast<int>(geoms.size()) % 64, std::move(g)});
+  });
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    std::vector<std::string> perDest(kDests);
+    for (const auto& cg : geoms) core::serializeCellGeometry(cg, perDest[cg.cell % kDests]);
+    std::string sendBuf;
+    for (const auto& d : perDest) {
+      sendBuf.append(d);
+      util::perf::addBytesCopied(d.size());  // the staging copy
+    }
+    records += geoms.size();
+    benchmark::DoNotOptimize(sendBuf.size());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+}
+BENCHMARK(BM_ExchangePackStaging);
+
+// Exchange packing, batch path: size every destination, then write each
+// record once at its computed displacement in one reused buffer.
+void BM_ExchangePackBatch(benchmark::State& state) {
+  constexpr int kDests = 8;
+  const std::string text = recordText(256);
+  core::WktParser parser;
+  geom::GeometryBatch batch;
+  parser.parseAll(text, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) batch.setCell(i, static_cast<int>(i) % 64);
+  std::vector<char> sendBuf;
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    std::size_t sizes[kDests] = {};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      sizes[batch.cell(i) % kDests] += batch.serializedSize(i);
+    }
+    std::size_t writeAt[kDests];
+    std::size_t total = 0;
+    for (int d = 0; d < kDests; ++d) {
+      writeAt[d] = total;
+      total += sizes[d];
+    }
+    sendBuf.resize(total);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto& at = writeAt[batch.cell(i) % kDests];
+      at = static_cast<std::size_t>(batch.serializeRecordTo(i, sendBuf.data() + at) - sendBuf.data());
+    }
+    records += batch.size();
+    benchmark::DoNotOptimize(sendBuf.data());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+}
+BENCHMARK(BM_ExchangePackBatch);
 
 void BM_WktParsePolygon(benchmark::State& state) {
   const auto records = polygonRecords(256);

@@ -11,8 +11,11 @@
 //  * each harness prints the paper's qualitative expectation next to the
 //    regenerated series so the shape comparison is one glance.
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -20,9 +23,54 @@
 #include "osm/datasets.hpp"
 #include "osm/virtual_file.hpp"
 #include "util/format.hpp"
+#include "util/perf.hpp"
 #include "util/stats.hpp"
 
+// ---- Allocation counting ------------------------------------------------
+// Every bench binary is a single translation unit including this header,
+// so the replaceable global allocation functions can live here. They count
+// calls and bytes, which is how the harnesses verify the batch pipeline's
+// "fewer allocations" claim next to its timings.
+
 namespace mvio::bench {
+inline std::atomic<std::uint64_t> gAllocCount{0};
+inline std::atomic<std::uint64_t> gAllocBytes{0};
+
+inline void* countedAlloc(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace mvio::bench
+
+void* operator new(std::size_t size) { return mvio::bench::countedAlloc(size); }
+void* operator new[](std::size_t size) { return mvio::bench::countedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mvio::bench {
+
+/// Snapshot of the pipeline counters (heap allocations here, payload byte
+/// copies from util::perf) for before/after deltas around a measured phase.
+struct Counters {
+  std::uint64_t allocs = 0;
+  std::uint64_t allocBytes = 0;
+  std::uint64_t bytesCopied = 0;
+};
+
+inline Counters countersNow() {
+  return {gAllocCount.load(std::memory_order_relaxed), gAllocBytes.load(std::memory_order_relaxed),
+          util::perf::bytesCopied()};
+}
+
+inline Counters countersSince(const Counters& t0) {
+  const Counters now = countersNow();
+  return {now.allocs - t0.allocs, now.allocBytes - t0.allocBytes, now.bytesCopied - t0.bytesCopied};
+}
 
 /// COMET-like Lustre volume (96 OSTs) with request latency scaled by
 /// `scale` so that scaled-down stripes keep the paper's latency/transfer

@@ -5,6 +5,7 @@
 
 #include "geom/wkb.hpp"
 #include "util/error.hpp"
+#include "util/perf.hpp"
 
 namespace mvio::core {
 
@@ -26,6 +27,7 @@ std::uint32_t readU32(const char* p) {
 
 void serializeCellGeometry(const CellGeometry& cg, std::string& out) {
   MVIO_CHECK(cg.cell >= 0, "negative cell id");
+  const std::size_t start = out.size();
   appendU32(out, static_cast<std::uint32_t>(cg.cell));
   appendU32(out, static_cast<std::uint32_t>(cg.geometry.userData.size()));
   const std::size_t lenPos = out.size();
@@ -35,6 +37,7 @@ void serializeCellGeometry(const CellGeometry& cg, std::string& out) {
   geom::appendWkb(cg.geometry, out);
   const auto wkbLen = static_cast<std::uint32_t>(out.size() - wkbStart);
   std::memcpy(out.data() + lenPos, &wkbLen, 4);
+  util::perf::addBytesCopied(out.size() - start);
 }
 
 void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>& out) {
@@ -52,97 +55,151 @@ void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>
     cg.geometry = geom::readWkb(bytes.substr(pos + userLen, wkbLen), &consumed);
     MVIO_CHECK(consumed == wkbLen, "WKB record length mismatch");
     cg.geometry.userData.assign(bytes.data() + pos, userLen);
+    util::perf::addBytesCopied(12ull + userLen + wkbLen);
     pos += userLen + wkbLen;
     out.push_back(std::move(cg));
   }
 }
 
-std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
-                                         const CellOwnerFn& owner, int windowPhases, int totalCells,
-                                         ExchangeStats* stats, const SerializationCostModel& costs) {
+geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
+                                   const CellOwnerFn& owner, int windowPhases, int totalCells,
+                                   ExchangeStats* stats, const SerializationCostModel& costs) {
   MVIO_CHECK(windowPhases >= 1, "need at least one exchange phase");
   MVIO_CHECK(totalCells >= 1, "need at least one cell");
   const int p = comm.size();
   const int phases = std::min(windowPhases, totalCells);
 
-  std::vector<CellGeometry> mine;
+  geom::GeometryBatch mine;
 
-  // Group outgoing geometries by phase so each sliding-window round only
-  // touches its slice of cells (bounding peak buffer size).
+  // Classify records. Self-owned ones copy straight into `mine`. For the
+  // single-phase default, the rest stay in the outgoing arenas until they
+  // are packed (zero staging copies). For a multi-phase sliding window
+  // they are re-bucketed into per-phase batches and the source arenas are
+  // dropped immediately, so each phase's memory is released as soon as
+  // its buffer is packed — the peak-memory bound the windowing exists for.
+  const bool multiPhase = phases > 1;
   const int cellsPerPhase = (totalCells + phases - 1) / phases;
   auto phaseOf = [&](int cell) { return std::min(cell / cellsPerPhase, phases - 1); };
 
-  std::vector<std::vector<CellGeometry>> byPhase(static_cast<std::size_t>(phases));
-  for (auto& cg : outgoing) {
-    MVIO_CHECK(cg.cell >= 0 && cg.cell < totalCells, "cell id out of grid range");
-    const int dst = owner(cg.cell);
+  std::vector<std::uint32_t> sendIdx;  // single-phase: indices into `outgoing`
+  std::vector<geom::GeometryBatch> phaseBatches(multiPhase ? static_cast<std::size_t>(phases) : 0);
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    const int cell = outgoing.cell(i);
+    if (cell == geom::GeometryBatch::kNoCell) continue;  // projected to no cell
+    MVIO_CHECK(cell >= 0 && cell < totalCells, "cell id out of grid range");
+    const int dst = owner(cell);
     MVIO_CHECK(dst >= 0 && dst < p, "cell owner out of communicator range");
     if (dst == comm.rank()) {
-      mine.push_back(std::move(cg));  // no self-serialization round trip
+      mine.appendRecordFrom(outgoing, i, cell);  // no self-serialization round trip
+    } else if (multiPhase) {
+      phaseBatches[static_cast<std::size_t>(phaseOf(cell))].appendRecordFrom(outgoing, i, cell);
     } else {
-      byPhase[static_cast<std::size_t>(phaseOf(cg.cell))].push_back(std::move(cg));
+      sendIdx.push_back(static_cast<std::uint32_t>(i));
     }
   }
-  outgoing.clear();
+  if (multiPhase) outgoing = geom::GeometryBatch();  // release the source arenas
 
   std::vector<int> sendCounts(static_cast<std::size_t>(p));
   std::vector<int> sendDispls(static_cast<std::size_t>(p));
   std::vector<int> recvCounts(static_cast<std::size_t>(p));
   std::vector<int> recvDispls(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+  std::vector<std::size_t> writeAt(static_cast<std::size_t>(p));
+  std::vector<char> sendBuf;  // reused across phases: resize keeps capacity
+  std::vector<char> recvBuf;
 
   for (int phase = 0; phase < phases; ++phase) {
-    auto& batch = byPhase[static_cast<std::size_t>(phase)];
-    // Serialize per destination rank; this buffer-management cost is part
-    // of the paper's communication time and is charged from the cost model.
-    std::vector<std::string> perDest(static_cast<std::size_t>(p));
-    std::uint64_t sentGeoms = 0;
-    for (const auto& cg : batch) {
-      serializeCellGeometry(cg, perDest[static_cast<std::size_t>(owner(cg.cell))]);
-      ++sentGeoms;
-    }
-    batch.clear();
-    batch.shrink_to_fit();
+    geom::GeometryBatch& src = multiPhase ? phaseBatches[static_cast<std::size_t>(phase)] : outgoing;
+    const std::size_t nRecords = multiPhase ? src.size() : sendIdx.size();
+    auto recordAt = [&](std::size_t k) {
+      return multiPhase ? k : static_cast<std::size_t>(sendIdx[k]);
+    };
 
-    std::string sendBuf;
-    for (int i = 0; i < p; ++i) {
-      const auto& d = perDest[static_cast<std::size_t>(i)];
-      MVIO_CHECK(d.size() <= static_cast<std::size_t>(INT32_MAX), "per-destination buffer exceeds 2 GB");
-      sendCounts[static_cast<std::size_t>(i)] = static_cast<int>(d.size());
-      sendDispls[static_cast<std::size_t>(i)] = static_cast<int>(sendBuf.size());
-      sendBuf.append(d);
+    // Pass 1: exact per-destination byte counts.
+    std::fill(sizes.begin(), sizes.end(), 0);
+    for (std::size_t k = 0; k < nRecords; ++k) {
+      const std::size_t i = recordAt(k);
+      sizes[static_cast<std::size_t>(owner(src.cell(i)))] += src.serializedSize(i);
     }
-    perDest.clear();
-    comm.clock().advanceBy(static_cast<double>(sendBuf.size()) / costs.bytesPerSecond +
-                           static_cast<double>(sentGeoms) * costs.perGeometrySeconds);
+    std::size_t sendTotal = 0;
+    for (int d = 0; d < p; ++d) {
+      MVIO_CHECK(sizes[static_cast<std::size_t>(d)] <= static_cast<std::uint64_t>(INT32_MAX),
+                 "per-destination buffer exceeds 2 GB");
+      sendCounts[static_cast<std::size_t>(d)] = static_cast<int>(sizes[static_cast<std::size_t>(d)]);
+      sendDispls[static_cast<std::size_t>(d)] = static_cast<int>(sendTotal);
+      writeAt[static_cast<std::size_t>(d)] = sendTotal;
+      sendTotal += static_cast<std::size_t>(sizes[static_cast<std::size_t>(d)]);
+    }
+    MVIO_CHECK(sendTotal <= static_cast<std::size_t>(INT32_MAX),
+               "phase send buffer exceeds 2 GB (displacements are 32-bit); increase windowPhases");
+
+    // Pass 2: pack every record once, directly at its destination's
+    // running offset — the phase's single payload-byte copy.
+    sendBuf.resize(sendTotal);
+    for (std::size_t k = 0; k < nRecords; ++k) {
+      const std::size_t i = recordAt(k);
+      auto& at = writeAt[static_cast<std::size_t>(owner(src.cell(i)))];
+      char* end = src.serializeRecordTo(i, sendBuf.data() + at);
+      at = static_cast<std::size_t>(end - sendBuf.data());
+    }
+    if (multiPhase) src = geom::GeometryBatch();  // this phase's records are packed; free them
+    comm.clock().advanceBy(static_cast<double>(sendTotal) / costs.bytesPerSecond +
+                           static_cast<double>(nRecords) * costs.perGeometrySeconds);
 
     // Round 1: exchange buffer sizes (MPI_Alltoall), so receivers can size
     // their count/displacement arrays for the payload round.
     comm.alltoall(sendCounts.data(), 1, mpi::Datatype::int32(), recvCounts.data());
     std::size_t recvTotal = 0;
-    for (int i = 0; i < p; ++i) {
-      recvDispls[static_cast<std::size_t>(i)] = static_cast<int>(recvTotal);
-      recvTotal += static_cast<std::size_t>(recvCounts[static_cast<std::size_t>(i)]);
+    for (int d = 0; d < p; ++d) {
+      recvDispls[static_cast<std::size_t>(d)] = static_cast<int>(recvTotal);
+      recvTotal += static_cast<std::size_t>(recvCounts[static_cast<std::size_t>(d)]);
     }
+    MVIO_CHECK(recvTotal <= static_cast<std::size_t>(INT32_MAX),
+               "phase receive buffer exceeds 2 GB (displacements are 32-bit); increase windowPhases");
 
     // Round 2: payload (MPI_Alltoallv over MPI_CHAR buffers).
-    std::string recvBuf(recvTotal, '\0');
+    recvBuf.resize(recvTotal);
     comm.alltoallv(sendBuf.data(), sendCounts.data(), sendDispls.data(), recvBuf.data(),
                    recvCounts.data(), recvDispls.data(), mpi::Datatype::char_());
 
     const std::size_t before = mine.size();
-    deserializeCellGeometries(recvBuf, mine);
-    comm.clock().advanceBy(static_cast<double>(recvBuf.size()) / costs.bytesPerSecond +
+    mine.deserializeRecords(std::string_view(recvBuf.data(), recvTotal));
+    comm.clock().advanceBy(static_cast<double>(recvTotal) / costs.bytesPerSecond +
                            static_cast<double>(mine.size() - before) * costs.perGeometrySeconds);
 
     if (stats != nullptr) {
-      stats->bytesSent += sendBuf.size();
-      stats->bytesReceived += recvBuf.size();
-      stats->geometriesSent += sentGeoms;
+      stats->bytesSent += sendTotal;
+      stats->bytesReceived += recvTotal;
+      stats->geometriesSent += nRecords;
       stats->geometriesReceived += mine.size() - before;
       stats->phases += 1;
     }
   }
+  outgoing.clear();
   return mine;
+}
+
+std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
+                                         const CellOwnerFn& owner, int windowPhases, int totalCells,
+                                         ExchangeStats* stats, const SerializationCostModel& costs) {
+  geom::GeometryBatch batch;
+  batch.reserveRecords(outgoing.size());
+  for (const auto& cg : outgoing) {
+    MVIO_CHECK(cg.cell >= 0, "negative cell id");
+    batch.append(cg.geometry, cg.cell);
+  }
+  outgoing.clear();
+  outgoing.shrink_to_fit();
+
+  geom::GeometryBatch mine =
+      exchangeByCell(comm, std::move(batch), owner, windowPhases, totalCells, stats, costs);
+
+  std::vector<CellGeometry> out;
+  out.reserve(mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    out.push_back({mine.cell(i), mine.materialize(i)});
+  }
+  return out;
 }
 
 }  // namespace mvio::core

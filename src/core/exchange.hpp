@@ -24,6 +24,7 @@
 
 #include "core/grid.hpp"
 #include "geom/geometry.hpp"
+#include "geom/geometry_batch.hpp"
 #include "mpi/runtime.hpp"
 
 namespace mvio::core {
@@ -60,9 +61,21 @@ struct ExchangeStats {
   std::uint64_t phases = 0;
 };
 
-/// Personalized all-to-all of cell-tagged geometries. `outgoing` is
-/// consumed. Returns the geometries this rank owns (its own retained ones
-/// plus received ones), in no particular order. Collective.
+/// Personalized all-to-all of a cell-tagged GeometryBatch — the pipeline's
+/// hot path. `outgoing` is consumed; records with cell == kNoCell are
+/// dropped (they project to no grid cell). Each phase sizes every
+/// destination first, then packs records straight from the batch arenas
+/// into ONE reused send buffer at computed displacements — exactly one
+/// copy of payload bytes per phase, no per-destination staging strings —
+/// and deserializes received bytes directly into the result batch.
+/// Returns the records this rank owns (retained + received). Collective.
+geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
+                                   const CellOwnerFn& owner, int windowPhases, int totalCells,
+                                   ExchangeStats* stats = nullptr,
+                                   const SerializationCostModel& costs = {});
+
+/// Compatibility wrapper for per-Geometry pipelines: encodes `outgoing`
+/// into a batch, runs the batch exchange, and materializes the result.
 std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
                                          const CellOwnerFn& owner, int windowPhases,
                                          int totalCells, ExchangeStats* stats = nullptr,

@@ -1,6 +1,7 @@
 #include "core/file_partition.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "util/error.hpp"
@@ -8,6 +9,31 @@
 namespace mvio::core {
 
 namespace {
+
+/// MPI guarantees tags are valid at least up to 32767 (MPI_TAG_UB lower
+/// bound). Iteration counts can exceed that on huge files with small
+/// blocks, so ring-fragment tags wrap; send/recv stay matched because both
+/// sides derive the tag from the same iteration index.
+constexpr std::uint64_t kTagModulus = 32768;
+
+/// Offset of the last `delim` in buf[0, len), or -1.
+std::int64_t findLastDelim(const char* buf, std::uint64_t len, char delim) {
+#if defined(__GLIBC__)
+  const void* p = ::memrchr(buf, delim, static_cast<std::size_t>(len));
+  return p == nullptr ? -1 : static_cast<const char*>(p) - buf;
+#else
+  std::int64_t pos = static_cast<std::int64_t>(len) - 1;
+  while (pos >= 0 && buf[static_cast<std::size_t>(pos)] != delim) --pos;
+  return pos;
+#endif
+}
+
+/// Offset of the first `delim` in buf[from, len), or len if absent.
+std::uint64_t findDelimFrom(const char* buf, std::uint64_t len, std::uint64_t from, char delim) {
+  if (from >= len) return len;
+  const void* p = std::memchr(buf + from, delim, static_cast<std::size_t>(len - from));
+  return p == nullptr ? len : static_cast<std::uint64_t>(static_cast<const char*>(p) - buf);
+}
 
 /// Number of ranks that actually read bytes in the iteration starting at
 /// `globalOffset` (the paper's "subset of processes call the file read
@@ -34,6 +60,10 @@ PartitionResult messagePartition(mpi::Comm& comm, io::File& file, const Partitio
   std::vector<char> buf(static_cast<std::size_t>(blockSize));
   std::vector<char> recvBuf(static_cast<std::size_t>(cfg.maxGeometryBytes));
   std::string carry;  // rank 0's fragment received for the *next* iteration
+  // Pre-size the output once: this rank keeps ~blockSize bytes per
+  // iteration (capped by the file), so gigabyte-scale inputs don't pay
+  // repeated append-growth copies.
+  result.text.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(iterations * blockSize, fileSize)));
 
   for (std::uint64_t i = 0; i < iterations; ++i) {
     const std::uint64_t globalOffset = i * fileChunkSize;
@@ -59,8 +89,7 @@ PartitionResult messagePartition(mpi::Comm& comm, io::File& file, const Partitio
     const bool tailHolder = lastIteration && rank == k - 1;  // holds the EOF tail
 
     // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
-    std::int64_t lastDelimPos = static_cast<std::int64_t>(myLen) - 1;
-    while (lastDelimPos >= 0 && buf[static_cast<std::size_t>(lastDelimPos)] != delim) --lastDelimPos;
+    const std::int64_t lastDelimPos = findLastDelim(buf.data(), myLen, delim);
 
     std::string_view keep;
     std::string_view fragment;
@@ -83,7 +112,7 @@ PartitionResult messagePartition(mpi::Comm& comm, io::File& file, const Partitio
     // Rank 0 receives the chunk-junction fragment from rank N-1, to be
     // prepended to its next-iteration block.
     const bool willRecv = rank > 0 ? true : !lastIteration;
-    const int tag = static_cast<int>(i);
+    const int tag = static_cast<int>(i % kTagModulus);
 
     std::string received;
     auto doSend = [&] {
@@ -134,6 +163,7 @@ PartitionResult overlapPartition(mpi::Comm& comm, io::File& file, const Partitio
   PartitionResult result;
   result.iterations = iterations;
   std::vector<char> buf;
+  result.text.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(iterations * blockSize, fileSize)));
 
   for (std::uint64_t i = 0; i < iterations; ++i) {
     const std::uint64_t globalOffset = i * fileChunkSize;
@@ -167,8 +197,7 @@ PartitionResult overlapPartition(mpi::Comm& comm, io::File& file, const Partitio
     if (start == 0) {
       firstStart = 0;
     } else {
-      std::uint64_t d = 0;  // index into buf, file offset readStart + d
-      while (d < readLen && buf[static_cast<std::size_t>(d)] != delim) ++d;
+      const std::uint64_t d = findDelimFrom(buf.data(), readLen, 0, delim);
       if (d == readLen) continue;  // no record begins in this block
       firstStart = readStart + d + 1;
       if (firstStart >= blockEnd) continue;  // boundary record belongs to successor
@@ -176,8 +205,7 @@ PartitionResult overlapPartition(mpi::Comm& comm, io::File& file, const Partitio
 
     // End of the record containing byte blockEnd-1: first delimiter at an
     // absolute offset >= blockEnd-1 (or EOF for a final unterminated record).
-    std::uint64_t e = blockEnd - 1 - readStart;  // buf index
-    while (e < readLen && buf[static_cast<std::size_t>(e)] != delim) ++e;
+    const std::uint64_t e = findDelimFrom(buf.data(), readLen, blockEnd - 1 - readStart, delim);
     std::uint64_t keepEndExclusive;  // absolute
     if (e < readLen) {
       keepEndExclusive = readStart + e + 1;  // include the delimiter

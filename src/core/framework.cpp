@@ -7,11 +7,27 @@
 
 namespace mvio::core {
 
+void RefineTask::refineCell(const GridSpec& /*grid*/, int /*cell*/,
+                            std::vector<geom::Geometry>& /*r*/, std::vector<geom::Geometry>& /*s*/) {
+  MVIO_CHECK(false, "RefineTask must override refineCell or refineCellBatch");
+}
+
+void RefineTask::refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
+                                 const geom::BatchSpan& s) {
+  // Legacy shim: materialize both spans and forward to the per-Geometry
+  // interface.
+  std::vector<geom::Geometry> rv, sv;
+  r.materializeAll(rv);
+  s.materializeAll(sv);
+  refineCell(grid, cell, rv, sv);
+}
+
 namespace {
 
-/// Phase 1+2 for one layer: partitioned read then parse.
+/// Phase 1+2 for one layer: partitioned read then parse straight into the
+/// batch arenas (no per-record Geometry objects).
 void loadLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
-               const FrameworkConfig& cfg, std::vector<geom::Geometry>& out, ParseStats& parseStats,
+               const FrameworkConfig& cfg, geom::GeometryBatch& out, ParseStats& parseStats,
                PartitionResult& ioStats, PhaseBreakdown& phases) {
   MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
   io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
@@ -22,38 +38,37 @@ void loadLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
 
   {
     mpi::CpuCharge charge(comm);
-    parseStats = ds.parser->parseAll(part.text, [&](geom::Geometry&& g) { out.push_back(std::move(g)); });
+    parseStats = ds.parser->parseAll(part.text, out);
     phases.parse += charge.stop();
   }
   ioStats = std::move(part);
   ioStats.text.clear();  // the text has been consumed; keep only the counters
+  ioStats.text.shrink_to_fit();
 }
 
-/// Phase 4: map geometries to overlapping cells (with replication).
-std::vector<CellGeometry> project(const GridSpec& grid, const CellLocator* locator,
-                                  std::vector<geom::Geometry>&& geoms) {
-  std::vector<CellGeometry> out;
-  out.reserve(geoms.size());
+/// Phase 4: map records to overlapping cells, in place. The first cell is
+/// assigned to the existing record; a geometry spanning k cells appends
+/// k-1 arena-copied replicas (duplicate results are avoided later in the
+/// refine phase). Records overlapping no cell are tombstoned with kNoCell.
+geom::GeometryBatch project(const GridSpec& grid, const CellLocator* locator,
+                            geom::GeometryBatch&& geoms) {
+  const std::size_t n = geoms.size();
   std::vector<int> cells;
-  for (auto& g : geoms) {
+  for (std::size_t i = 0; i < n; ++i) {
     cells.clear();
     if (locator != nullptr) {
-      locator->overlappingCells(g.envelope(), cells);
+      locator->overlappingCells(geoms.envelope(i), cells);
     } else {
-      grid.overlappingCells(g.envelope(), cells);
+      grid.overlappingCells(geoms.envelope(i), cells);
     }
-    // A geometry spanning multiple cells is replicated to each of them;
-    // duplicate results are avoided later in the refine phase.
-    for (std::size_t k = 0; k < cells.size(); ++k) {
-      if (k + 1 == cells.size()) {
-        out.push_back({cells[k], std::move(g)});
-      } else {
-        out.push_back({cells[k], g});
-      }
+    if (cells.empty()) {
+      geoms.setCell(i, geom::GeometryBatch::kNoCell);
+      continue;
     }
+    geoms.setCell(i, cells[0]);
+    for (std::size_t k = 1; k < cells.size(); ++k) geoms.appendRecordFrom(geoms, i, cells[k]);
   }
-  geoms.clear();
-  return out;
+  return std::move(geoms);
 }
 
 }  // namespace
@@ -64,50 +79,44 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   FrameworkStats stats;
 
   // 1+2: read and parse both layers.
-  std::vector<geom::Geometry> geomsR, geomsS;
-  loadLayer(comm, volume, r, cfg, geomsR, stats.parseR, stats.ioR, stats.phases);
+  geom::GeometryBatch batchR, batchS;
+  loadLayer(comm, volume, r, cfg, batchR, stats.parseR, stats.ioR, stats.phases);
   if (s != nullptr) {
-    loadLayer(comm, volume, *s, cfg, geomsS, stats.parseS, stats.ioS, stats.phases);
+    loadLayer(comm, volume, *s, cfg, batchS, stats.parseS, stats.ioS, stats.phases);
   }
 
-  // 3: global grid via MPI_UNION of local MBRs (both layers).
+  // 3: global grid via MPI_UNION of local MBRs (both layers). The batches
+  // keep per-record envelopes, so the local bound is one linear scan.
   {
-    std::vector<geom::Geometry> all;  // envelopes only matter; borrow views cheaply
-    all.reserve(geomsR.size() + geomsS.size());
-    geom::Envelope localBounds;
-    for (const auto& g : geomsR) localBounds.expandToInclude(g.envelope());
-    for (const auto& g : geomsS) localBounds.expandToInclude(g.envelope());
-    // buildGlobalGrid reduces envelopes; feed it a single box geometry to
-    // avoid copying the data. An empty rank contributes a null envelope.
-    if (!localBounds.isNull()) all.push_back(geom::Geometry::box(localBounds));
-    stats.grid = buildGlobalGrid(comm, all, cfg.gridCells);
+    geom::Envelope localBounds = batchR.bounds();
+    localBounds.expandToInclude(batchS.bounds());
+    stats.grid = buildGlobalGrid(comm, localBounds, cfg.gridCells);
   }
   const GridSpec& grid = stats.grid;
 
   // 4: project to cells (filter phase).
   std::optional<CellLocator> locator;
   if (cfg.rtreeCellLocator) locator.emplace(grid);
-  std::vector<CellGeometry> outR, outS;
   {
     mpi::CpuCharge charge(comm);
-    outR = project(grid, locator ? &*locator : nullptr, std::move(geomsR));
-    outS = project(grid, locator ? &*locator : nullptr, std::move(geomsS));
+    batchR = project(grid, locator ? &*locator : nullptr, std::move(batchR));
+    batchS = project(grid, locator ? &*locator : nullptr, std::move(batchS));
     stats.phases.partition += charge.stop();
   }
 
   // 5: all-to-all exchange (communication phase), one round per layer.
   const int p = comm.size();
   auto owner = [p](int cell) { return roundRobinOwner(cell, p); };
-  std::vector<CellGeometry> mineR, mineS;
+  geom::GeometryBatch mineR, mineS;
   {
     // exchangeByCell charges serialization/deserialization CPU internally;
     // the clock delta here therefore covers buffer management + transfer,
     // the paper's definition of communication time.
     const double t0 = comm.clock().now();
-    mineR = exchangeByCell(comm, std::move(outR), owner, cfg.windowPhases, grid.cellCount(),
+    mineR = exchangeByCell(comm, std::move(batchR), owner, cfg.windowPhases, grid.cellCount(),
                            &stats.exchange);
     if (s != nullptr) {
-      mineS = exchangeByCell(comm, std::move(outS), owner, cfg.windowPhases, grid.cellCount(),
+      mineS = exchangeByCell(comm, std::move(batchS), owner, cfg.windowPhases, grid.cellCount(),
                              &stats.exchange);
     }
     stats.phases.comm += comm.clock().now() - t0;
@@ -115,15 +124,21 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   stats.localR = mineR.size();
   stats.localS = mineS.size();
 
-  // 6: group by cell and run refine tasks.
+  // 6: group record indices by cell and run refine tasks over batch spans.
   {
     mpi::CpuCharge charge(comm);
-    std::unordered_map<int, std::pair<std::vector<geom::Geometry>, std::vector<geom::Geometry>>> cells;
-    for (auto& cg : mineR) cells[cg.cell].first.push_back(std::move(cg.geometry));
-    for (auto& cg : mineS) cells[cg.cell].second.push_back(std::move(cg.geometry));
+    std::unordered_map<int, std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>> cells;
+    for (std::size_t i = 0; i < mineR.size(); ++i) {
+      cells[mineR.cell(i)].first.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < mineS.size(); ++i) {
+      cells[mineS.cell(i)].second.push_back(static_cast<std::uint32_t>(i));
+    }
     stats.cellsOwned = cells.size();
     for (auto& [cell, pair] : cells) {
-      task.refineCell(grid, cell, pair.first, pair.second);
+      task.refineCellBatch(grid, cell,
+                           geom::BatchSpan(&mineR, pair.first.data(), pair.first.size()),
+                           geom::BatchSpan(&mineS, pair.second.data(), pair.second.size()));
     }
     stats.phases.compute += charge.stop();
   }

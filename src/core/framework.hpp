@@ -46,11 +46,23 @@ struct FrameworkConfig {
 /// Refine callback: receives the two geometry collections of one cell (the
 /// second is empty for single-layer pipelines). Implementations must apply
 /// their own duplicate avoidance (grid.cellOfPoint on a reference point).
+///
+/// Override exactly one of the two hooks:
+///  * refineCellBatch — the zero-copy interface. Envelopes and userData
+///    read straight from the batch arenas; materialize only the records
+///    the computation actually touches. The shipped join / range-query /
+///    indexing tasks use this.
+///  * refineCell — the legacy materialized interface; the default
+///    refineCellBatch materializes both spans and forwards here.
 class RefineTask {
  public:
   virtual ~RefineTask() = default;
+  /// Default throws: a task overriding neither hook (e.g. a typo'd
+  /// signature) must fail loudly, not silently produce zero results.
   virtual void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
-                          std::vector<geom::Geometry>& s) = 0;
+                          std::vector<geom::Geometry>& s);
+  virtual void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
+                               const geom::BatchSpan& s);
 };
 
 struct FrameworkStats {

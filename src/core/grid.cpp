@@ -12,6 +12,10 @@ GridSpec::GridSpec(const geom::Envelope& bounds, int cellsX, int cellsY)
     : bounds_(bounds), cellsX_(cellsX), cellsY_(cellsY) {
   MVIO_CHECK(!bounds.isNull(), "grid bounds must be non-null");
   MVIO_CHECK(cellsX >= 1 && cellsY >= 1, "grid needs at least one cell per axis");
+  cellW_ = bounds_.width() / cellsX_;
+  cellH_ = bounds_.height() / cellsY_;
+  invCellW_ = cellW_ > 0 ? 1.0 / cellW_ : 0.0;
+  invCellH_ = cellH_ > 0 ? 1.0 / cellH_ : 0.0;
 }
 
 GridSpec GridSpec::squarish(const geom::Envelope& bounds, int targetCells) {
@@ -29,17 +33,13 @@ geom::Envelope GridSpec::cellEnvelope(int cell) const {
   MVIO_CHECK(cell >= 0 && cell < cellCount(), "cell id out of range");
   const int cx = cell % cellsX_;
   const int cy = cell / cellsX_;
-  const double dx = bounds_.width() / cellsX_;
-  const double dy = bounds_.height() / cellsY_;
-  return {bounds_.minX() + cx * dx, bounds_.minY() + cy * dy, bounds_.minX() + (cx + 1) * dx,
-          bounds_.minY() + (cy + 1) * dy};
+  return {bounds_.minX() + cx * cellW_, bounds_.minY() + cy * cellH_,
+          bounds_.minX() + (cx + 1) * cellW_, bounds_.minY() + (cy + 1) * cellH_};
 }
 
 int GridSpec::cellOfPoint(const geom::Coord& c) const {
-  const double dx = bounds_.width() / cellsX_;
-  const double dy = bounds_.height() / cellsY_;
-  int cx = dx > 0 ? static_cast<int>((c.x - bounds_.minX()) / dx) : 0;
-  int cy = dy > 0 ? static_cast<int>((c.y - bounds_.minY()) / dy) : 0;
+  int cx = static_cast<int>((c.x - bounds_.minX()) * invCellW_);
+  int cy = static_cast<int>((c.y - bounds_.minY()) * invCellH_);
   cx = std::clamp(cx, 0, cellsX_ - 1);
   cy = std::clamp(cy, 0, cellsY_ - 1);
   return cellIdOf(cx, cy);
@@ -47,14 +47,12 @@ int GridSpec::cellOfPoint(const geom::Coord& c) const {
 
 void GridSpec::overlappingCells(const geom::Envelope& box, std::vector<int>& out) const {
   if (box.isNull() || !box.intersects(bounds_)) return;
-  const double dx = bounds_.width() / cellsX_;
-  const double dy = bounds_.height() / cellsY_;
   auto clampX = [&](int v) { return std::clamp(v, 0, cellsX_ - 1); };
   auto clampY = [&](int v) { return std::clamp(v, 0, cellsY_ - 1); };
-  const int x0 = clampX(dx > 0 ? static_cast<int>(std::floor((box.minX() - bounds_.minX()) / dx)) : 0);
-  const int x1 = clampX(dx > 0 ? static_cast<int>(std::floor((box.maxX() - bounds_.minX()) / dx)) : 0);
-  const int y0 = clampY(dy > 0 ? static_cast<int>(std::floor((box.minY() - bounds_.minY()) / dy)) : 0);
-  const int y1 = clampY(dy > 0 ? static_cast<int>(std::floor((box.maxY() - bounds_.minY()) / dy)) : 0);
+  const int x0 = clampX(static_cast<int>(std::floor((box.minX() - bounds_.minX()) * invCellW_)));
+  const int x1 = clampX(static_cast<int>(std::floor((box.maxX() - bounds_.minX()) * invCellW_)));
+  const int y0 = clampY(static_cast<int>(std::floor((box.minY() - bounds_.minY()) * invCellH_)));
+  const int y1 = clampY(static_cast<int>(std::floor((box.maxY() - bounds_.minY()) * invCellH_)));
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) out.push_back(cellIdOf(cx, cy));
   }
@@ -70,15 +68,23 @@ CellLocator::CellLocator(const GridSpec& grid) : grid_(&grid) {
 }
 
 void CellLocator::overlappingCells(const geom::Envelope& box, std::vector<int>& out) const {
+  // Sort (and dedupe) only what this call appended: callers batch many
+  // lookups into one vector, and entries from earlier queries must keep
+  // their order.
+  const auto first = static_cast<std::ptrdiff_t>(out.size());
   rtree_.query(box, [&](std::uint64_t id) { out.push_back(static_cast<int>(id)); });
-  std::sort(out.begin(), out.end());
+  std::sort(out.begin() + first, out.end());
+  out.erase(std::unique(out.begin() + first, out.end()), out.end());
 }
 
 GridSpec buildGlobalGrid(mpi::Comm& comm, const std::vector<geom::Geometry>& localGeoms,
                          int targetCells) {
   geom::Envelope local;
   for (const auto& g : localGeoms) local.expandToInclude(g.envelope());
+  return buildGlobalGrid(comm, local, targetCells);
+}
 
+GridSpec buildGlobalGrid(mpi::Comm& comm, const geom::Envelope& local, int targetCells) {
   RectData mine = RectData::fromEnvelope(local);
   RectData global = RectData::unionIdentity();
   comm.allreduce(&mine, &global, 1, mpiRect(), rectUnion());

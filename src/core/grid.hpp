@@ -53,6 +53,13 @@ class GridSpec {
   geom::Envelope bounds_;
   int cellsX_ = 1;
   int cellsY_ = 1;
+  // Cached cell extents and their inverses: cellOfPoint/overlappingCells
+  // run once per geometry per lookup, so the per-call width()/cellsX_
+  // divisions are replaced by one multiply.
+  double cellW_ = 0.0;
+  double cellH_ = 0.0;
+  double invCellW_ = 0.0;  ///< 0 when the axis is degenerate
+  double invCellH_ = 0.0;
 };
 
 /// Cell lookup through an R-tree of cell boundaries — the construction the
@@ -77,5 +84,10 @@ inline int roundRobinOwner(int cell, int nprocs) { return cell % nprocs; }
 /// `localGeoms` across ranks, then lay a ~targetCells grid over the union.
 GridSpec buildGlobalGrid(mpi::Comm& comm, const std::vector<geom::Geometry>& localGeoms,
                          int targetCells);
+
+/// Same, from a precomputed local bounding rectangle (the batch pipeline
+/// keeps per-record envelopes, so no geometry scan is needed here). A rank
+/// with no data passes a null envelope.
+GridSpec buildGlobalGrid(mpi::Comm& comm, const geom::Envelope& localBounds, int targetCells);
 
 }  // namespace mvio::core

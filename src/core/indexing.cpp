@@ -6,10 +6,11 @@ namespace mvio::core {
 
 namespace {
 
-/// RefineTask that bulk-loads an R-tree per cell and moves the geometries
-/// into the DistributedIndex.
+/// RefineTask that bulk-loads an R-tree per cell and materializes the
+/// cell's batch records into the DistributedIndex (the index outlives the
+/// pipeline's batches, so this is where the per-Geometry copies belong).
+/// R-tree entries come straight from the arena envelopes.
 struct BuildTask final : RefineTask {
-  DistributedIndex::CellIndex* current = nullptr;
   std::unordered_map<int, DistributedIndex::CellIndex>* cells;
   std::size_t fanout;
   std::uint64_t total = 0;
@@ -17,15 +18,15 @@ struct BuildTask final : RefineTask {
   BuildTask(std::unordered_map<int, DistributedIndex::CellIndex>* cellsOut, std::size_t rtreeFanout)
       : cells(cellsOut), fanout(rtreeFanout) {}
 
-  void refineCell(const GridSpec& /*grid*/, int cell, std::vector<geom::Geometry>& r,
-                  std::vector<geom::Geometry>& /*s*/) override {
+  void refineCellBatch(const GridSpec& /*grid*/, int cell, const geom::BatchSpan& r,
+                       const geom::BatchSpan& /*s*/) override {
     if (r.empty()) return;
     DistributedIndex::CellIndex ci;
-    ci.geometries = std::move(r);
+    r.materializeAll(ci.geometries);
     std::vector<geom::RTree::Entry> entries;
-    entries.reserve(ci.geometries.size());
-    for (std::size_t i = 0; i < ci.geometries.size(); ++i) {
-      entries.push_back({ci.geometries[i].envelope(), static_cast<std::uint64_t>(i)});
+    entries.reserve(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
     }
     ci.rtree = geom::RTree(fanout);
     ci.rtree.bulkLoad(std::move(entries));

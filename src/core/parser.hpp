@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "geom/geometry.hpp"
+#include "geom/geometry_batch.hpp"
 
 namespace mvio::core {
 
@@ -35,6 +36,11 @@ class Parser {
   /// `strict` parsing is on.
   [[nodiscard]] virtual bool parseRecord(std::string_view record, geom::Geometry& out) const = 0;
 
+  /// Batch sink: parse one record straight into `out`'s arenas. The default
+  /// routes through parseRecord() + GeometryBatch::append(); the shipped
+  /// parsers override it with allocation-free direct-to-arena writes.
+  [[nodiscard]] virtual bool parseRecordInto(std::string_view record, geom::GeometryBatch& out) const;
+
   /// Record delimiter in the file (newline for all shipped formats).
   [[nodiscard]] virtual char delimiter() const { return '\n'; }
 
@@ -42,6 +48,11 @@ class Parser {
   /// for each geometry. Malformed records are counted, not fatal (a
   /// 100-GB run should not die on one bad line).
   ParseStats parseAll(std::string_view text, const std::function<void(geom::Geometry&&)>& sink) const;
+
+  /// Batch bulk parse: split on the delimiter (memchr scan) and parse every
+  /// record into `out` via parseRecordInto(). This is the pipeline's hot
+  /// path — no per-record Geometry objects are created.
+  ParseStats parseAll(std::string_view text, geom::GeometryBatch& out) const;
 };
 
 /// WKT records: "<wkt>" or "<wkt>\t<attributes...>". Attributes are stored
@@ -49,12 +60,14 @@ class Parser {
 class WktParser final : public Parser {
  public:
   [[nodiscard]] bool parseRecord(std::string_view record, geom::Geometry& out) const override;
+  [[nodiscard]] bool parseRecordInto(std::string_view record, geom::GeometryBatch& out) const override;
 };
 
 /// CSV point records: "x,y" or "x,y,<attributes...>" (taxi-trip style).
 class CsvPointParser final : public Parser {
  public:
   [[nodiscard]] bool parseRecord(std::string_view record, geom::Geometry& out) const override;
+  [[nodiscard]] bool parseRecordInto(std::string_view record, geom::GeometryBatch& out) const override;
 };
 
 }  // namespace mvio::core

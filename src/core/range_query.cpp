@@ -1,6 +1,7 @@
 #include "core/range_query.hpp"
 
 #include <charconv>
+#include <optional>
 
 #include "geom/rtree.hpp"
 #include "util/error.hpp"
@@ -10,34 +11,41 @@ namespace mvio::core {
 namespace {
 
 /// RefineTask matching data (layer R) against query boxes (layer S).
-/// Query geometries carry their batch index in userData.
+/// Query geometries carry their batch index in userData. Batch-aware: the
+/// filter phase runs on arena envelopes; a data geometry is materialized
+/// at most once, and only for candidates that survive duplicate avoidance
+/// (the query itself is an axis-aligned box rebuilt from its envelope).
 struct QueryTask final : RefineTask {
   explicit QueryTask(std::vector<std::uint64_t>* counts, std::size_t fanout)
       : counts_(counts), fanout_(fanout) {}
 
-  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
-                  std::vector<geom::Geometry>& s) override {
+  void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
+                       const geom::BatchSpan& s) override {
     if (r.empty() || s.empty()) return;
     std::vector<geom::RTree::Entry> entries;
     entries.reserve(r.size());
     for (std::size_t i = 0; i < r.size(); ++i) {
-      entries.push_back({r[i].envelope(), static_cast<std::uint64_t>(i)});
+      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
     }
     geom::RTree index(fanout_);
     index.bulkLoad(std::move(entries));
 
-    for (const auto& q : s) {
+    std::vector<std::optional<geom::Geometry>> rCache(r.size());
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const std::string_view user = s.userData(k);
       std::size_t queryId = 0;
-      const auto [ptr, ec] =
-          std::from_chars(q.userData.data(), q.userData.data() + q.userData.size(), queryId);
+      const auto [ptr, ec] = std::from_chars(user.data(), user.data() + user.size(), queryId);
       MVIO_CHECK(ec == std::errc() && queryId < counts_->size(), "query geometry lost its batch index");
-      const geom::Envelope qBox = q.envelope();
+      const geom::Envelope qBox = s.envelope(k);
+      std::optional<geom::Geometry> qGeom;
       index.query(qBox, [&](std::uint64_t id) {
-        const geom::Geometry& g = r[static_cast<std::size_t>(id)];
-        const geom::Coord ref{std::max(g.envelope().minX(), qBox.minX()),
-                              std::max(g.envelope().minY(), qBox.minY())};
+        const geom::Envelope& gEnv = r.envelope(id);
+        const geom::Coord ref{std::max(gEnv.minX(), qBox.minX()), std::max(gEnv.minY(), qBox.minY())};
         if (grid.cellOfPoint(ref) != cell) return;
-        if (!geom::intersects(q, g)) return;
+        auto& g = rCache[static_cast<std::size_t>(id)];
+        if (!g) g = r.materialize(id);
+        if (!qGeom) qGeom = geom::Geometry::box(qBox);
+        if (!geom::intersects(*qGeom, *g)) return;
         (*counts_)[queryId] += 1;
       });
     }

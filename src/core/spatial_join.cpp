@@ -1,6 +1,7 @@
 #include "core/spatial_join.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "geom/rtree.hpp"
 #include "geom/wkb.hpp"
@@ -30,37 +31,45 @@ bool applyPredicate(JoinPredicate predicate, const geom::Geometry& r, const geom
 }
 
 /// RefineTask running the per-cell filter (R-tree) + refine (exact
-/// predicate) with reference-point duplicate avoidance.
+/// predicate) with reference-point duplicate avoidance. Operates on batch
+/// spans: the filter phase touches only arena-resident envelopes, and a
+/// geometry is materialized at most once — and only when a candidate pair
+/// survives duplicate avoidance.
 class JoinTask final : public RefineTask {
  public:
   JoinTask(const JoinConfig& cfg, std::vector<JoinPair>* results)
       : cfg_(cfg), results_(results) {}
 
-  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
-                  std::vector<geom::Geometry>& s) override {
+  void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
+                       const geom::BatchSpan& s) override {
     if (r.empty() || s.empty()) return;
 
-    // Filter: bulk-load an R-tree over R's MBRs.
+    // Filter: bulk-load an R-tree over R's MBRs, read from the arena.
     std::vector<geom::RTree::Entry> entries;
     entries.reserve(r.size());
     for (std::size_t i = 0; i < r.size(); ++i) {
-      entries.push_back({r[i].envelope(), static_cast<std::uint64_t>(i)});
+      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
     }
     geom::RTree index(cfg_.rtreeFanout);
     index.bulkLoad(std::move(entries));
 
-    for (const auto& sg : s) {
-      index.query(sg.envelope(), [&](std::uint64_t id) {
+    std::vector<std::optional<geom::Geometry>> rCache(r.size());
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const geom::Envelope& sEnv = s.envelope(k);
+      std::optional<geom::Geometry> sg;
+      index.query(sEnv, [&](std::uint64_t id) {
         ++candidates_;
-        const geom::Geometry& rg = r[static_cast<std::size_t>(id)];
+        const geom::Envelope& rEnv = r.envelope(id);
         // Duplicate avoidance: only the cell containing the reference
         // point (lower-left corner of the MBR intersection) reports.
-        const geom::Coord ref{std::max(rg.envelope().minX(), sg.envelope().minX()),
-                              std::max(rg.envelope().minY(), sg.envelope().minY())};
+        const geom::Coord ref{std::max(rEnv.minX(), sEnv.minX()), std::max(rEnv.minY(), sEnv.minY())};
         if (grid.cellOfPoint(ref) != cell) return;
-        if (!applyPredicate(cfg_.predicate, rg, sg)) return;
+        auto& rg = rCache[static_cast<std::size_t>(id)];
+        if (!rg) rg = r.materialize(id);
+        if (!sg) sg = s.materialize(k);
+        if (!applyPredicate(cfg_.predicate, *rg, *sg)) return;
         ++pairs_;
-        if (results_ != nullptr) results_->push_back({geometryKey(rg), geometryKey(sg)});
+        if (results_ != nullptr) results_->push_back({geometryKey(*rg), geometryKey(*sg)});
       });
     }
   }

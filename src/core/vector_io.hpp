@@ -32,6 +32,7 @@
 #include "core/range_query.hpp"
 #include "core/spatial_join.hpp"
 #include "core/spatial_types.hpp"
+#include "geom/geometry_batch.hpp"
 #include "geom/wkt.hpp"
 #include "io/file.hpp"
 #include "mpi/runtime.hpp"

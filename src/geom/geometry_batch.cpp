@@ -1,0 +1,348 @@
+#include "geom/geometry_batch.hpp"
+
+#include <cstring>
+
+#include "geom/wkb.hpp"
+#include "util/error.hpp"
+#include "util/perf.hpp"
+
+namespace mvio::geom {
+
+namespace {
+
+constexpr std::uint32_t kTypeMin = 1;
+constexpr std::uint32_t kTypeMax = 7;
+
+/// Shared cursor for shape-stream traversals (decode, size, WKB write).
+struct ShapeCursor {
+  const std::uint32_t* s;
+  const std::uint32_t* sEnd;
+  const Coord* c;
+  const Coord* cEnd;
+
+  std::uint32_t token() {
+    MVIO_CHECK(s < sEnd, "geometry batch: shape stream underrun");
+    return *s++;
+  }
+  const Coord* take(std::size_t n) {
+    MVIO_CHECK(static_cast<std::size_t>(cEnd - c) >= n, "geometry batch: coord arena underrun");
+    const Coord* first = c;
+    c += n;
+    return first;
+  }
+};
+
+Geometry decodeNode(ShapeCursor& cur) {
+  const std::uint32_t t = cur.token();
+  MVIO_CHECK(t >= kTypeMin && t <= kTypeMax, "geometry batch: bad type tag in shape stream");
+  const auto type = static_cast<GeometryType>(t);
+  switch (type) {
+    case GeometryType::kPoint:
+      return Geometry::point(*cur.take(1));
+    case GeometryType::kLineString: {
+      const std::uint32_t n = cur.token();
+      const Coord* first = cur.take(n);
+      return Geometry::lineString(std::vector<Coord>(first, first + n));
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = cur.token();
+      std::vector<Ring> rings;
+      rings.reserve(nRings);
+      for (std::uint32_t r = 0; r < nRings; ++r) {
+        const std::uint32_t len = cur.token();
+        const Coord* first = cur.take(len);
+        rings.push_back(Ring{std::vector<Coord>(first, first + len)});
+      }
+      return Geometry::polygon(std::move(rings));
+    }
+    default: {
+      const std::uint32_t nParts = cur.token();
+      std::vector<Geometry> parts;
+      parts.reserve(nParts);
+      for (std::uint32_t p = 0; p < nParts; ++p) parts.push_back(decodeNode(cur));
+      return Geometry::multi(type, std::move(parts));
+    }
+  }
+}
+
+std::size_t nodeWkbSize(ShapeCursor& cur) {
+  const std::uint32_t t = cur.token();
+  const auto type = static_cast<GeometryType>(t);
+  switch (type) {
+    case GeometryType::kPoint:
+      cur.take(1);
+      return 5 + 16;
+    case GeometryType::kLineString: {
+      const std::uint32_t n = cur.token();
+      cur.take(n);
+      return 5 + 4 + 16ull * n;
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = cur.token();
+      std::size_t bytes = 5 + 4;
+      for (std::uint32_t r = 0; r < nRings; ++r) {
+        const std::uint32_t len = cur.token();
+        cur.take(len);
+        bytes += 4 + 16ull * len;
+      }
+      return bytes;
+    }
+    default: {
+      const std::uint32_t nParts = cur.token();
+      std::size_t bytes = 5 + 4;
+      for (std::uint32_t p = 0; p < nParts; ++p) bytes += nodeWkbSize(cur);
+      return bytes;
+    }
+  }
+}
+
+inline char* putU8(char* dst, std::uint8_t v) {
+  std::memcpy(dst, &v, 1);
+  return dst + 1;
+}
+inline char* putU32(char* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, 4);
+  return dst + 4;
+}
+inline char* putCoords(char* dst, const Coord* c, std::size_t n) {
+  std::memcpy(dst, c, n * sizeof(Coord));
+  return dst + n * sizeof(Coord);
+}
+
+char* writeWkbNode(ShapeCursor& cur, char* dst) {
+  constexpr std::uint8_t kLittleEndian = 1;
+  const std::uint32_t t = cur.token();
+  dst = putU8(dst, kLittleEndian);
+  dst = putU32(dst, t);
+  switch (static_cast<GeometryType>(t)) {
+    case GeometryType::kPoint:
+      return putCoords(dst, cur.take(1), 1);
+    case GeometryType::kLineString: {
+      const std::uint32_t n = cur.token();
+      dst = putU32(dst, n);
+      return putCoords(dst, cur.take(n), n);
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = cur.token();
+      dst = putU32(dst, nRings);
+      for (std::uint32_t r = 0; r < nRings; ++r) {
+        const std::uint32_t len = cur.token();
+        dst = putU32(dst, len);
+        dst = putCoords(dst, cur.take(len), len);
+      }
+      return dst;
+    }
+    default: {
+      const std::uint32_t nParts = cur.token();
+      dst = putU32(dst, nParts);
+      for (std::uint32_t p = 0; p < nParts; ++p) dst = writeWkbNode(cur, dst);
+      return dst;
+    }
+  }
+}
+
+std::uint32_t readU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+Envelope GeometryBatch::bounds() const {
+  Envelope e;
+  for (const auto& rec : envelopes_) e.expandToInclude(rec);
+  return e;
+}
+
+void GeometryBatch::beginRecord() {
+  MVIO_CHECK(!recordOpen_, "beginRecord with a record already open");
+  recordOpen_ = true;
+  openCoordMark_ = coords_.size();
+  openShapeMark_ = shape_.size();
+}
+
+void GeometryBatch::commitRecord(std::string_view userData, int cell) {
+  MVIO_CHECK(recordOpen_, "commitRecord without beginRecord");
+  MVIO_CHECK(shape_.size() > openShapeMark_, "commitRecord on an empty shape stream");
+  recordOpen_ = false;
+
+  Envelope e;
+  for (std::size_t k = openCoordMark_; k < coords_.size(); ++k) e.expandToInclude(coords_[k]);
+
+  tags_.push_back(static_cast<std::uint8_t>(shape_[openShapeMark_]));
+  envelopes_.push_back(e);
+  cells_.push_back(cell);
+  userData_.insert(userData_.end(), userData.begin(), userData.end());
+  coordEnd_.push_back(coords_.size());
+  shapeEnd_.push_back(shape_.size());
+  userEnd_.push_back(userData_.size());
+}
+
+void GeometryBatch::rollbackRecord() {
+  MVIO_CHECK(recordOpen_, "rollbackRecord without beginRecord");
+  recordOpen_ = false;
+  coords_.resize(openCoordMark_);
+  shape_.resize(openShapeMark_);
+}
+
+void GeometryBatch::append(const Geometry& g, std::string_view userData, int cell) {
+  beginRecord();
+  encodeNode(g);
+  commitRecord(userData, cell);
+  // Staging a materialized Geometry into the arenas copies its payload;
+  // the native parse/deserialize paths never pay this.
+  util::perf::addBytesCopied(g.numVertices() * sizeof(Coord) + userData.size());
+}
+
+void GeometryBatch::encodeNode(const Geometry& g) {
+  pushShape(static_cast<std::uint32_t>(g.type()));
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      pushCoord(g.pointCoord());
+      break;
+    case GeometryType::kLineString:
+      pushShape(static_cast<std::uint32_t>(g.coords().size()));
+      for (const auto& c : g.coords()) pushCoord(c);
+      break;
+    case GeometryType::kPolygon:
+      pushShape(static_cast<std::uint32_t>(g.rings().size()));
+      for (const auto& r : g.rings()) {
+        pushShape(static_cast<std::uint32_t>(r.coords.size()));
+        for (const auto& c : r.coords) pushCoord(c);
+      }
+      break;
+    default:
+      pushShape(static_cast<std::uint32_t>(g.parts().size()));
+      for (const auto& p : g.parts()) encodeNode(p);
+      break;
+  }
+}
+
+void GeometryBatch::appendRecordFrom(const GeometryBatch& src, std::size_t i, int cell) {
+  MVIO_CHECK(i < src.size(), "appendRecordFrom: record index out of range");
+  // Offset-based spans so the copy is safe even when &src == this (the
+  // resize may reallocate; memcpy then runs inside the one new buffer,
+  // and source/destination ranges never overlap because dst is at end).
+  const std::size_t cb = src.coordBegin(i), ce = src.coordEnd_[i];
+  const std::size_t sb = src.shapeBegin(i), se = src.shapeEnd_[i];
+  const std::size_t ub = src.userBegin(i), ue = src.userEnd_[i];
+  const std::uint8_t tag = src.tags_[i];
+  const Envelope env = src.envelopes_[i];
+
+  const std::size_t coordAt = coords_.size();
+  coords_.resize(coordAt + (ce - cb));
+  std::memcpy(coords_.data() + coordAt, (this == &src ? coords_ : src.coords_).data() + cb,
+              (ce - cb) * sizeof(Coord));
+  const std::size_t shapeAt = shape_.size();
+  shape_.resize(shapeAt + (se - sb));
+  std::memcpy(shape_.data() + shapeAt, (this == &src ? shape_ : src.shape_).data() + sb,
+              (se - sb) * sizeof(std::uint32_t));
+  const std::size_t userAt = userData_.size();
+  userData_.resize(userAt + (ue - ub));
+  std::memcpy(userData_.data() + userAt, (this == &src ? userData_ : src.userData_).data() + ub,
+              ue - ub);
+
+  tags_.push_back(tag);
+  envelopes_.push_back(env);
+  cells_.push_back(cell);
+  coordEnd_.push_back(coords_.size());
+  shapeEnd_.push_back(shape_.size());
+  userEnd_.push_back(userData_.size());
+}
+
+Geometry GeometryBatch::materialize(std::size_t i) const {
+  MVIO_CHECK(i < size(), "materialize: record index out of range");
+  ShapeCursor cur{shape_.data() + shapeBegin(i), shape_.data() + shapeEnd_[i],
+                  coords_.data() + coordBegin(i), coords_.data() + coordEnd_[i]};
+  Geometry g = decodeNode(cur);
+  MVIO_CHECK(cur.s == cur.sEnd && cur.c == cur.cEnd, "materialize: record not fully consumed");
+  const std::string_view user = userData(i);
+  g.userData.assign(user.data(), user.size());
+  return g;
+}
+
+std::size_t GeometryBatch::wkbSize(std::size_t i) const {
+  ShapeCursor cur{shape_.data() + shapeBegin(i), shape_.data() + shapeEnd_[i],
+                  coords_.data() + coordBegin(i), coords_.data() + coordEnd_[i]};
+  return nodeWkbSize(cur);
+}
+
+char* GeometryBatch::writeWkbTo(std::size_t i, char* dst) const {
+  ShapeCursor cur{shape_.data() + shapeBegin(i), shape_.data() + shapeEnd_[i],
+                  coords_.data() + coordBegin(i), coords_.data() + coordEnd_[i]};
+  return writeWkbNode(cur, dst);
+}
+
+std::size_t GeometryBatch::serializedSize(std::size_t i) const {
+  return 12 + (userEnd_[i] - userBegin(i)) + wkbSize(i);
+}
+
+char* GeometryBatch::serializeRecordTo(std::size_t i, char* dst) const {
+  MVIO_CHECK(cells_[i] >= 0, "serializeRecordTo: negative cell id");
+  const char* start = dst;
+  const std::string_view user = userData(i);
+  dst = putU32(dst, static_cast<std::uint32_t>(cells_[i]));
+  dst = putU32(dst, static_cast<std::uint32_t>(user.size()));
+  char* wkbLenAt = dst;
+  dst = putU32(dst, 0);  // patched below
+  std::memcpy(dst, user.data(), user.size());
+  dst += user.size();
+  char* wkbStart = dst;
+  dst = writeWkbTo(i, dst);
+  putU32(wkbLenAt, static_cast<std::uint32_t>(dst - wkbStart));
+  util::perf::addBytesCopied(static_cast<std::uint64_t>(dst - start));
+  return dst;
+}
+
+void GeometryBatch::deserializeRecords(std::string_view bytes) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    MVIO_CHECK(pos + 12 <= bytes.size(), "truncated geometry record header");
+    const std::uint32_t cell = readU32(bytes.data() + pos);
+    const std::uint32_t userLen = readU32(bytes.data() + pos + 4);
+    const std::uint32_t wkbLen = readU32(bytes.data() + pos + 8);
+    pos += 12;
+    MVIO_CHECK(pos + userLen + wkbLen <= bytes.size(), "truncated geometry record body");
+
+    std::size_t consumed = 0;
+    readWkbInto(bytes.substr(pos + userLen, wkbLen), bytes.substr(pos, userLen), *this,
+                static_cast<int>(cell), &consumed);
+    MVIO_CHECK(consumed == wkbLen, "WKB record length mismatch");
+    util::perf::addBytesCopied(12ull + userLen + wkbLen);
+    pos += userLen + wkbLen;
+  }
+}
+
+void GeometryBatch::clear() {
+  MVIO_CHECK(!recordOpen_, "clear with a record open");
+  tags_.clear();
+  envelopes_.clear();
+  cells_.clear();
+  coordEnd_.clear();
+  shapeEnd_.clear();
+  userEnd_.clear();
+  coords_.clear();
+  shape_.clear();
+  userData_.clear();
+}
+
+void GeometryBatch::reserveRecords(std::size_t records, std::size_t coordsPerRecord,
+                                   std::size_t userBytesPerRecord) {
+  tags_.reserve(tags_.size() + records);
+  envelopes_.reserve(envelopes_.size() + records);
+  cells_.reserve(cells_.size() + records);
+  coordEnd_.reserve(coordEnd_.size() + records);
+  shapeEnd_.reserve(shapeEnd_.size() + records);
+  userEnd_.reserve(userEnd_.size() + records);
+  coords_.reserve(coords_.size() + records * coordsPerRecord);
+  shape_.reserve(shape_.size() + records * 2);
+  userData_.reserve(userData_.size() + records * userBytesPerRecord);
+}
+
+void BatchSpan::materializeAll(std::vector<Geometry>& out) const {
+  out.reserve(out.size() + count_);
+  for (std::size_t k = 0; k < count_; ++k) out.push_back(batch_->materialize(idx_[k]));
+}
+
+}  // namespace mvio::geom

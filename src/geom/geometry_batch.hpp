@@ -1,0 +1,177 @@
+#pragma once
+// Arena-backed geometry batch — the flat SoA substrate of the pipeline
+// (see DESIGN.md §2).
+//
+// A Geometry is a fine value type for algorithms, but a terrible unit of
+// bulk storage: every record costs three vectors and a string, and moving
+// millions of them through read→parse→partition→exchange churns the heap.
+// GeometryBatch stores any number of geometries in four shared arenas:
+//
+//   coords_   one contiguous Coord array (all vertices, in record order)
+//   shape_    a u32 token stream encoding each record's structure
+//   userData_ one contiguous attribute blob
+//   + per-record parallel arrays: type tag, envelope, grid cell,
+//     and exclusive end offsets into the three arenas.
+//
+// The shape stream is a pre-order encoding, one node per (sub)geometry:
+//
+//   node          := typeTag payload
+//   payload POINT := (none; consumes 1 coord)
+//   payload LINESTRING := vertexCount
+//   payload POLYGON    := ringCount ringLen...
+//   payload MULTI*/GEOMETRYCOLLECTION := partCount node...
+//
+// Appending a record never allocates beyond amortized arena growth; a
+// record copy between batches is three memcpys. Parsers write straight
+// into the arenas through the begin/push/commit builder API (rollback on
+// malformed input), the exchange serializes records directly from the
+// arenas into the MPI send buffer, and received bytes deserialize back
+// into a batch without intermediate per-record objects. materialize()
+// converts one record back into a Geometry for the algorithm layer.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/envelope.hpp"
+#include "geom/geometry.hpp"
+
+namespace mvio::geom {
+
+class GeometryBatch {
+ public:
+  /// Cell id of records that project to no grid cell (dropped by the
+  /// exchange, matching the per-Geometry pipeline which never emitted
+  /// them).
+  static constexpr int kNoCell = -1;
+
+  [[nodiscard]] std::size_t size() const { return tags_.size(); }
+  [[nodiscard]] bool empty() const { return tags_.empty(); }
+
+  // ---- Per-record accessors -------------------------------------------
+  [[nodiscard]] GeometryType type(std::size_t i) const {
+    return static_cast<GeometryType>(tags_[i]);
+  }
+  [[nodiscard]] const Envelope& envelope(std::size_t i) const { return envelopes_[i]; }
+  [[nodiscard]] std::string_view userData(std::size_t i) const {
+    return {userData_.data() + userBegin(i), userEnd_[i] - userBegin(i)};
+  }
+  [[nodiscard]] int cell(std::size_t i) const { return cells_[i]; }
+  void setCell(std::size_t i, int cell) { cells_[i] = cell; }
+  [[nodiscard]] std::size_t vertexCount(std::size_t i) const {
+    return coordEnd_[i] - coordBegin(i);
+  }
+  [[nodiscard]] const Coord* coordsOf(std::size_t i) const {
+    return coords_.data() + coordBegin(i);
+  }
+
+  // ---- Whole-batch accessors ------------------------------------------
+  [[nodiscard]] std::size_t totalVertices() const { return coords_.size(); }
+  [[nodiscard]] std::size_t userDataBytes() const { return userData_.size(); }
+  /// Union of all record envelopes (for global-grid construction).
+  [[nodiscard]] Envelope bounds() const;
+
+  // ---- Builder: direct-to-arena record construction -------------------
+  // Parsers call beginRecord(), stream coords / shape tokens, then either
+  // commitRecord() or rollbackRecord() (which truncates the arenas back).
+  void beginRecord();
+  void pushCoord(const Coord& c) { coords_.push_back(c); }
+  /// Append a shape token; returns its index for later patching (counts
+  /// are often unknown until a sequence has been scanned).
+  std::size_t pushShape(std::uint32_t token) {
+    shape_.push_back(token);
+    return shape_.size() - 1;
+  }
+  void patchShape(std::size_t tokenIndex, std::uint32_t value) { shape_[tokenIndex] = value; }
+  void commitRecord(std::string_view userData, int cell = 0);
+  void rollbackRecord();
+
+  // ---- Record-granularity append --------------------------------------
+  /// Encode a Geometry into the arenas (the materialized-path shim);
+  /// userData is taken from g.userData.
+  void append(const Geometry& g, int cell = 0) { append(g, g.userData, cell); }
+  void append(const Geometry& g, std::string_view userData, int cell = 0);
+  /// Copy record `i` of `src` (which may be *this) — three memcpys.
+  void appendRecordFrom(const GeometryBatch& src, std::size_t i, int cell);
+
+  /// Rebuild record `i` as a standalone Geometry (userData included).
+  [[nodiscard]] Geometry materialize(std::size_t i) const;
+
+  // ---- Exchange wire format -------------------------------------------
+  // [cell:u32][userDataLen:u32][wkbLen:u32][userData][wkb] — identical to
+  // serializeCellGeometry() so both pipelines interoperate on the wire.
+  [[nodiscard]] std::size_t wkbSize(std::size_t i) const;
+  /// Write record i's WKB at `dst` (caller guarantees wkbSize(i) bytes);
+  /// returns one past the last byte written.
+  char* writeWkbTo(std::size_t i, char* dst) const;
+  [[nodiscard]] std::size_t serializedSize(std::size_t i) const;
+  /// Write the full wire record at `dst`; returns one past the end. This
+  /// is the single payload-byte copy of the exchange send path.
+  char* serializeRecordTo(std::size_t i, char* dst) const;
+  /// Parse every wire record in `bytes`, appending to this batch. Throws
+  /// util::Error on truncated or malformed input.
+  void deserializeRecords(std::string_view bytes);
+
+  // ---- Capacity management --------------------------------------------
+  /// Drop all records but keep arena capacity (iteration reuse).
+  void clear();
+  void reserveRecords(std::size_t records, std::size_t coordsPerRecord = 4,
+                      std::size_t userBytesPerRecord = 8);
+
+ private:
+  [[nodiscard]] std::size_t coordBegin(std::size_t i) const { return i == 0 ? 0 : coordEnd_[i - 1]; }
+  [[nodiscard]] std::size_t shapeBegin(std::size_t i) const { return i == 0 ? 0 : shapeEnd_[i - 1]; }
+  [[nodiscard]] std::size_t userBegin(std::size_t i) const { return i == 0 ? 0 : userEnd_[i - 1]; }
+
+  void encodeNode(const Geometry& g);
+
+  // Per-record SoA columns.
+  std::vector<std::uint8_t> tags_;
+  std::vector<Envelope> envelopes_;
+  std::vector<int> cells_;
+  std::vector<std::size_t> coordEnd_;  ///< exclusive end offset into coords_
+  std::vector<std::size_t> shapeEnd_;  ///< exclusive end offset into shape_
+  std::vector<std::size_t> userEnd_;   ///< exclusive end offset into userData_
+
+  // Shared arenas.
+  std::vector<Coord> coords_;
+  std::vector<std::uint32_t> shape_;
+  std::vector<char> userData_;
+
+  // Open-record marks (builder rollback points).
+  bool recordOpen_ = false;
+  std::size_t openCoordMark_ = 0;
+  std::size_t openShapeMark_ = 0;
+};
+
+/// A cell's records inside a batch: an index view used by the refine
+/// phase. Algorithms read envelopes/userData straight from the arena and
+/// materialize only the records they actually need.
+class BatchSpan {
+ public:
+  BatchSpan() = default;
+  BatchSpan(const GeometryBatch* batch, const std::uint32_t* idx, std::size_t count)
+      : batch_(batch), idx_(idx), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Record index into the underlying batch.
+  [[nodiscard]] std::size_t recordIndex(std::size_t k) const { return idx_[k]; }
+  [[nodiscard]] const GeometryBatch& batch() const { return *batch_; }
+
+  [[nodiscard]] GeometryType type(std::size_t k) const { return batch_->type(idx_[k]); }
+  [[nodiscard]] const Envelope& envelope(std::size_t k) const { return batch_->envelope(idx_[k]); }
+  [[nodiscard]] std::string_view userData(std::size_t k) const { return batch_->userData(idx_[k]); }
+  [[nodiscard]] Geometry materialize(std::size_t k) const { return batch_->materialize(idx_[k]); }
+
+  /// Materialize every record in order (the legacy-RefineTask shim).
+  void materializeAll(std::vector<Geometry>& out) const;
+
+ private:
+  const GeometryBatch* batch_ = nullptr;
+  const std::uint32_t* idx_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mvio::geom

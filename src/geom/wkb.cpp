@@ -65,56 +65,54 @@ struct Reader {
   }
 };
 
-Geometry readOne(Reader& r);
-
-std::vector<Coord> readCoordSeq(Reader& r) {
-  const std::uint32_t n = r.u32();
-  std::vector<Coord> coords;
-  coords.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) coords.push_back(r.coord());
-  return coords;
-}
-
-Geometry readOne(Reader& r) {
+/// Decode one node straight into the batch arenas (the single copy of the
+/// WKB decode grammar; readWkb() materializes from a scratch batch).
+void readNodeInto(Reader& r, GeometryBatch& b) {
   const std::uint8_t order = r.u8();
   if (order != kLittleEndian && order != kBigEndian) r.fail("bad byte-order marker");
   r.swap = (order == kBigEndian);
   const std::uint32_t typeCode = r.u32();
   if (typeCode < 1 || typeCode > 7) r.fail("unsupported geometry type code");
-  const auto type = static_cast<GeometryType>(typeCode);
-  switch (type) {
+  b.pushShape(typeCode);
+  switch (static_cast<GeometryType>(typeCode)) {
     case GeometryType::kPoint:
-      return Geometry::point(r.coord());
+      b.pushCoord(r.coord());
+      return;
     case GeometryType::kLineString: {
-      auto coords = readCoordSeq(r);
-      if (coords.size() < 2) r.fail("LineString needs >= 2 coordinates");
-      return Geometry::lineString(std::move(coords));
+      const std::uint32_t n = r.u32();
+      if (n < 2) r.fail("LineString needs >= 2 coordinates");
+      b.pushShape(n);
+      for (std::uint32_t i = 0; i < n; ++i) b.pushCoord(r.coord());
+      return;
     }
     case GeometryType::kPolygon: {
       const std::uint32_t nRings = r.u32();
       if (nRings == 0) r.fail("polygon without rings");
-      std::vector<Ring> rings;
-      rings.reserve(nRings);
-      for (std::uint32_t i = 0; i < nRings; ++i) {
-        Ring ring;
-        ring.coords = readCoordSeq(r);
-        if (ring.coords.size() < 4 || !(ring.coords.front() == ring.coords.back())) {
-          r.fail("bad polygon ring");
+      b.pushShape(nRings);
+      for (std::uint32_t ring = 0; ring < nRings; ++ring) {
+        const std::uint32_t len = r.u32();
+        if (len < 4) r.fail("bad polygon ring");
+        b.pushShape(len);
+        Coord first{}, last{};
+        for (std::uint32_t i = 0; i < len; ++i) {
+          const Coord c = r.coord();
+          if (i == 0) first = c;
+          last = c;
+          b.pushCoord(c);
         }
-        rings.push_back(std::move(ring));
+        if (!(first == last)) r.fail("bad polygon ring");
       }
-      return Geometry::polygon(std::move(rings));
+      return;
     }
     default: {
       const std::uint32_t nParts = r.u32();
-      std::vector<Geometry> parts;
-      parts.reserve(nParts);
+      b.pushShape(nParts);
       for (std::uint32_t i = 0; i < nParts; ++i) {
         const bool savedSwap = r.swap;  // nested geometries carry their own marker
-        parts.push_back(readOne(r));
+        readNodeInto(r, b);
         r.swap = savedSwap;
       }
-      return Geometry::multi(type, std::move(parts));
+      return;
     }
   }
 }
@@ -158,11 +156,25 @@ std::string writeWkb(const Geometry& g) {
   return out;
 }
 
-Geometry readWkb(std::string_view bytes, std::size_t* consumed) {
+void readWkbInto(std::string_view bytes, std::string_view userData, GeometryBatch& out, int cell,
+                 std::size_t* consumed) {
   Reader r{bytes.data(), bytes.data() + bytes.size(), false};
-  Geometry g = readOne(r);
+  out.beginRecord();
+  try {
+    readNodeInto(r, out);
+  } catch (...) {
+    out.rollbackRecord();
+    throw;
+  }
+  out.commitRecord(userData, cell);
   if (consumed != nullptr) *consumed = static_cast<std::size_t>(r.cur - bytes.data());
-  return g;
+}
+
+Geometry readWkb(std::string_view bytes, std::size_t* consumed) {
+  thread_local GeometryBatch scratch;
+  scratch.clear();
+  readWkbInto(bytes, {}, scratch, 0, consumed);
+  return scratch.materialize(0);
 }
 
 }  // namespace mvio::geom

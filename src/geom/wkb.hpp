@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "geom/geometry.hpp"
+#include "geom/geometry_batch.hpp"
 
 namespace mvio::geom {
 
@@ -24,5 +25,13 @@ void appendWkb(const Geometry& g, std::string& out);
 /// non-null) receives the number of bytes read. Throws util::Error on
 /// malformed input.
 Geometry readWkb(std::string_view bytes, std::size_t* consumed = nullptr);
+
+/// Parse one WKB geometry from the start of `bytes` straight into `out`'s
+/// arenas as a committed record carrying `userData` / `cell` — the decode
+/// grammar lives here once, shared by readWkb() and the exchange
+/// deserializer. `consumed` (if non-null) receives the bytes read. Throws
+/// util::Error on malformed input; `out` is left unchanged then.
+void readWkbInto(std::string_view bytes, std::string_view userData, GeometryBatch& out,
+                 int cell = 0, std::size_t* consumed = nullptr);
 
 }  // namespace mvio::geom

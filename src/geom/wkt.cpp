@@ -44,15 +44,14 @@ struct Scanner {
     if (!consume(c)) fail(std::string("expected '") + c + "'");
   }
 
-  /// Case-insensitive keyword scan: [A-Za-z]+.
-  std::string keyword() {
+  /// Allocation-free case-insensitive keyword scan: [A-Za-z]+. Returns the
+  /// raw slice; compare with kwIs().
+  std::string_view keyword() {
     skipSpace();
     const char* start = cur;
     while (cur < end && std::isalpha(static_cast<unsigned char>(*cur))) ++cur;
     if (cur == start) fail("expected keyword");
-    std::string word(start, cur);
-    for (auto& ch : word) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
-    return word;
+    return {start, static_cast<std::size_t>(cur - start)};
   }
 
   double number() {
@@ -95,110 +94,164 @@ struct Scanner {
   }
 };
 
-std::vector<Coord> coordSequence(Scanner& s) {
-  std::vector<Coord> coords;
+/// Case-insensitive keyword comparison against an upper-case literal.
+bool kwIs(std::string_view kw, std::string_view upper) {
+  if (kw.size() != upper.size()) return false;
+  for (std::size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(kw[i])) != upper[i]) return false;
+  }
+  return true;
+}
+
+// The reader parses straight into GeometryBatch arenas (the zero-copy
+// bulk path); readWkt() materializes a one-record scratch batch, so both
+// entry points share one grammar. Counts are emitted as shape tokens with
+// a placeholder that is patched once the sequence has been scanned.
+
+/// "( c, c, ... )" into the arena; pushes a count token first. Returns the
+/// coordinate count.
+std::uint32_t coordSequenceInto(Scanner& s, GeometryBatch& b) {
   s.expect('(');
-  coords.push_back(s.coord());
-  while (s.consume(',')) coords.push_back(s.coord());
+  const std::size_t countAt = b.pushShape(0);
+  std::uint32_t n = 0;
+  do {
+    b.pushCoord(s.coord());
+    ++n;
+  } while (s.consume(','));
   s.expect(')');
-  return coords;
+  b.patchShape(countAt, n);
+  return n;
 }
 
-Ring ringFrom(Scanner& s) {
-  Ring r;
-  r.coords = coordSequence(s);
-  if (r.coords.size() < 4) s.fail("polygon ring needs >= 4 coordinates");
-  if (!(r.coords.front() == r.coords.back())) s.fail("polygon ring is not closed");
-  return r;
-}
-
-Geometry parseGeometry(Scanner& s);
-
-Geometry parseTyped(Scanner& s, const std::string& type) {
-  if (type == "POINT") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
-    s.expect('(');
+/// One closed ring (>= 4 coords, first == last) into the arena.
+void ringInto(Scanner& s, GeometryBatch& b) {
+  s.expect('(');
+  const std::size_t countAt = b.pushShape(0);
+  std::uint32_t n = 0;
+  Coord first{}, last{};
+  do {
     const Coord c = s.coord();
-    s.expect(')');
-    return Geometry::point(c);
-  }
-  if (type == "LINESTRING") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
-    auto coords = coordSequence(s);
-    if (coords.size() < 2) s.fail("LINESTRING needs >= 2 coordinates");
-    return Geometry::lineString(std::move(coords));
-  }
-  if (type == "POLYGON") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+    if (n == 0) first = c;
+    last = c;
+    b.pushCoord(c);
+    ++n;
+  } while (s.consume(','));
+  s.expect(')');
+  if (n < 4) s.fail("polygon ring needs >= 4 coordinates");
+  if (!(first == last)) s.fail("polygon ring is not closed");
+  b.patchShape(countAt, n);
+}
+
+void polygonBodyInto(Scanner& s, GeometryBatch& b) {
+  s.expect('(');
+  const std::size_t ringCountAt = b.pushShape(0);
+  std::uint32_t nRings = 0;
+  do {
+    ringInto(s, b);
+    ++nRings;
+  } while (s.consume(','));
+  s.expect(')');
+  b.patchShape(ringCountAt, nRings);
+}
+
+void emptyNodeInto(GeometryBatch& b, GeometryType type) {
+  b.pushShape(static_cast<std::uint32_t>(type));
+  b.pushShape(0);  // zero parts
+}
+
+void parseNodeInto(Scanner& s, GeometryBatch& b);
+
+void parseTypedInto(Scanner& s, std::string_view type, GeometryBatch& b) {
+  if (kwIs(type, "POINT")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kGeometryCollection);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kPoint));
     s.expect('(');
-    std::vector<Ring> rings;
-    rings.push_back(ringFrom(s));
-    while (s.consume(',')) rings.push_back(ringFrom(s));
+    b.pushCoord(s.coord());
     s.expect(')');
-    return Geometry::polygon(std::move(rings));
+    return;
   }
-  if (type == "MULTIPOINT") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiPoint, {});
+  if (kwIs(type, "LINESTRING")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kGeometryCollection);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kLineString));
+    if (coordSequenceInto(s, b) < 2) s.fail("LINESTRING needs >= 2 coordinates");
+    return;
+  }
+  if (kwIs(type, "POLYGON")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kGeometryCollection);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kPolygon));
+    polygonBodyInto(s, b);
+    return;
+  }
+  if (kwIs(type, "MULTIPOINT")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kMultiPoint);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kMultiPoint));
     s.expect('(');
-    std::vector<Geometry> parts;
+    const std::size_t partCountAt = b.pushShape(0);
+    std::uint32_t nParts = 0;
     do {
       // Both "MULTIPOINT ((1 2), (3 4))" and "MULTIPOINT (1 2, 3 4)" occur
       // in the wild; accept either.
+      b.pushShape(static_cast<std::uint32_t>(GeometryType::kPoint));
       if (s.consume('(')) {
-        const Coord c = s.coord();
+        b.pushCoord(s.coord());
         s.expect(')');
-        parts.push_back(Geometry::point(c));
       } else {
-        parts.push_back(Geometry::point(s.coord()));
+        b.pushCoord(s.coord());
       }
+      ++nParts;
     } while (s.consume(','));
     s.expect(')');
-    return Geometry::multi(GeometryType::kMultiPoint, std::move(parts));
+    b.patchShape(partCountAt, nParts);
+    return;
   }
-  if (type == "MULTILINESTRING") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiLineString, {});
+  if (kwIs(type, "MULTILINESTRING")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kMultiLineString);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kMultiLineString));
     s.expect('(');
-    std::vector<Geometry> parts;
+    const std::size_t partCountAt = b.pushShape(0);
+    std::uint32_t nParts = 0;
     do {
-      auto coords = coordSequence(s);
-      if (coords.size() < 2) s.fail("LINESTRING needs >= 2 coordinates");
-      parts.push_back(Geometry::lineString(std::move(coords)));
+      b.pushShape(static_cast<std::uint32_t>(GeometryType::kLineString));
+      if (coordSequenceInto(s, b) < 2) s.fail("LINESTRING needs >= 2 coordinates");
+      ++nParts;
     } while (s.consume(','));
     s.expect(')');
-    return Geometry::multi(GeometryType::kMultiLineString, std::move(parts));
+    b.patchShape(partCountAt, nParts);
+    return;
   }
-  if (type == "MULTIPOLYGON") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kMultiPolygon, {});
+  if (kwIs(type, "MULTIPOLYGON")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kMultiPolygon);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kMultiPolygon));
     s.expect('(');
-    std::vector<Geometry> parts;
+    const std::size_t partCountAt = b.pushShape(0);
+    std::uint32_t nParts = 0;
     do {
-      s.expect('(');
-      std::vector<Ring> rings;
-      rings.push_back(ringFrom(s));
-      while (s.consume(',')) rings.push_back(ringFrom(s));
-      s.expect(')');
-      parts.push_back(Geometry::polygon(std::move(rings)));
+      b.pushShape(static_cast<std::uint32_t>(GeometryType::kPolygon));
+      polygonBodyInto(s, b);
+      ++nParts;
     } while (s.consume(','));
     s.expect(')');
-    return Geometry::multi(GeometryType::kMultiPolygon, std::move(parts));
+    b.patchShape(partCountAt, nParts);
+    return;
   }
-  if (type == "GEOMETRYCOLLECTION") {
-    if (s.consumeEmpty()) return Geometry::multi(GeometryType::kGeometryCollection, {});
+  if (kwIs(type, "GEOMETRYCOLLECTION")) {
+    if (s.consumeEmpty()) return emptyNodeInto(b, GeometryType::kGeometryCollection);
+    b.pushShape(static_cast<std::uint32_t>(GeometryType::kGeometryCollection));
     s.expect('(');
-    std::vector<Geometry> parts;
+    const std::size_t partCountAt = b.pushShape(0);
+    std::uint32_t nParts = 0;
     do {
-      parts.push_back(parseGeometry(s));
+      parseNodeInto(s, b);
+      ++nParts;
     } while (s.consume(','));
     s.expect(')');
-    return Geometry::multi(GeometryType::kGeometryCollection, std::move(parts));
+    b.patchShape(partCountAt, nParts);
+    return;
   }
-  s.fail("unknown geometry type: " + type);
+  s.fail("unknown geometry type: " + std::string(type));
 }
 
-Geometry parseGeometry(Scanner& s) {
-  const std::string type = s.keyword();
-  return parseTyped(s, type);
-}
+void parseNodeInto(Scanner& s, GeometryBatch& b) { parseTypedInto(s, s.keyword(), b); }
 
 void writeCoord(std::string& out, const Coord& c, int precision) {
   char buf[64];
@@ -295,11 +348,35 @@ void writeBody(std::string& out, const Geometry& g, int precision) {
 
 }  // namespace
 
-Geometry readWkt(std::string_view text) {
+void readWktInto(std::string_view text, std::string_view userData, GeometryBatch& out, int cell) {
   Scanner s{text.data(), text.data() + text.size(), text.data()};
-  Geometry g = parseGeometry(s);
-  if (!s.atEnd()) s.fail("trailing characters after geometry");
-  return g;
+  out.beginRecord();
+  try {
+    parseNodeInto(s, out);
+    if (!s.atEnd()) s.fail("trailing characters after geometry");
+  } catch (...) {
+    out.rollbackRecord();
+    throw;
+  }
+  out.commitRecord(userData, cell);
+}
+
+bool tryReadWktInto(std::string_view text, std::string_view userData, GeometryBatch& out, int cell,
+                    std::string* error) {
+  try {
+    readWktInto(text, userData, out, cell);
+    return true;
+  } catch (const util::Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+Geometry readWkt(std::string_view text) {
+  thread_local GeometryBatch scratch;
+  scratch.clear();
+  readWktInto(text, {}, scratch);
+  return scratch.materialize(0);
 }
 
 bool tryReadWkt(std::string_view text, Geometry& out, std::string* error) {

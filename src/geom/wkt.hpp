@@ -15,12 +15,22 @@
 #include <string_view>
 
 #include "geom/geometry.hpp"
+#include "geom/geometry_batch.hpp"
 
 namespace mvio::geom {
 
 /// Parse one WKT geometry. Leading/trailing whitespace is ignored.
 /// Throws util::Error with a position-annotated message on malformed input.
 Geometry readWkt(std::string_view text);
+
+/// Parse one WKT geometry straight into `out`'s arenas (no per-record heap
+/// allocation) and attach `userData` / `cell` to the committed record.
+/// Throws util::Error on malformed input; `out` is left unchanged then.
+void readWktInto(std::string_view text, std::string_view userData, GeometryBatch& out, int cell = 0);
+
+/// Non-throwing variant of readWktInto.
+bool tryReadWktInto(std::string_view text, std::string_view userData, GeometryBatch& out,
+                    int cell = 0, std::string* error = nullptr);
 
 /// Non-throwing variant; returns false and fills `error` (if non-null) on
 /// malformed input. Used by the bulk parsers where a bad record is counted

@@ -1,0 +1,36 @@
+#pragma once
+// Lightweight process-wide performance counters for the hot pipeline paths.
+//
+// The batch pipeline's whole point is fewer heap allocations and fewer
+// payload-byte copies than the per-Geometry path. Allocations are counted
+// by the bench binaries (bench/common.hpp overrides operator new); byte
+// copies are counted here, at the serialization/staging call sites, so
+// benches can print "payload bytes copied" next to wall time and verify
+// the exchange performs exactly one copy of payload bytes into the send
+// buffer per phase.
+//
+// Counters are relaxed atomics: safe under the threads-as-ranks runtime
+// and cheap enough to leave enabled in library builds.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mvio::util::perf {
+
+inline std::atomic<std::uint64_t>& bytesCopiedCounter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+/// Charge `n` payload bytes copied by a serialization or staging step.
+inline void addBytesCopied(std::uint64_t n) {
+  bytesCopiedCounter().fetch_add(n, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t bytesCopied() {
+  return bytesCopiedCounter().load(std::memory_order_relaxed);
+}
+
+inline void resetBytesCopied() { bytesCopiedCounter().store(0, std::memory_order_relaxed); }
+
+}  // namespace mvio::util::perf
