@@ -21,14 +21,12 @@ int main() {
     std::uint64_t sent = 0, peak = 0, received = 0;
     mpi::Runtime::run(kProcs, sim::MachineModel::roger(2), [&](mpi::Comm& comm) {
       util::Rng rng(500 + static_cast<std::uint64_t>(comm.rank()));
-      std::vector<core::CellGeometry> outgoing;
-      outgoing.reserve(kGeomsPerRank);
+      geom::GeometryBatch outgoing;
+      outgoing.reserveRecords(kGeomsPerRank, 5);
       for (int i = 0; i < kGeomsPerRank; ++i) {
-        core::CellGeometry cg;
-        cg.cell = static_cast<int>(rng.below(kCells));
+        const int cell = static_cast<int>(rng.below(kCells));
         const double x = rng.uniform(0, 100), y = rng.uniform(0, 100);
-        cg.geometry = geom::Geometry::box(geom::Envelope(x, y, x + 1, y + 1));
-        outgoing.push_back(std::move(cg));
+        outgoing.append(geom::Geometry::box(geom::Envelope(x, y, x + 1, y + 1)), cell);
       }
       core::ExchangeStats stats;
       comm.syncClocks();

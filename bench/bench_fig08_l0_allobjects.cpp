@@ -108,26 +108,33 @@ int main() {
             parser.parseAll(part.text, [&](geom::Geometry&& g) { geoms.push_back(std::move(g)); });
           }
           const auto grid = core::buildGlobalGrid(comm, geoms, 256);
-          std::vector<core::CellGeometry> outgoing;
+          // Per-Geometry pipeline: heap Geometry objects are staged into a
+          // batch record by record (paying the per-record payload copy the
+          // native batch path never makes) and materialized back after the
+          // exchange — what the removed vector<CellGeometry> wrapper did.
+          geom::GeometryBatch staged;
           {
             mpi::CpuCharge charge(comm);
-            outgoing.reserve(geoms.size());
+            staged.reserveRecords(geoms.size());
             std::vector<int> cells;
             for (auto& g : geoms) {
               cells.clear();
               grid.overlappingCells(g.envelope(), cells);
-              for (std::size_t k = 0; k < cells.size(); ++k) {
-                if (k + 1 == cells.size()) {
-                  outgoing.push_back({cells[k], std::move(g)});
-                } else {
-                  outgoing.push_back({cells[k], g});
-                }
-              }
+              for (const int cell : cells) staged.append(g, cell);
+            }
+            geoms.clear();
+            geoms.shrink_to_fit();
+          }
+          const auto result = core::exchangeByCell(comm, std::move(staged), owner, 1, grid.cellCount());
+          std::vector<core::CellGeometry> materialized;
+          {
+            mpi::CpuCharge charge(comm);
+            materialized.reserve(result.size());
+            for (std::size_t i = 0; i < result.size(); ++i) {
+              materialized.push_back({result.cell(i), result.materialize(i)});
             }
           }
-          const auto result =
-              core::exchangeByCell(comm, std::move(outgoing), owner, 1, grid.cellCount());
-          mine = result.size();
+          mine = materialized.size();
         } else {
           geom::GeometryBatch batch;
           {

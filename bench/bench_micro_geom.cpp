@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "core/indexing.hpp"
 #include "geom/rtree.hpp"
 #include "geom/wkb.hpp"
 #include "geom/wkt.hpp"
@@ -219,6 +220,150 @@ void BM_RTreeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RTreeQuery);
+
+// ---- Refine-layer indexing: legacy materialized layout vs batch-backed
+// DistributedIndex. The build pair prices constructing per-cell R-trees
+// (legacy: one heap Geometry per record first; batch: arena MBRs in
+// place), the query pair prices filter + exact refine (legacy:
+// intersects() on materialized geometries; batch: recordIntersectsBox on
+// arena records). allocs/rec is the acceptance metric for the
+// "zero per-record Geometry heap allocations" claim — the batch variants
+// amortize to ~0 while the legacy variants pay several per record.
+
+constexpr int kIndexCells = 16;
+
+/// Cell-tagged batch shaped like a rank's post-exchange holdings:
+/// records replicate to every overlapping cell, exactly like the
+/// framework's project step (the reference-point dedup in the query
+/// paths below assumes this).
+mvio::geom::GeometryBatch indexInputBatch(std::size_t n, core::GridSpec& gridOut) {
+  const std::string text = recordText(n);
+  core::WktParser parser;
+  geom::GeometryBatch batch;
+  parser.parseAll(text, batch);
+  gridOut = core::GridSpec::squarish(batch.bounds(), kIndexCells);
+  const std::size_t parsed = batch.size();
+  std::vector<int> cells;
+  for (std::size_t i = 0; i < parsed; ++i) {
+    cells.clear();
+    gridOut.overlappingCells(batch.envelope(i), cells);
+    batch.setCell(i, cells.empty() ? geom::GeometryBatch::kNoCell : cells[0]);
+    for (std::size_t k = 1; k < cells.size(); ++k) batch.appendRecordFrom(batch, i, cells[k]);
+  }
+  return batch;
+}
+
+/// The pre-refactor CellIndex layout: materialize every record into its
+/// cell, then bulk-load one R-tree per cell. Shared by the legacy build
+/// and query benches so both price the identical layout.
+/// (tests/test_batch_refine.cpp's LegacyIndex asserts result identity for
+/// the same layout; if the legacy semantics ever need a fix, change both.)
+struct LegacyCells {
+  std::unordered_map<int, std::vector<geom::Geometry>> geoms;
+  std::unordered_map<int, geom::RTree> trees;
+};
+
+LegacyCells buildLegacyCells(const geom::GeometryBatch& input) {
+  LegacyCells out;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.geoms[input.cell(i)].push_back(input.materialize(i));
+  }
+  for (auto& [cell, geoms] : out.geoms) {
+    std::vector<geom::RTree::Entry> entries;
+    entries.reserve(geoms.size());
+    for (std::size_t k = 0; k < geoms.size(); ++k) {
+      entries.push_back({geoms[k].envelope(), static_cast<std::uint64_t>(k)});
+    }
+    auto [it, ok] = out.trees.emplace(cell, geom::RTree(16));
+    it->second.bulkLoad(std::move(entries));
+  }
+  return out;
+}
+
+void BM_IndexBuildLegacy(benchmark::State& state) {
+  core::GridSpec grid;
+  const geom::GeometryBatch input = indexInputBatch(256, grid);
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    const LegacyCells cells = buildLegacyCells(input);
+    records += input.size();
+    benchmark::DoNotOptimize(cells.trees.size());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+}
+BENCHMARK(BM_IndexBuildLegacy);
+
+void BM_IndexBuildBatch(benchmark::State& state) {
+  core::GridSpec grid;
+  const geom::GeometryBatch input = indexInputBatch(256, grid);
+  std::uint64_t records = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    geom::GeometryBatch copy = input;  // the real pipeline moves; copy keeps iterations independent
+    const auto index = core::DistributedIndex::fromBatch(std::move(copy), grid);
+    records += index.localGeometries();
+    benchmark::DoNotOptimize(index.cellCount());
+  }
+  reportPerRecord(state, bench::countersSince(t0), records);
+}
+BENCHMARK(BM_IndexBuildBatch);
+
+void BM_IndexQueryLegacy(benchmark::State& state) {
+  // The pre-refactor query layout and loop: per-cell materialized
+  // geometries + R-tree, reference-point dedup, then intersects() on the
+  // heap Geometry. allocs/rec divides by final matched records — the same
+  // denominator as the batch variant below.
+  core::GridSpec grid;
+  const geom::GeometryBatch input = indexInputBatch(256, grid);
+  const LegacyCells cells = buildLegacyCells(input);
+  util::Rng rng(9);
+  const geom::Envelope world = input.bounds();
+  std::uint64_t visited = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    const double x = rng.uniform(world.minX(), world.maxX());
+    const double y = rng.uniform(world.minY(), world.maxY());
+    const geom::Envelope q(x, y, x + world.width() / 8, y + world.height() / 8);
+    const geom::Geometry qGeom = geom::Geometry::box(q);
+    std::uint64_t hits = 0;
+    for (const auto& [cell, tree] : cells.trees) {
+      const auto& geoms = cells.geoms.at(cell);
+      tree.query(q, [&](std::uint64_t k) {
+        const geom::Geometry& g = geoms[static_cast<std::size_t>(k)];
+        const geom::Coord ref{std::max(g.envelope().minX(), q.minX()),
+                              std::max(g.envelope().minY(), q.minY())};
+        if (grid.cellOfPoint(ref) != cell) return;
+        if (geom::intersects(qGeom, g)) ++hits;
+      });
+    }
+    visited += hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  reportPerRecord(state, bench::countersSince(t0), visited);
+}
+BENCHMARK(BM_IndexQueryLegacy);
+
+void BM_IndexQueryBatch(benchmark::State& state) {
+  core::GridSpec grid;
+  geom::GeometryBatch input = indexInputBatch(256, grid);
+  const geom::Envelope world = input.bounds();
+  const auto index = core::DistributedIndex::fromBatch(std::move(input), grid);
+  util::Rng rng(9);
+  std::uint64_t visited = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    const double x = rng.uniform(world.minX(), world.maxX());
+    const double y = rng.uniform(world.minY(), world.maxY());
+    const geom::Envelope q(x, y, x + world.width() / 8, y + world.height() / 8);
+    std::uint64_t hits = 0;
+    index.query(q, [&](std::size_t) { ++hits; });
+    visited += hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  reportPerRecord(state, bench::countersSince(t0), visited);
+}
+BENCHMARK(BM_IndexQueryBatch);
 
 void BM_PolygonIntersects(benchmark::State& state) {
   osm::SynthSpec spec;

@@ -1,0 +1,65 @@
+# Documentation reference check, run as a ctest (`docs_check`).
+#
+# Scans the backtick-quoted file references in README.md and DESIGN.md
+# and fails if any referenced file no longer exists in the tree — the
+# docs rot the moment a refactor renames a file, and this keeps that
+# honest. A reference is accepted when it resolves relative to the repo
+# root or to src/, or (for bare file names like `exchange.cpp`) when a
+# file of that name exists anywhere under src/, tests/, bench/,
+# examples/ or cmake/.
+#
+# Usage: cmake -DREPO_ROOT=<repo> -P cmake/docs_check.cmake
+
+cmake_minimum_required(VERSION 3.20)  # script mode: pin policies (IN_LIST, JOIN)
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "docs_check: pass -DREPO_ROOT=<repository root>")
+endif()
+
+file(GLOB_RECURSE KNOWN_FILES RELATIVE ${REPO_ROOT}
+     ${REPO_ROOT}/src/* ${REPO_ROOT}/tests/* ${REPO_ROOT}/bench/*
+     ${REPO_ROOT}/examples/* ${REPO_ROOT}/cmake/*)
+set(KNOWN_BASENAMES "")
+foreach(f ${KNOWN_FILES})
+  get_filename_component(base ${f} NAME)
+  list(APPEND KNOWN_BASENAMES ${base})
+endforeach()
+
+set(MISSING "")
+foreach(doc README.md DESIGN.md)
+  set(doc_path ${REPO_ROOT}/${doc})
+  if(NOT EXISTS ${doc_path})
+    list(APPEND MISSING "${doc} (the document itself)")
+    continue()
+  endif()
+  file(READ ${doc_path} text)
+  # `path.ext` tokens; the brace expansion form `file.{hpp,cpp}` expands.
+  string(REGEX MATCHALL "`[A-Za-z0-9_/.{,}-]+\\.(hpp|cpp|md|txt|cmake)`" refs "${text}")
+  string(REGEX MATCHALL "`[A-Za-z0-9_/.-]+\\.{hpp,cpp}`" brace_refs "${text}")
+  list(APPEND refs ${brace_refs})
+  foreach(ref ${refs})
+    string(REPLACE "`" "" ref ${ref})
+    set(expanded ${ref})
+    if(ref MATCHES "^(.*)\\.\\{hpp,cpp\\}$")
+      set(expanded ${CMAKE_MATCH_1}.hpp ${CMAKE_MATCH_1}.cpp)
+    elseif(ref MATCHES "[{,}]")
+      continue()  # other brace forms: skip rather than misparse
+    endif()
+    foreach(path ${expanded})
+      get_filename_component(base ${path} NAME)
+      if(EXISTS ${REPO_ROOT}/${path} OR EXISTS ${REPO_ROOT}/src/${path})
+        continue()
+      endif()
+      if(NOT path MATCHES "/" AND base IN_LIST KNOWN_BASENAMES)
+        continue()
+      endif()
+      list(APPEND MISSING "${doc}: ${path}")
+    endforeach()
+  endforeach()
+endforeach()
+
+if(MISSING)
+  list(JOIN MISSING "\n  " msg)
+  message(FATAL_ERROR "stale documentation references:\n  ${msg}")
+endif()
+message(STATUS "docs_check: all README.md/DESIGN.md file references resolve")

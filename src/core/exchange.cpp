@@ -179,27 +179,4 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
   return mine;
 }
 
-std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
-                                         const CellOwnerFn& owner, int windowPhases, int totalCells,
-                                         ExchangeStats* stats, const SerializationCostModel& costs) {
-  geom::GeometryBatch batch;
-  batch.reserveRecords(outgoing.size());
-  for (const auto& cg : outgoing) {
-    MVIO_CHECK(cg.cell >= 0, "negative cell id");
-    batch.append(cg.geometry, cg.cell);
-  }
-  outgoing.clear();
-  outgoing.shrink_to_fit();
-
-  geom::GeometryBatch mine =
-      exchangeByCell(comm, std::move(batch), owner, windowPhases, totalCells, stats, costs);
-
-  std::vector<CellGeometry> out;
-  out.reserve(mine.size());
-  for (std::size_t i = 0; i < mine.size(); ++i) {
-    out.push_back({mine.cell(i), mine.materialize(i)});
-  }
-  return out;
-}
-
 }  // namespace mvio::core

@@ -2,13 +2,13 @@
 // Communication buffer management and the global spatial exchange
 // (paper §4.2.3).
 //
-// After local grid projection, a rank may hold geometries belonging to
-// cells owned by other ranks. exchangeByCell() performs the personalized
-// all-to-all: geometries are serialized (grouped by destination rank)
-// into character send buffers, buffer sizes are exchanged with
-// MPI_Alltoall, and the payload moves with MPI_Alltoallv — "all-to-all
-// collective communication is performed in at least two communication
-// rounds", exactly as the paper describes.
+// After local grid projection, a rank may hold records belonging to cells
+// owned by other ranks. exchangeByCell() performs the personalized
+// all-to-all over a cell-tagged GeometryBatch: records are serialized
+// straight from the batch arenas into one send buffer, buffer sizes are
+// exchanged with MPI_Alltoall, and the payload moves with MPI_Alltoallv —
+// "all-to-all collective communication is performed in at least two
+// communication rounds", exactly as the paper describes.
 //
 // For large datasets the exchange is windowed (paper: "sliding window
 // technique where communication happens in distinct number of phases"):
@@ -29,7 +29,11 @@
 
 namespace mvio::core {
 
-/// A geometry bound for (or arrived at) a specific grid cell.
+/// A materialized geometry tagged with its grid cell. The pipeline itself
+/// never builds these — it stays on GeometryBatch — but the struct and the
+/// codec below remain the wire-format reference implementation: tests and
+/// the micro benches use them to assert the batch serializer is
+/// byte-identical and to price the per-record staging path it replaced.
 struct CellGeometry {
   int cell = 0;
   geom::Geometry geometry;
@@ -38,7 +42,7 @@ struct CellGeometry {
 /// Maps a cell id to its owner rank (e.g. roundRobinOwner).
 using CellOwnerFn = std::function<int(int cell)>;
 
-/// Serialization helpers (exposed for tests and custom pipelines).
+/// Reference codec for the wire format (one record appended to `out`).
 void serializeCellGeometry(const CellGeometry& cg, std::string& out);
 /// Deserialize every record in `bytes`, appending to `out`.
 void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>& out);
@@ -73,12 +77,5 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
                                    const CellOwnerFn& owner, int windowPhases, int totalCells,
                                    ExchangeStats* stats = nullptr,
                                    const SerializationCostModel& costs = {});
-
-/// Compatibility wrapper for per-Geometry pipelines: encodes `outgoing`
-/// into a batch, runs the batch exchange, and materializes the result.
-std::vector<CellGeometry> exchangeByCell(mpi::Comm& comm, std::vector<CellGeometry>&& outgoing,
-                                         const CellOwnerFn& owner, int windowPhases,
-                                         int totalCells, ExchangeStats* stats = nullptr,
-                                         const SerializationCostModel& costs = {});
 
 }  // namespace mvio::core

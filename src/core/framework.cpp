@@ -7,19 +7,11 @@
 
 namespace mvio::core {
 
-void RefineTask::refineCell(const GridSpec& /*grid*/, int /*cell*/,
-                            std::vector<geom::Geometry>& /*r*/, std::vector<geom::Geometry>& /*s*/) {
-  MVIO_CHECK(false, "RefineTask must override refineCell or refineCellBatch");
-}
-
-void RefineTask::refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
-                                 const geom::BatchSpan& s) {
-  // Legacy shim: materialize both spans and forward to the per-Geometry
-  // interface.
-  std::vector<geom::Geometry> rv, sv;
-  r.materializeAll(rv);
-  s.materializeAll(sv);
-  refineCell(grid, cell, rv, sv);
+void RefineTask::adoptBatches(geom::GeometryBatch&& /*r*/, geom::GeometryBatch&& /*s*/) {
+  // Default: drop the batches. Tasks that fully reduce inside
+  // refineCellBatch (join counts, coverage sums) need nothing more; tasks
+  // whose product outlives the pipeline (DistributedIndex) override this
+  // and take the arenas wholesale.
 }
 
 namespace {
@@ -140,6 +132,9 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
                            geom::BatchSpan(&mineR, pair.first.data(), pair.first.size()),
                            geom::BatchSpan(&mineS, pair.second.data(), pair.second.size()));
     }
+    // Hand the batches to the task; record indices it captured during the
+    // refine loop stay valid in the adopted arenas.
+    task.adoptBatches(std::move(mineR), std::move(mineS));
     stats.phases.compute += charge.stop();
   }
 

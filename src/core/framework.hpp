@@ -11,9 +11,11 @@
 //
 // Applications extend RefineTask — "spatial computation can be carried
 // out by extending [the] refine interface that receives two collections
-// of geometries in a cell". Spatial join (spatial_join.hpp), batch range
-// query (range_query.hpp) and distributed indexing (indexing.hpp) are the
-// shipped exemplars.
+// of geometries in a cell". The collections arrive as BatchSpan views
+// into the rank's post-exchange GeometryBatch (never as materialized
+// Geometry vectors). Spatial join (spatial_join.hpp), batch range query
+// (range_query.hpp), grid overlay (overlay.hpp) and distributed indexing
+// (indexing.hpp) are the shipped exemplars.
 
 #include <memory>
 #include <optional>
@@ -43,26 +45,29 @@ struct FrameworkConfig {
   io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
 };
 
-/// Refine callback: receives the two geometry collections of one cell (the
-/// second is empty for single-layer pipelines). Implementations must apply
-/// their own duplicate avoidance (grid.cellOfPoint on a reference point).
+/// Refine callback: receives the two record collections of one cell as
+/// batch-span views (the second is empty for single-layer pipelines).
+/// Implementations must apply their own duplicate avoidance
+/// (grid.cellOfPoint on a reference point).
 ///
-/// Override exactly one of the two hooks:
-///  * refineCellBatch — the zero-copy interface. Envelopes and userData
-///    read straight from the batch arenas; materialize only the records
-///    the computation actually touches. The shipped join / range-query /
-///    indexing tasks use this.
-///  * refineCell — the legacy materialized interface; the default
-///    refineCellBatch materializes both spans and forwards here.
+/// The interface is batch-native: envelopes, userData, and the exact
+/// predicates (BatchSpan::intersectsBox / clippedMeasure) read straight
+/// from the batch arenas; materialize only the records a general
+/// geometry-vs-geometry test actually needs. The spans are valid only for
+/// the duration of the call — a task whose output must outlive the
+/// pipeline (e.g. the distributed index) records the *record indices* and
+/// takes ownership of the underlying batches via adoptBatches().
 class RefineTask {
  public:
   virtual ~RefineTask() = default;
-  /// Default throws: a task overriding neither hook (e.g. a typo'd
-  /// signature) must fail loudly, not silently produce zero results.
-  virtual void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
-                          std::vector<geom::Geometry>& s);
   virtual void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
-                               const geom::BatchSpan& s);
+                               const geom::BatchSpan& s) = 0;
+  /// Called exactly once, after the last refineCellBatch, offering
+  /// ownership of the rank's post-exchange batches. Record indices seen
+  /// through the spans stay valid in the adopted batches (moving a batch
+  /// moves its arenas, it never reindexes records). The default discards
+  /// them, which is correct for tasks that fully reduce in refine.
+  virtual void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& s);
 };
 
 struct FrameworkStats {

@@ -4,75 +4,102 @@
 
 namespace mvio::core {
 
-namespace {
-
-/// RefineTask that bulk-loads an R-tree per cell and materializes the
-/// cell's batch records into the DistributedIndex (the index outlives the
-/// pipeline's batches, so this is where the per-Geometry copies belong).
-/// R-tree entries come straight from the arena envelopes.
-struct BuildTask final : RefineTask {
-  std::unordered_map<int, DistributedIndex::CellIndex>* cells;
-  std::size_t fanout;
-  std::uint64_t total = 0;
-
-  BuildTask(std::unordered_map<int, DistributedIndex::CellIndex>* cellsOut, std::size_t rtreeFanout)
-      : cells(cellsOut), fanout(rtreeFanout) {}
-
-  void refineCellBatch(const GridSpec& /*grid*/, int cell, const geom::BatchSpan& r,
-                       const geom::BatchSpan& /*s*/) override {
-    if (r.empty()) return;
-    DistributedIndex::CellIndex ci;
-    r.materializeAll(ci.geometries);
-    std::vector<geom::RTree::Entry> entries;
-    entries.reserve(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
-    }
-    ci.rtree = geom::RTree(fanout);
-    ci.rtree.bulkLoad(std::move(entries));
-    total += ci.geometries.size();
-    cells->emplace(cell, std::move(ci));
+void DistributedIndex::addCell(int cell, const geom::BatchSpan& records, std::size_t fanout) {
+  // The span's index buffer is caller-owned (the framework's per-cell
+  // lists); copy the ids so they survive the pipeline.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(records.size());
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    ids.push_back(static_cast<std::uint32_t>(records.recordIndex(k)));
   }
-};
+  addCell(cell, std::move(ids), records.batch(), fanout);
+}
 
-}  // namespace
+void DistributedIndex::addCell(int cell, std::vector<std::uint32_t>&& ids,
+                               const geom::GeometryBatch& source, std::size_t fanout) {
+  CellIndex ci;
+  ci.records = std::move(ids);
+  ci.rtree = geom::RTree(fanout);
+  ci.rtree.bulkLoad(geom::BatchSpan(&source, ci.records.data(), ci.records.size()));
+  localGeometries_ += ci.records.size();
+  cells_.emplace(cell, std::move(ci));
+}
 
 std::uint64_t DistributedIndex::queryCount(const geom::Envelope& queryBox) const {
   std::uint64_t n = 0;
-  query(queryBox, [&](const geom::Geometry&) { ++n; });
+  query(queryBox, [&](std::size_t) { ++n; });
   return n;
 }
 
 void DistributedIndex::query(const geom::Envelope& queryBox,
-                             const std::function<void(const geom::Geometry&)>& fn) const {
+                             const std::function<void(std::size_t)>& fn) const {
   if (queryBox.isNull()) return;
-  const geom::Geometry queryGeom = geom::Geometry::box(queryBox);
   for (const auto& [cell, ci] : cells_) {
-    ci.rtree.query(queryBox, [&](std::uint64_t id) {
-      const geom::Geometry& g = ci.geometries[static_cast<std::size_t>(id)];
+    ci.rtree.visit(queryBox, [&](std::uint64_t k) {
+      const std::size_t id = ci.records[static_cast<std::size_t>(k)];
+      const geom::Envelope& env = batch_.envelope(id);
       // Reference-point deduplication across replicated copies.
-      const geom::Coord ref{std::max(g.envelope().minX(), queryBox.minX()),
-                            std::max(g.envelope().minY(), queryBox.minY())};
+      const geom::Coord ref{std::max(env.minX(), queryBox.minX()),
+                            std::max(env.minY(), queryBox.minY())};
       if (grid_.cellOfPoint(ref) != cell) return;
-      if (!geom::intersects(queryGeom, g)) return;
-      fn(g);
+      // Exact refine straight on the batch record — no materialization.
+      if (!geom::recordIntersectsBox(batch_, id, queryBox)) return;
+      fn(id);
     });
   }
+}
+
+DistributedIndex DistributedIndex::fromBatch(geom::GeometryBatch&& batch, const GridSpec& grid,
+                                             std::size_t rtreeFanout) {
+  DistributedIndex index;
+  index.grid_ = grid;
+  std::unordered_map<int, std::vector<std::uint32_t>> byCell;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch.cell(i) == geom::GeometryBatch::kNoCell) continue;
+    byCell[batch.cell(i)].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (auto& [cell, ids] : byCell) {
+    index.addCell(cell, std::move(ids), batch, rtreeFanout);
+  }
+  index.batch_ = std::move(batch);
+  return index;
 }
 
 DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& data,
                                        const IndexingConfig& cfg, IndexingStats* stats) {
   DistributedIndex index;
-  BuildTask task(&index.cells_, cfg.rtreeFanout);
+
+  /// RefineTask that bulk-loads an R-tree per cell from the arena-resident
+  /// MBRs and records each cell's record-id list. No geometry is copied:
+  /// after the refine loop the task adopts the rank's batch wholesale, and
+  /// the recorded ids stay valid inside the moved arenas. (Local class:
+  /// it shares this friend function's access to the index internals.)
+  struct BuildTask final : RefineTask {
+    DistributedIndex* index;
+    std::size_t fanout;
+
+    void refineCellBatch(const GridSpec& /*grid*/, int cell, const geom::BatchSpan& r,
+                         const geom::BatchSpan& /*s*/) override {
+      if (r.empty()) return;
+      index->addCell(cell, r, fanout);
+    }
+
+    void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& /*s*/) override {
+      index->batch_ = std::move(r);
+    }
+  };
+
+  BuildTask task;
+  task.index = &index;
+  task.fanout = cfg.rtreeFanout;
   const FrameworkStats fw = runFilterRefine(comm, volume, data, nullptr, cfg.framework, task);
   index.grid_ = fw.grid;
-  index.localGeometries_ = task.total;
 
   if (stats != nullptr) {
     stats->phases = fw.phases;
     stats->cellsOwned = fw.cellsOwned;
     stats->grid = fw.grid;
-    stats->globalGeometries = comm.allreduceSumU64(task.total);
+    stats->globalGeometries = comm.allreduceSumU64(index.localGeometries());
   }
   return index;
 }

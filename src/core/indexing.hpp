@@ -5,11 +5,16 @@
 //
 // The pipeline is the single-layer variant of the framework: partitioned
 // read, parse, grid projection, all-to-all exchange, then a bulk-loaded
-// R-tree per owned cell. The resulting DistributedIndex supports batch
-// rectangle queries against the local portion plus a helper to reduce
-// global match counts.
+// R-tree per owned cell. The index is batch-native end to end: it adopts
+// the rank's post-exchange GeometryBatch wholesale (no per-record copies
+// or materialized Geometry objects), per-cell R-trees bulk-load from the
+// arena-resident MBRs, and queries run filter + exact refine directly
+// against batch records (recordIntersectsBox). The resulting
+// DistributedIndex supports batch rectangle queries against the local
+// portion plus a helper to reduce global match counts.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,32 +29,53 @@ struct IndexingConfig {
   std::size_t rtreeFanout = 16;
 };
 
-/// Per-rank result: one R-tree per owned cell, plus the geometries.
+/// Per-rank result: one R-tree per owned cell over records of one adopted
+/// GeometryBatch. Build and query perform zero per-record geom::Geometry
+/// heap allocations; materialize() is the only record-granularity API
+/// that allocates.
 class DistributedIndex {
  public:
   struct CellIndex {
-    std::vector<geom::Geometry> geometries;
-    geom::RTree rtree;
+    std::vector<std::uint32_t> records;  ///< record ids into batch()
+    geom::RTree rtree;                   ///< entry ids are positions into `records`
   };
 
   [[nodiscard]] const GridSpec& grid() const { return grid_; }
   [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
   [[nodiscard]] std::uint64_t localGeometries() const { return localGeometries_; }
+  /// The records this index serves, in the pipeline's arena layout. Views
+  /// into it (coordsOf/userData/...) live as long as the index.
+  [[nodiscard]] const geom::GeometryBatch& batch() const { return batch_; }
 
-  /// Count local geometries whose MBR intersects `query` and whose exact
+  /// Count local records whose MBR intersects `query` and whose exact
   /// geometry intersects it too (filter + refine), deduplicated with the
-  /// reference-point rule so global sums are exact.
+  /// reference-point rule so global sums are exact. Allocation-free per
+  /// record: the exact test runs in place on the batch.
   [[nodiscard]] std::uint64_t queryCount(const geom::Envelope& query) const;
 
-  /// Visit matching local geometries.
-  void query(const geom::Envelope& query,
-             const std::function<void(const geom::Geometry&)>& fn) const;
+  /// Visit matching local records by batch record id; read them through
+  /// batch() or materialize(id).
+  void query(const geom::Envelope& query, const std::function<void(std::size_t)>& fn) const;
+
+  /// Rebuild one matched record as a standalone Geometry (allocates).
+  [[nodiscard]] geom::Geometry materialize(std::size_t id) const { return batch_.materialize(id); }
+
+  /// Build locally from an already cell-tagged batch — the single-rank
+  /// form of the MPI build (the collective path produces exactly this per
+  /// rank). Used by tests and the micro benches.
+  static DistributedIndex fromBatch(geom::GeometryBatch&& batch, const GridSpec& grid,
+                                    std::size_t rtreeFanout = 16);
 
  private:
   friend DistributedIndex buildDistributedIndex(mpi::Comm&, pfs::Volume&, const DatasetHandle&,
                                                 const IndexingConfig&, struct IndexingStats*);
 
+  void addCell(int cell, const geom::BatchSpan& records, std::size_t fanout);
+  void addCell(int cell, std::vector<std::uint32_t>&& ids, const geom::GeometryBatch& source,
+               std::size_t fanout);
+
   GridSpec grid_;
+  geom::GeometryBatch batch_;
   std::unordered_map<int, CellIndex> cells_;
   std::uint64_t localGeometries_ = 0;
 };

@@ -10,16 +10,18 @@ namespace mvio::core {
 
 namespace {
 
-/// Accumulates clipped coverage per owned cell.
+/// Accumulates clipped coverage per owned cell. Batch-native: measures
+/// are clipped straight from the arena coordinates (recordClippedMeasure),
+/// so no record is ever materialized.
 struct CoverageTask final : RefineTask {
   std::map<int, CellCoverage> cells;  // ordered: simplifies the strided write
 
-  void refineCell(const GridSpec& grid, int cell, std::vector<geom::Geometry>& r,
-                  std::vector<geom::Geometry>& s) override {
+  void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
+                       const geom::BatchSpan& s) override {
     const geom::Envelope box = grid.cellEnvelope(cell);
     CellCoverage& cov = cells[cell];
-    for (const auto& g : r) cov.measureR += geom::clippedMeasure(g, box);
-    for (const auto& g : s) cov.measureS += geom::clippedMeasure(g, box);
+    for (std::size_t k = 0; k < r.size(); ++k) cov.measureR += r.clippedMeasure(k, box);
+    for (std::size_t k = 0; k < s.size(); ++k) cov.measureS += s.clippedMeasure(k, box);
   }
 };
 

@@ -1,7 +1,6 @@
 #include "core/range_query.hpp"
 
 #include <charconv>
-#include <optional>
 
 #include "geom/rtree.hpp"
 #include "util/error.hpp"
@@ -11,10 +10,10 @@ namespace mvio::core {
 namespace {
 
 /// RefineTask matching data (layer R) against query boxes (layer S).
-/// Query geometries carry their batch index in userData. Batch-aware: the
-/// filter phase runs on arena envelopes; a data geometry is materialized
-/// at most once, and only for candidates that survive duplicate avoidance
-/// (the query itself is an axis-aligned box rebuilt from its envelope).
+/// Query geometries carry their batch index in userData. Fully
+/// batch-native: the filter phase bulk-loads an R-tree from arena
+/// envelopes and the exact test runs in place on the batch records
+/// (recordIntersectsBox) — no geometry is materialized on either side.
 struct QueryTask final : RefineTask {
   explicit QueryTask(std::vector<std::uint64_t>* counts, std::size_t fanout)
       : counts_(counts), fanout_(fanout) {}
@@ -22,30 +21,20 @@ struct QueryTask final : RefineTask {
   void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
                        const geom::BatchSpan& s) override {
     if (r.empty() || s.empty()) return;
-    std::vector<geom::RTree::Entry> entries;
-    entries.reserve(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
-    }
     geom::RTree index(fanout_);
-    index.bulkLoad(std::move(entries));
+    index.bulkLoad(r);
 
-    std::vector<std::optional<geom::Geometry>> rCache(r.size());
     for (std::size_t k = 0; k < s.size(); ++k) {
       const std::string_view user = s.userData(k);
       std::size_t queryId = 0;
       const auto [ptr, ec] = std::from_chars(user.data(), user.data() + user.size(), queryId);
       MVIO_CHECK(ec == std::errc() && queryId < counts_->size(), "query geometry lost its batch index");
       const geom::Envelope qBox = s.envelope(k);
-      std::optional<geom::Geometry> qGeom;
-      index.query(qBox, [&](std::uint64_t id) {
+      index.visit(qBox, [&](std::uint64_t id) {
         const geom::Envelope& gEnv = r.envelope(id);
         const geom::Coord ref{std::max(gEnv.minX(), qBox.minX()), std::max(gEnv.minY(), qBox.minY())};
         if (grid.cellOfPoint(ref) != cell) return;
-        auto& g = rCache[static_cast<std::size_t>(id)];
-        if (!g) g = r.materialize(id);
-        if (!qGeom) qGeom = geom::Geometry::box(qBox);
-        if (!geom::intersects(*qGeom, *g)) return;
+        if (!r.intersectsBox(static_cast<std::size_t>(id), qBox)) return;
         (*counts_)[queryId] += 1;
       });
     }

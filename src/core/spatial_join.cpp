@@ -32,9 +32,10 @@ bool applyPredicate(JoinPredicate predicate, const geom::Geometry& r, const geom
 
 /// RefineTask running the per-cell filter (R-tree) + refine (exact
 /// predicate) with reference-point duplicate avoidance. Operates on batch
-/// spans: the filter phase touches only arena-resident envelopes, and a
-/// geometry is materialized at most once — and only when a candidate pair
-/// survives duplicate avoidance.
+/// spans: the filter index bulk-loads from arena-resident envelopes, and
+/// the general geometry-vs-geometry predicates are the one place the
+/// refine layer still materializes — at most once per record, and only
+/// when a candidate pair survives duplicate avoidance.
 class JoinTask final : public RefineTask {
  public:
   JoinTask(const JoinConfig& cfg, std::vector<JoinPair>* results)
@@ -44,20 +45,15 @@ class JoinTask final : public RefineTask {
                        const geom::BatchSpan& s) override {
     if (r.empty() || s.empty()) return;
 
-    // Filter: bulk-load an R-tree over R's MBRs, read from the arena.
-    std::vector<geom::RTree::Entry> entries;
-    entries.reserve(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      entries.push_back({r.envelope(i), static_cast<std::uint64_t>(i)});
-    }
+    // Filter: bulk-load an R-tree straight from R's arena-resident MBRs.
     geom::RTree index(cfg_.rtreeFanout);
-    index.bulkLoad(std::move(entries));
+    index.bulkLoad(r);
 
     std::vector<std::optional<geom::Geometry>> rCache(r.size());
     for (std::size_t k = 0; k < s.size(); ++k) {
       const geom::Envelope& sEnv = s.envelope(k);
       std::optional<geom::Geometry> sg;
-      index.query(sEnv, [&](std::uint64_t id) {
+      index.visit(sEnv, [&](std::uint64_t id) {
         ++candidates_;
         const geom::Envelope& rEnv = r.envelope(id);
         // Duplicate avoidance: only the cell containing the reference

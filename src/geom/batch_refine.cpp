@@ -1,0 +1,183 @@
+#include "geom/clip.hpp"
+#include "geom/geometry_batch.hpp"
+#include "util/error.hpp"
+
+// Batch-native refine predicates: exact tests that walk a record's
+// shape-token stream and arena coordinates in place. Each function is the
+// structural mirror of the corresponding Geometry-based predicate
+// (predicates.cpp / clip.cpp) specialized to one materialization-free
+// traversal, so results are identical to materializing first — the
+// per-node dispatch below follows the scalar dispatch of intersects() and
+// clippedMeasure() case by case.
+
+namespace mvio::geom {
+
+namespace {
+
+/// Read-once cursor over one record's shape stream + coordinate span
+/// (same discipline as the decoder in geometry_batch.cpp).
+struct Cursor {
+  const std::uint32_t* s;
+  const std::uint32_t* sEnd;
+  const Coord* c;
+  const Coord* cEnd;
+
+  std::uint32_t token() {
+    MVIO_CHECK(s < sEnd, "batch refine: shape stream underrun");
+    return *s++;
+  }
+  const Coord* take(std::size_t n) {
+    MVIO_CHECK(static_cast<std::size_t>(cEnd - c) >= n, "batch refine: coord arena underrun");
+    const Coord* first = c;
+    c += n;
+    return first;
+  }
+};
+
+Cursor cursorOf(const GeometryBatch& b, std::size_t i) {
+  return {b.shapeOf(i), b.shapeOf(i) + b.shapeTokenCount(i), b.coordsOf(i),
+          b.coordsOf(i) + b.vertexCount(i)};
+}
+
+// ---- recordIntersectsBox -------------------------------------------------
+
+/// The query box as a closed ring, in Geometry::box() vertex order, so the
+/// boundary and containment tests below run the identical arithmetic to
+/// intersects(Geometry::box(box), g).
+struct BoxRing {
+  Coord p[5];
+  explicit BoxRing(const Envelope& e)
+      : p{{e.minX(), e.minY()},
+          {e.maxX(), e.minY()},
+          {e.maxX(), e.maxY()},
+          {e.minX(), e.maxY()},
+          {e.minX(), e.minY()}} {}
+};
+
+bool segmentHitsBoxBoundary(const Coord& u, const Coord& v, const BoxRing& box) {
+  for (int e = 0; e < 4; ++e) {
+    if (segmentsIntersect(box.p[e], box.p[e + 1], u, v)) return true;
+  }
+  return false;
+}
+
+/// Mirror of pointInPolygonRings() over arena rings: inside the shell and
+/// not strictly inside any hole (a hole's boundary still counts as inside).
+bool pointInArenaPolygon(const Coord& p, const std::uint32_t* ringLens, std::uint32_t nRings,
+                         const Coord* coords) {
+  if (nRings == 0 || !pointInRing(p, coords, ringLens[0])) return false;
+  const Coord* ring = coords + ringLens[0];
+  for (std::uint32_t r = 1; r < nRings; ++r) {
+    if (pointInRing(p, ring, ringLens[r])) return pointOnRingBoundary(p, ring, ringLens[r]);
+    ring += ringLens[r];
+  }
+  return true;
+}
+
+/// One node of the record against the box. Consumes the node fully when
+/// returning false (so a collection can continue with its next part); may
+/// stop early when returning true (the overall answer is decided).
+bool nodeIntersectsBox(Cursor& cur, const BoxRing& ring) {
+  const std::uint32_t t = cur.token();
+  switch (static_cast<GeometryType>(t)) {
+    case GeometryType::kPoint:
+      // polygonIntersectsScalar(box, point): on the box boundary or inside
+      // the box ring — exactly pointInRing against the closed box.
+      return pointInRing(*cur.take(1), ring.p, 5);
+    case GeometryType::kLineString: {
+      const std::uint32_t n = cur.token();
+      const Coord* c = cur.take(n);
+      if (n == 0) return false;  // empty geometry never intersects
+      for (std::uint32_t i = 0; i + 1 < n; ++i) {
+        if (segmentHitsBoxBoundary(c[i], c[i + 1], ring)) return true;
+      }
+      // No boundary crossing: intersects iff the line lies inside the box,
+      // i.e. its first vertex does (polygonIntersectsScalar step 2).
+      return pointInRing(c[0], ring.p, 5);
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = cur.token();
+      const std::uint32_t* ringLens = cur.s;  // re-walk base for containment
+      const Coord* coords = cur.c;
+      bool boundaryHit = false;
+      for (std::uint32_t r = 0; r < nRings; ++r) {
+        const std::uint32_t len = cur.token();
+        const Coord* rc = cur.take(len);
+        if (boundaryHit) continue;  // keep consuming the node
+        for (std::uint32_t i = 0; i + 1 < len; ++i) {
+          if (segmentHitsBoxBoundary(rc[i], rc[i + 1], ring)) {
+            boundaryHit = true;
+            break;
+          }
+        }
+      }
+      if (nRings == 0 || ringLens[0] == 0) return false;  // empty polygon
+      if (boundaryHit) return true;
+      // Polygon entirely inside the box (first shell vertex probe)...
+      if (pointInRing(coords[0], ring.p, 5)) return true;
+      // ...or box entirely inside the polygon (box-corner probe, honoring
+      // holes exactly like pointInPolygonRings).
+      return pointInArenaPolygon(ring.p[0], ringLens, nRings, coords);
+    }
+    default: {  // MULTI* / GEOMETRYCOLLECTION: any part intersecting decides
+      const std::uint32_t nParts = cur.token();
+      for (std::uint32_t p = 0; p < nParts; ++p) {
+        if (nodeIntersectsBox(cur, ring)) return true;
+      }
+      return false;
+    }
+  }
+}
+
+// ---- recordClippedMeasure ------------------------------------------------
+
+/// Mirror of clippedMeasure()'s type dispatch, one node at a time. Always
+/// consumes the node fully (measures accumulate across collection parts).
+double nodeClippedMeasure(Cursor& cur, const Envelope& rect) {
+  const std::uint32_t t = cur.token();
+  switch (static_cast<GeometryType>(t)) {
+    case GeometryType::kPoint:
+      return rect.contains(*cur.take(1)) ? 1.0 : 0.0;
+    case GeometryType::kLineString: {
+      const std::uint32_t n = cur.token();
+      return clippedPathLength(cur.take(n), n, rect);
+    }
+    case GeometryType::kPolygon: {
+      const std::uint32_t nRings = cur.token();
+      if (nRings == 0) return 0.0;
+      double a = 0;
+      for (std::uint32_t r = 0; r < nRings; ++r) {
+        const std::uint32_t len = cur.token();
+        const Coord* rc = cur.take(len);
+        const double ringArea = clippedRingArea(rc, len, rect);
+        a += (r == 0) ? ringArea : -ringArea;  // shell adds, holes subtract
+      }
+      return std::max(a, 0.0);
+    }
+    default: {  // MULTI* / GEOMETRYCOLLECTION: measures sum over parts
+      const std::uint32_t nParts = cur.token();
+      double m = 0;
+      for (std::uint32_t p = 0; p < nParts; ++p) m += nodeClippedMeasure(cur, rect);
+      return m;
+    }
+  }
+}
+
+}  // namespace
+
+bool recordIntersectsBox(const GeometryBatch& b, std::size_t i, const Envelope& box) {
+  MVIO_CHECK(i < b.size(), "recordIntersectsBox: record index out of range");
+  if (box.isNull() || !b.envelope(i).intersects(box)) return false;
+  Cursor cur = cursorOf(b, i);
+  const BoxRing ring(box);
+  return nodeIntersectsBox(cur, ring);
+}
+
+double recordClippedMeasure(const GeometryBatch& b, std::size_t i, const Envelope& rect) {
+  MVIO_CHECK(i < b.size(), "recordClippedMeasure: record index out of range");
+  if (rect.isNull() || !b.envelope(i).intersects(rect)) return 0.0;
+  Cursor cur = cursorOf(b, i);
+  return nodeClippedMeasure(cur, rect);
+}
+
+}  // namespace mvio::geom

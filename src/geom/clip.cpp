@@ -45,9 +45,13 @@ double ringSignedArea(const std::vector<Coord>& ring) {
 }  // namespace
 
 std::vector<Coord> clipRingToRect(const std::vector<Coord>& ring, const Envelope& rect) {
+  return clipRingToRect(ring.data(), ring.size(), rect);
+}
+
+std::vector<Coord> clipRingToRect(const Coord* ring, std::size_t n, const Envelope& rect) {
   MVIO_CHECK(!rect.isNull(), "cannot clip to a null rectangle");
   // Work on the open form (drop the closing repeat), re-close at the end.
-  std::vector<Coord> poly(ring.begin(), ring.end());
+  std::vector<Coord> poly(ring, ring + n);
   if (poly.size() > 1 && poly.front() == poly.back()) poly.pop_back();
 
   for (const Edge e : {Edge::kLeft, Edge::kRight, Edge::kBottom, Edge::kTop}) {
@@ -98,14 +102,29 @@ std::optional<std::pair<Coord, Coord>> clipSegmentToRect(const Coord& a, const C
   return std::make_pair(Coord{a.x + t0 * dx, a.y + t0 * dy}, Coord{a.x + t1 * dx, a.y + t1 * dy});
 }
 
+double clippedRingArea(const Coord* ring, std::size_t n, const Envelope& rect) {
+  return std::abs(ringSignedArea(clipRingToRect(ring, n, rect)));
+}
+
+double clippedPathLength(const Coord* path, std::size_t n, const Envelope& rect) {
+  double len = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (const auto seg = clipSegmentToRect(path[i], path[i + 1], rect)) {
+      len += distance(seg->first, seg->second);
+    }
+  }
+  return len;
+}
+
 double clippedArea(const Geometry& g, const Envelope& rect) {
   if (!g.envelope().intersects(rect)) return 0.0;
   switch (g.type()) {
     case GeometryType::kPolygon: {
       if (g.rings().empty()) return 0.0;
-      double a = std::abs(ringSignedArea(clipRingToRect(g.rings()[0].coords, rect)));
-      for (std::size_t i = 1; i < g.rings().size(); ++i) {
-        a -= std::abs(ringSignedArea(clipRingToRect(g.rings()[i].coords, rect)));
+      const auto& rings = g.rings();
+      double a = clippedRingArea(rings[0].coords.data(), rings[0].coords.size(), rect);
+      for (std::size_t i = 1; i < rings.size(); ++i) {
+        a -= clippedRingArea(rings[i].coords.data(), rings[i].coords.size(), rect);
       }
       return std::max(a, 0.0);
     }
@@ -123,16 +142,8 @@ double clippedArea(const Geometry& g, const Envelope& rect) {
 double clippedLength(const Geometry& g, const Envelope& rect) {
   if (!g.envelope().intersects(rect)) return 0.0;
   switch (g.type()) {
-    case GeometryType::kLineString: {
-      double len = 0;
-      const auto& c = g.coords();
-      for (std::size_t i = 0; i + 1 < c.size(); ++i) {
-        if (const auto seg = clipSegmentToRect(c[i], c[i + 1], rect)) {
-          len += distance(seg->first, seg->second);
-        }
-      }
-      return len;
-    }
+    case GeometryType::kLineString:
+      return clippedPathLength(g.coords().data(), g.coords().size(), rect);
     case GeometryType::kMultiLineString:
     case GeometryType::kGeometryCollection: {
       double len = 0;

@@ -20,6 +20,8 @@ namespace mvio::geom {
 /// Clip a closed ring to `rect`; returns the clipped ring's coordinates
 /// (closed) or an empty vector when nothing remains.
 std::vector<Coord> clipRingToRect(const std::vector<Coord>& ring, const Envelope& rect);
+/// Span form for arena-resident rings (GeometryBatch coordinates).
+std::vector<Coord> clipRingToRect(const Coord* ring, std::size_t n, const Envelope& rect);
 
 /// Clip segment [a,b] to `rect`; returns the clipped endpoints or nullopt
 /// when the segment misses the rectangle.
@@ -37,5 +39,15 @@ double clippedLength(const Geometry& g, const Envelope& rect);
 /// length for lines, inside-count for points. This is what the overlay
 /// accumulates per cell.
 double clippedMeasure(const Geometry& g, const Envelope& rect);
+
+// Span primitives shared by the Geometry overloads above and the
+// batch-native refine layer (geom/batch_refine.cpp), so both paths run
+// bit-identical arithmetic.
+
+/// |area| of ring ∩ `rect` (Sutherland-Hodgman, then the shoelace formula).
+double clippedRingArea(const Coord* ring, std::size_t n, const Envelope& rect);
+
+/// Length of polyline ∩ `rect` (Liang-Barsky per segment).
+double clippedPathLength(const Coord* path, std::size_t n, const Envelope& rect);
 
 }  // namespace mvio::geom

@@ -118,5 +118,9 @@ double pointSegmentDistance(const Coord& p, const Coord& a, const Coord& b);
 double segmentSegmentDistance(const Coord& a, const Coord& b, const Coord& c, const Coord& d);
 /// Ray-cast point-in-ring test; boundary counts as inside.
 bool pointInRing(const Coord& p, const std::vector<Coord>& ring);
+/// Span form of pointInRing for arena-resident rings (no allocation).
+bool pointInRing(const Coord& p, const Coord* ring, std::size_t n);
+/// True iff `p` lies exactly on the closed ring's boundary.
+bool pointOnRingBoundary(const Coord& p, const Coord* ring, std::size_t n);
 
 }  // namespace mvio::geom

@@ -28,6 +28,14 @@
 // arenas into the MPI send buffer, and received bytes deserialize back
 // into a batch without intermediate per-record objects. materialize()
 // converts one record back into a Geometry for the algorithm layer.
+//
+// Allocation discipline (what the refine layer relies on): the in-place
+// accessors (envelope/userData/coordsOf/shapeOf) and recordIntersectsBox
+// never heap-allocate; recordClippedMeasure allocates only the transient
+// clipped-ring buffers of the clipping kernel, never a Geometry;
+// beginRecord/commitRecord/appendRecordFrom pay only amortized arena
+// growth; materialize() and materializeAll() allocate one heap Geometry
+// per record and are reserved for records that leave the batch world.
 
 #include <cstdint>
 #include <string>
@@ -65,6 +73,16 @@ class GeometryBatch {
   [[nodiscard]] const Coord* coordsOf(std::size_t i) const {
     return coords_.data() + coordBegin(i);
   }
+  /// Record `i`'s shape-token stream (see the encoding above). Together
+  /// with coordsOf() this is the raw material of the batch-native refine
+  /// predicates (recordIntersectsBox / recordClippedMeasure), which walk
+  /// records in place instead of materializing them.
+  [[nodiscard]] const std::uint32_t* shapeOf(std::size_t i) const {
+    return shape_.data() + shapeBegin(i);
+  }
+  [[nodiscard]] std::size_t shapeTokenCount(std::size_t i) const {
+    return shapeEnd_[i] - shapeBegin(i);
+  }
 
   // ---- Whole-batch accessors ------------------------------------------
   [[nodiscard]] std::size_t totalVertices() const { return coords_.size(); }
@@ -96,6 +114,11 @@ class GeometryBatch {
   void appendRecordFrom(const GeometryBatch& src, std::size_t i, int cell);
 
   /// Rebuild record `i` as a standalone Geometry (userData included).
+  /// This is the materialization boundary: it heap-allocates the
+  /// Geometry's coordinate vectors and userData string. Refine code
+  /// should prefer the in-place accessors above and the batch-native
+  /// predicates in batch_refine.cpp, and materialize only records an
+  /// exact general-geometry test actually needs.
   [[nodiscard]] Geometry materialize(std::size_t i) const;
 
   // ---- Exchange wire format -------------------------------------------
@@ -145,9 +168,33 @@ class GeometryBatch {
   std::size_t openShapeMark_ = 0;
 };
 
+// ---- Batch-native refine predicates (batch_refine.cpp) -------------------
+// Exact tests that walk a record's shape stream and arena coordinates in
+// place — no Geometry is materialized and no heap allocation happens.
+// Results are identical to running the Geometry-based predicate on
+// materialize(i); tests/test_batch_refine.cpp asserts the equivalence.
+
+/// Exact intersection test of record `i` against an axis-aligned box.
+/// Equals intersects(Geometry::box(box), b.materialize(i)).
+[[nodiscard]] bool recordIntersectsBox(const GeometryBatch& b, std::size_t i, const Envelope& box);
+
+/// Type-appropriate measure of record `i` ∩ `rect` (area / length /
+/// inside-count). Equals clippedMeasure(b.materialize(i), rect) except for
+/// the transient clipped-ring buffers, which do allocate.
+[[nodiscard]] double recordClippedMeasure(const GeometryBatch& b, std::size_t i,
+                                          const Envelope& rect);
+
 /// A cell's records inside a batch: an index view used by the refine
 /// phase. Algorithms read envelopes/userData straight from the arena and
 /// materialize only the records they actually need.
+///
+/// Lifetime: a BatchSpan is a non-owning view. It borrows both the batch
+/// and the index array; neither may be destroyed, cleared, or appended to
+/// (arena growth may reallocate) while the span is read. The framework
+/// hands refine tasks spans that are valid only for the duration of the
+/// refineCellBatch call — tasks that need the records afterwards either
+/// copy the *record indices* (cheap, stable across RefineTask::adoptBatches)
+/// or materialize the geometries they keep.
 class BatchSpan {
  public:
   BatchSpan() = default;
@@ -165,7 +212,16 @@ class BatchSpan {
   [[nodiscard]] std::string_view userData(std::size_t k) const { return batch_->userData(idx_[k]); }
   [[nodiscard]] Geometry materialize(std::size_t k) const { return batch_->materialize(idx_[k]); }
 
-  /// Materialize every record in order (the legacy-RefineTask shim).
+  /// Batch-native exact tests on the k-th record (no materialization).
+  [[nodiscard]] bool intersectsBox(std::size_t k, const Envelope& box) const {
+    return recordIntersectsBox(*batch_, idx_[k], box);
+  }
+  [[nodiscard]] double clippedMeasure(std::size_t k, const Envelope& rect) const {
+    return recordClippedMeasure(*batch_, idx_[k], rect);
+  }
+
+  /// Materialize every record in order (one heap Geometry per record —
+  /// bulk-export only, never a refine hot path).
   void materializeAll(std::vector<Geometry>& out) const;
 
  private:

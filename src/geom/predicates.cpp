@@ -58,14 +58,14 @@ double segmentSegmentDistance(const Coord& a, const Coord& b, const Coord& c, co
 }
 
 bool pointInRing(const Coord& p, const std::vector<Coord>& ring) {
+  return pointInRing(p, ring.data(), ring.size());
+}
+
+bool pointInRing(const Coord& p, const Coord* ring, std::size_t n) {
   // Boundary counts as inside (OGC "intersects" semantics for our usage).
-  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
-    if (orientationSign(ring[i], ring[i + 1], p) == 0 && onSegment(ring[i], ring[i + 1], p)) {
-      return true;
-    }
-  }
+  if (pointOnRingBoundary(p, ring, n)) return true;
   bool inside = false;
-  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
     const Coord& u = ring[i];
     const Coord& v = ring[i + 1];
     if ((u.y > p.y) != (v.y > p.y)) {
@@ -74,6 +74,15 @@ bool pointInRing(const Coord& p, const std::vector<Coord>& ring) {
     }
   }
   return inside;
+}
+
+bool pointOnRingBoundary(const Coord& p, const Coord* ring, std::size_t n) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (orientationSign(ring[i], ring[i + 1], p) == 0 && onSegment(ring[i], ring[i + 1], p)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/geometry_batch.hpp"
 #include "util/error.hpp"
 
 namespace mvio::geom {
@@ -87,6 +88,15 @@ void RTree::bulkLoad(std::vector<Entry> entries) {
   count_ = entries.size();
   if (entries.empty()) return;
   root_ = buildStr(entries, 0, entries.size(), entries.size() <= maxEntries_ ? 0 : 1);
+}
+
+void RTree::bulkLoad(const BatchSpan& span) {
+  std::vector<Entry> entries;
+  entries.reserve(span.size());
+  for (std::size_t k = 0; k < span.size(); ++k) {
+    entries.push_back({span.envelope(k), static_cast<std::uint64_t>(k)});
+  }
+  bulkLoad(std::move(entries));
 }
 
 // ---- Dynamic insert ------------------------------------------------------
@@ -300,21 +310,7 @@ void RTree::insert(const Envelope& box, std::uint64_t id) {
 // ---- Query ---------------------------------------------------------------
 
 void RTree::query(const Envelope& queryBox, const std::function<void(std::uint64_t)>& fn) const {
-  if (root_ < 0 || queryBox.isNull()) return;
-  std::vector<std::int32_t> stack{root_};
-  while (!stack.empty()) {
-    const std::int32_t n = stack.back();
-    stack.pop_back();
-    const Node& node = nodes_[static_cast<std::size_t>(n)];
-    if (!node.box.intersects(queryBox)) continue;
-    if (node.leaf) {
-      for (const auto& e : node.entries) {
-        if (e.box.intersects(queryBox)) fn(e.id);
-      }
-    } else {
-      for (auto c : node.children) stack.push_back(c);
-    }
-  }
+  visit(queryBox, [&fn](std::uint64_t id) { fn(id); });
 }
 
 std::vector<std::uint64_t> RTree::search(const Envelope& queryBox) const {

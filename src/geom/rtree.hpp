@@ -18,6 +18,8 @@
 
 namespace mvio::geom {
 
+class BatchSpan;
+
 class RTree {
  public:
   struct Entry {
@@ -32,11 +34,26 @@ class RTree {
   /// Build by STR packing; replaces any existing content.
   void bulkLoad(std::vector<Entry> entries);
 
+  /// Build directly from a cell's batch records: entry `k` carries the
+  /// k-th record's arena-resident MBR, so the filter index never touches
+  /// materialized geometries. Query callbacks receive span positions
+  /// (0..span.size()-1), not underlying batch record ids.
+  void bulkLoad(const BatchSpan& span);
+
   /// Insert one entry (Guttman, quadratic split).
   void insert(const Envelope& box, std::uint64_t id);
 
   /// Invoke `fn(id)` for every entry whose box intersects `query`.
   void query(const Envelope& query, const std::function<void(std::uint64_t)>& fn) const;
+
+  /// Allocation-free form of query() for refine hot paths: no
+  /// std::function wrapper and no heap node stack (recursion depth is the
+  /// tree height). `fn` is any callable taking a std::uint64_t id.
+  template <typename Fn>
+  void visit(const Envelope& query, Fn&& fn) const {
+    if (root_ < 0 || query.isNull()) return;
+    visitNode(root_, query, fn);
+  }
 
   /// Convenience: collect matching ids (unordered).
   [[nodiscard]] std::vector<std::uint64_t> search(const Envelope& query) const;
@@ -55,6 +72,19 @@ class RTree {
     std::vector<Entry> entries;        // leaf payload
     std::vector<std::int32_t> children;  // internal children (indices into nodes_)
   };
+
+  template <typename Fn>
+  void visitNode(std::int32_t n, const Envelope& query, Fn& fn) const {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (!node.box.intersects(query)) return;
+    if (node.leaf) {
+      for (const auto& e : node.entries) {
+        if (e.box.intersects(query)) fn(e.id);
+      }
+    } else {
+      for (const auto c : node.children) visitNode(c, query, fn);
+    }
+  }
 
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;

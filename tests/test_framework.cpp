@@ -24,13 +24,13 @@ namespace mo = mvio::osm;
 
 namespace {
 
-/// Counts geometries per cell; the simplest RefineTask.
+/// Counts records per cell; the simplest RefineTask.
 struct CountTask final : mc::RefineTask {
   std::atomic<std::uint64_t> r{0}, s{0};
-  void refineCell(const mc::GridSpec&, int, std::vector<mg::Geometry>& rG,
-                  std::vector<mg::Geometry>& sG) override {
-    r += rG.size();
-    s += sG.size();
+  void refineCellBatch(const mc::GridSpec&, int, const mg::BatchSpan& rS,
+                       const mg::BatchSpan& sS) override {
+    r += rS.size();
+    s += sS.size();
   }
 };
 

@@ -130,26 +130,24 @@ TEST(Exchange, DeserializeRejectsTruncation) {
 
 namespace {
 
-/// Every geometry tagged with (origin rank, index); after the exchange the
-/// receiving rank must own exactly the cells mapped to it, with no
-/// geometry lost or duplicated. Runs with a configurable window count.
+/// Every record tagged with (origin rank, index); after the exchange the
+/// receiving rank must own exactly the cells mapped to it, with no record
+/// lost or duplicated. Runs with a configurable window count.
 void exchangeInvariant(int nprocs, int phases, int totalCells) {
   std::mutex mu;
   std::map<std::string, int> sentTags, receivedTags;
 
   mm::Runtime::run(nprocs, [&](mm::Comm& comm) {
     mvio::util::Rng rng(900 + static_cast<std::uint64_t>(comm.rank()));
-    std::vector<mc::CellGeometry> outgoing;
+    mg::GeometryBatch outgoing;
     for (int i = 0; i < 120; ++i) {
-      mc::CellGeometry cg;
-      cg.cell = static_cast<int>(rng.below(static_cast<std::uint64_t>(totalCells)));
-      cg.geometry = mg::Geometry::point({rng.uniform(0, 1), rng.uniform(0, 1)});
-      cg.geometry.userData = std::to_string(comm.rank()) + ":" + std::to_string(i);
+      const int cell = static_cast<int>(rng.below(static_cast<std::uint64_t>(totalCells)));
+      const std::string tag = std::to_string(comm.rank()) + ":" + std::to_string(i);
+      outgoing.append(mg::Geometry::point({rng.uniform(0, 1), rng.uniform(0, 1)}), tag, cell);
       {
         std::lock_guard<std::mutex> lock(mu);
-        sentTags[cg.geometry.userData + "@" + std::to_string(cg.cell)]++;
+        sentTags[tag + "@" + std::to_string(cell)]++;
       }
-      outgoing.push_back(std::move(cg));
     }
 
     mc::ExchangeStats stats;
@@ -157,10 +155,10 @@ void exchangeInvariant(int nprocs, int phases, int totalCells) {
         comm, std::move(outgoing), [&](int cell) { return mc::roundRobinOwner(cell, comm.size()); },
         phases, totalCells, &stats);
 
-    for (const auto& cg : mine) {
-      EXPECT_EQ(mc::roundRobinOwner(cg.cell, comm.size()), comm.rank());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(mc::roundRobinOwner(mine.cell(i), comm.size()), comm.rank());
       std::lock_guard<std::mutex> lock(mu);
-      receivedTags[cg.geometry.userData + "@" + std::to_string(cg.cell)]++;
+      receivedTags[std::string(mine.userData(i)) + "@" + std::to_string(mine.cell(i))]++;
     }
     if (phases > 1) {
       EXPECT_GT(stats.phases, 1u);
