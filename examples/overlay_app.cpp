@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
   core::WktParser parser;
   core::GridSpec grid;
-  mpi::Runtime::run(procs, sim::MachineModel::comet(std::max(procs / 16, 1)), [&](mpi::Comm& comm) {
+  mpi::Runtime::run(procs, sim::MachineModel::comet(std::max((procs + 15) / 16, 1)), [&](mpi::Comm& comm) {
     core::OverlayConfig cfg;
     cfg.framework.gridCells = gridSide * gridSide;
     cfg.outputPath = "coverage.bin";

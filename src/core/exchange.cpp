@@ -63,7 +63,8 @@ void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>
 
 geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
                                    const CellOwnerFn& owner, int windowPhases, int totalCells,
-                                   ExchangeStats* stats, const SerializationCostModel& costs) {
+                                   ExchangeStats* stats, const SerializationCostModel& costs,
+                                   bool lastRound) {
   MVIO_CHECK(windowPhases >= 1, "need at least one exchange phase");
   MVIO_CHECK(totalCells >= 1, "need at least one cell");
   const int p = comm.size();
@@ -103,10 +104,13 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
   std::vector<int> sendDispls(static_cast<std::size_t>(p));
   std::vector<int> recvCounts(static_cast<std::size_t>(p));
   std::vector<int> recvDispls(static_cast<std::size_t>(p));
-  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+  std::vector<RoundHeader> sendHeaders(static_cast<std::size_t>(p));
+  std::vector<RoundHeader> recvHeaders(static_cast<std::size_t>(p));
   std::vector<std::size_t> writeAt(static_cast<std::size_t>(p));
   std::vector<char> sendBuf;  // reused across phases: resize keeps capacity
   std::vector<char> recvBuf;
+  const auto headerType =
+      mpi::Datatype::contiguous(static_cast<int>(sizeof(RoundHeader)), mpi::Datatype::byte());
 
   for (int phase = 0; phase < phases; ++phase) {
     geom::GeometryBatch& src = multiPhase ? phaseBatches[static_cast<std::size_t>(phase)] : outgoing;
@@ -114,21 +118,28 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
     auto recordAt = [&](std::size_t k) {
       return multiPhase ? k : static_cast<std::size_t>(sendIdx[k]);
     };
+    // Every rank derives the flag from the same (windowPhases, lastRound)
+    // pair, so senders and receivers agree on which phase ends the stream.
+    const bool phaseLast = lastRound && phase == phases - 1;
 
-    // Pass 1: exact per-destination byte counts.
-    std::fill(sizes.begin(), sizes.end(), 0);
+    // Pass 1: exact per-destination byte and record counts.
+    std::fill(sendHeaders.begin(), sendHeaders.end(), RoundHeader{});
     for (std::size_t k = 0; k < nRecords; ++k) {
       const std::size_t i = recordAt(k);
-      sizes[static_cast<std::size_t>(owner(src.cell(i)))] += src.serializedSize(i);
+      RoundHeader& h = sendHeaders[static_cast<std::size_t>(owner(src.cell(i)))];
+      h.payloadBytes += src.serializedSize(i);
+      h.records += 1;
     }
     std::size_t sendTotal = 0;
     for (int d = 0; d < p; ++d) {
-      MVIO_CHECK(sizes[static_cast<std::size_t>(d)] <= static_cast<std::uint64_t>(INT32_MAX),
+      RoundHeader& h = sendHeaders[static_cast<std::size_t>(d)];
+      if (phaseLast) h.flags |= kRoundLast;
+      MVIO_CHECK(h.payloadBytes <= static_cast<std::uint64_t>(INT32_MAX),
                  "per-destination buffer exceeds 2 GB");
-      sendCounts[static_cast<std::size_t>(d)] = static_cast<int>(sizes[static_cast<std::size_t>(d)]);
+      sendCounts[static_cast<std::size_t>(d)] = static_cast<int>(h.payloadBytes);
       sendDispls[static_cast<std::size_t>(d)] = static_cast<int>(sendTotal);
       writeAt[static_cast<std::size_t>(d)] = sendTotal;
-      sendTotal += static_cast<std::size_t>(sizes[static_cast<std::size_t>(d)]);
+      sendTotal += static_cast<std::size_t>(h.payloadBytes);
     }
     MVIO_CHECK(sendTotal <= static_cast<std::size_t>(INT32_MAX),
                "phase send buffer exceeds 2 GB (displacements are 32-bit); increase windowPhases");
@@ -146,13 +157,23 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
     comm.clock().advanceBy(static_cast<double>(sendTotal) / costs.bytesPerSecond +
                            static_cast<double>(nRecords) * costs.perGeometrySeconds);
 
-    // Round 1: exchange buffer sizes (MPI_Alltoall), so receivers can size
-    // their count/displacement arrays for the payload round.
-    comm.alltoall(sendCounts.data(), 1, mpi::Datatype::int32(), recvCounts.data());
+    // Round 1: exchange round headers (MPI_Alltoall), so receivers can
+    // size their buffers, anticipate record counts, and verify that all
+    // senders share this rank's view of stream termination.
+    comm.alltoall(sendHeaders.data(), 1, headerType, recvHeaders.data());
     std::size_t recvTotal = 0;
+    std::size_t expectedRecords = 0;
     for (int d = 0; d < p; ++d) {
+      const RoundHeader& h = recvHeaders[static_cast<std::size_t>(d)];
+      MVIO_CHECK(((h.flags & kRoundLast) != 0) == phaseLast,
+                 "exchange round termination mismatch: a rank ended its stream while another "
+                 "keeps sending (streaming rounds are misaligned)");
+      MVIO_CHECK(h.payloadBytes <= static_cast<std::uint64_t>(INT32_MAX),
+                 "received per-source buffer exceeds 2 GB");
+      recvCounts[static_cast<std::size_t>(d)] = static_cast<int>(h.payloadBytes);
       recvDispls[static_cast<std::size_t>(d)] = static_cast<int>(recvTotal);
-      recvTotal += static_cast<std::size_t>(recvCounts[static_cast<std::size_t>(d)]);
+      recvTotal += static_cast<std::size_t>(h.payloadBytes);
+      expectedRecords += h.records;
     }
     MVIO_CHECK(recvTotal <= static_cast<std::size_t>(INT32_MAX),
                "phase receive buffer exceeds 2 GB (displacements are 32-bit); increase windowPhases");
@@ -163,7 +184,10 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
                    recvCounts.data(), recvDispls.data(), mpi::Datatype::char_());
 
     const std::size_t before = mine.size();
+    mine.reserveRecords(expectedRecords);
     mine.deserializeRecords(std::string_view(recvBuf.data(), recvTotal));
+    MVIO_CHECK(mine.size() - before == expectedRecords,
+               "round header record count does not match the deserialized stream");
     comm.clock().advanceBy(static_cast<double>(recvTotal) / costs.bytesPerSecond +
                            static_cast<double>(mine.size() - before) * costs.perGeometrySeconds);
 

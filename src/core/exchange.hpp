@@ -5,10 +5,18 @@
 // After local grid projection, a rank may hold records belonging to cells
 // owned by other ranks. exchangeByCell() performs the personalized
 // all-to-all over a cell-tagged GeometryBatch: records are serialized
-// straight from the batch arenas into one send buffer, buffer sizes are
+// straight from the batch arenas into one send buffer, round headers are
 // exchanged with MPI_Alltoall, and the payload moves with MPI_Alltoallv —
 // "all-to-all collective communication is performed in at least two
 // communication rounds", exactly as the paper describes.
+//
+// Each round's header carries the payload byte count, the record count,
+// and a last-round flag per destination. The counts let receivers size
+// their buffers and cross-check the deserialized stream; the flag makes
+// a zero-record round (a streaming chunk that happened to send nothing)
+// distinguishable from a terminated stream, so a rank that believes the
+// stream has ended while a peer keeps sending fails fast with a protocol
+// error instead of deadlocking in a later round.
 //
 // For large datasets the exchange is windowed (paper: "sliding window
 // technique where communication happens in distinct number of phases"):
@@ -65,6 +73,16 @@ struct ExchangeStats {
   std::uint64_t phases = 0;
 };
 
+/// Per-destination round header, exchanged with MPI_Alltoall before the
+/// payload round (one per sliding-window phase).
+struct RoundHeader {
+  std::uint64_t payloadBytes = 0;
+  std::uint32_t records = 0;
+  std::uint32_t flags = 0;  ///< kRoundLast on the stream's final phase
+};
+static_assert(sizeof(RoundHeader) == 16, "round header is 16 wire bytes");
+inline constexpr std::uint32_t kRoundLast = 1;
+
 /// Personalized all-to-all of a cell-tagged GeometryBatch — the pipeline's
 /// hot path. `outgoing` is consumed; records with cell == kNoCell are
 /// dropped (they project to no grid cell). Each phase sizes every
@@ -73,9 +91,15 @@ struct ExchangeStats {
 /// copy of payload bytes per phase, no per-destination staging strings —
 /// and deserializes received bytes directly into the result batch.
 /// Returns the records this rank owns (retained + received). Collective.
+///
+/// `lastRound` stamps kRoundLast on the final window phase. One-shot
+/// callers keep the default (their single exchange ends the stream); the
+/// streaming framework passes false for every data round and terminates
+/// the stream with one empty round flagged true — every receiver checks
+/// that all senders agree with its own view of termination.
 geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
                                    const CellOwnerFn& owner, int windowPhases, int totalCells,
                                    ExchangeStats* stats = nullptr,
-                                   const SerializationCostModel& costs = {});
+                                   const SerializationCostModel& costs = {}, bool lastRound = true);
 
 }  // namespace mvio::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "util/error.hpp"
 
@@ -45,209 +44,224 @@ int readerCount(std::uint64_t globalOffset, std::uint64_t fileSize, std::uint64_
   return static_cast<int>(std::min<std::uint64_t>(k, static_cast<std::uint64_t>(nprocs)));
 }
 
-PartitionResult messagePartition(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
-                                 std::uint64_t blockSize) {
-  const int nprocs = comm.size();
-  const int rank = comm.rank();
-  const std::uint64_t fileSize = file.size();
-  const char delim = cfg.delimiter;
-
-  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize;
-  const std::uint64_t iterations = (fileSize + fileChunkSize - 1) / fileChunkSize;
-
-  PartitionResult result;
-  result.iterations = iterations;
-  std::vector<char> buf(static_cast<std::size_t>(blockSize));
-  std::vector<char> recvBuf(static_cast<std::size_t>(cfg.maxGeometryBytes));
-  std::string carry;  // rank 0's fragment received for the *next* iteration
-  // Pre-size the output once: this rank keeps ~blockSize bytes per
-  // iteration (capped by the file), so gigabyte-scale inputs don't pay
-  // repeated append-growth copies.
-  result.text.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(iterations * blockSize, fileSize)));
-
-  for (std::uint64_t i = 0; i < iterations; ++i) {
-    const std::uint64_t globalOffset = i * fileChunkSize;
-    const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize;
-    const std::uint64_t myLen =
-        start < fileSize ? std::min<std::uint64_t>(blockSize, fileSize - start) : 0;
-    const int k = readerCount(globalOffset, fileSize, blockSize, nprocs);
-    const bool lastIteration = (i + 1 == iterations);
-    const bool reading = myLen > 0;
-
-    // File read (Level 0 or Level 1). Collective calls include non-readers.
-    if (cfg.collectiveRead) {
-      const std::size_t got = file.readAtAllBytes(start, buf.data(), static_cast<std::size_t>(myLen));
-      MVIO_CHECK(got == myLen, "collective read returned short");
-    } else if (reading) {
-      const std::size_t got = file.readAtBytes(start, buf.data(), static_cast<std::size_t>(myLen));
-      MVIO_CHECK(got == myLen, "independent read returned short");
-    }
-    result.bytesRead += myLen;
-
-    if (!reading) continue;
-
-    const bool tailHolder = lastIteration && rank == k - 1;  // holds the EOF tail
-
-    // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
-    const std::int64_t lastDelimPos = findLastDelim(buf.data(), myLen, delim);
-
-    std::string_view keep;
-    std::string_view fragment;
-    if (tailHolder) {
-      // Everything up to EOF is mine; a missing trailing delimiter just
-      // means the final record is EOF-terminated.
-      keep = std::string_view(buf.data(), static_cast<std::size_t>(myLen));
-    } else {
-      MVIO_CHECK(lastDelimPos >= 0,
-                 "no record delimiter inside a file block: block size is smaller than a record; "
-                 "increase blockSize or maxGeometryBytes");
-      keep = std::string_view(buf.data(), static_cast<std::size_t>(lastDelimPos) + 1);
-      fragment = std::string_view(buf.data() + lastDelimPos + 1,
-                                  myLen - static_cast<std::uint64_t>(lastDelimPos) - 1);
-    }
-
-    const bool willSend = !tailHolder;  // every reader except the EOF-tail holder
-    const int succ = (rank + 1) % nprocs;
-    const int pred = (rank - 1 + nprocs) % nprocs;
-    // Rank 0 receives the chunk-junction fragment from rank N-1, to be
-    // prepended to its next-iteration block.
-    const bool willRecv = rank > 0 ? true : !lastIteration;
-    const int tag = static_cast<int>(i % kTagModulus);
-
-    std::string received;
-    auto doSend = [&] {
-      comm.send(fragment.data(), static_cast<int>(fragment.size()), mpi::Datatype::char_(), succ, tag);
-      result.fragmentsSent += 1;
-      result.fragmentBytes += fragment.size();
-    };
-    auto doRecv = [&] {
-      const mpi::Status st =
-          comm.recv(recvBuf.data(), static_cast<int>(recvBuf.size()), mpi::Datatype::char_(), pred, tag);
-      received.assign(recvBuf.data(), st.bytes);
-    };
-
-    // Even ranks send before receiving; odd ranks receive before sending
-    // (Algorithm 1 lines 12-19).
-    if (rank % 2 == 0) {
-      if (willSend) doSend();
-      if (willRecv) doRecv();
-    } else {
-      if (willRecv) doRecv();
-      if (willSend) doSend();
-    }
-
-    // Assemble this iteration's text: predecessor fragment + own records.
-    if (rank == 0) {
-      result.text.append(carry);
-      carry = std::move(received);
-    } else {
-      result.text.append(received);
-    }
-    result.text.append(keep);
-  }
-  MVIO_CHECK(carry.empty() || rank != 0, "unconsumed carry fragment");
-  return result;
-}
-
-PartitionResult overlapPartition(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
-                                 std::uint64_t blockSize) {
-  const int nprocs = comm.size();
-  const int rank = comm.rank();
-  const std::uint64_t fileSize = file.size();
-  const char delim = cfg.delimiter;
-  const std::uint64_t halo = cfg.maxGeometryBytes;
-
-  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize;
-  const std::uint64_t iterations = (fileSize + fileChunkSize - 1) / fileChunkSize;
-
-  PartitionResult result;
-  result.iterations = iterations;
-  std::vector<char> buf;
-  result.text.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(iterations * blockSize, fileSize)));
-
-  for (std::uint64_t i = 0; i < iterations; ++i) {
-    const std::uint64_t globalOffset = i * fileChunkSize;
-    const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize;
-    const std::uint64_t myLen =
-        start < fileSize ? std::min<std::uint64_t>(blockSize, fileSize - start) : 0;
-
-    // Read [start-1, start+myLen+halo): one look-back byte to detect a
-    // record boundary exactly at `start`, plus the halo for the record
-    // spilling over the block end.
-    const std::uint64_t readStart = start == 0 ? 0 : start - 1;
-    const std::uint64_t readEnd =
-        myLen == 0 ? readStart : std::min<std::uint64_t>(start + myLen + halo, fileSize);
-    const std::uint64_t readLen = readEnd - readStart;
-    buf.resize(static_cast<std::size_t>(readLen));
-
-    if (cfg.collectiveRead) {
-      const std::size_t got = file.readAtAllBytes(readStart, buf.data(), static_cast<std::size_t>(readLen));
-      MVIO_CHECK(got == readLen, "collective read returned short");
-    } else if (readLen > 0) {
-      const std::size_t got = file.readAtBytes(readStart, buf.data(), static_cast<std::size_t>(readLen));
-      MVIO_CHECK(got == readLen, "independent read returned short");
-    }
-    result.bytesRead += readLen;
-    if (myLen == 0) continue;
-
-    const std::uint64_t blockEnd = start + myLen;  // absolute file offset
-
-    // First record starting inside [start, blockEnd).
-    std::uint64_t firstStart;  // absolute
-    if (start == 0) {
-      firstStart = 0;
-    } else {
-      const std::uint64_t d = findDelimFrom(buf.data(), readLen, 0, delim);
-      if (d == readLen) continue;  // no record begins in this block
-      firstStart = readStart + d + 1;
-      if (firstStart >= blockEnd) continue;  // boundary record belongs to successor
-    }
-
-    // End of the record containing byte blockEnd-1: first delimiter at an
-    // absolute offset >= blockEnd-1 (or EOF for a final unterminated record).
-    const std::uint64_t e = findDelimFrom(buf.data(), readLen, blockEnd - 1 - readStart, delim);
-    std::uint64_t keepEndExclusive;  // absolute
-    if (e < readLen) {
-      keepEndExclusive = readStart + e + 1;  // include the delimiter
-    } else {
-      MVIO_CHECK(readEnd == fileSize,
-                 "record extends past the halo region: maxGeometryBytes is smaller than a record");
-      keepEndExclusive = fileSize;
-    }
-
-    result.text.append(buf.data() + (firstStart - readStart),
-                       static_cast<std::size_t>(keepEndExclusive - firstStart));
-  }
-  return result;
-}
-
 }  // namespace
 
-PartitionResult readPartitioned(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg) {
-  const std::uint64_t fileSize = file.size();
-  MVIO_CHECK(fileSize > 0, "cannot partition an empty file");
+PartitionReader::PartitionReader(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
+                                 std::uint64_t chunkBytes)
+    : comm_(&comm), file_(&file), cfg_(cfg), streaming_(chunkBytes > 0) {
+  fileSize_ = file.size();
+  MVIO_CHECK(fileSize_ > 0, "cannot partition an empty file");
 
-  std::uint64_t blockSize = cfg.blockSize;
-  if (blockSize == 0) {
-    blockSize = (fileSize + static_cast<std::uint64_t>(comm.size()) - 1) /
-                static_cast<std::uint64_t>(comm.size());
+  blockSize_ = streaming_ ? chunkBytes : cfg.blockSize;
+  if (blockSize_ == 0) {
+    blockSize_ = (fileSize_ + static_cast<std::uint64_t>(comm.size()) - 1) /
+                 static_cast<std::uint64_t>(comm.size());
     // Algorithm 1 requires at least one delimiter per full block, i.e. a
     // block must be able to hold the largest record. For small files the
     // equal split is clamped up, leaving trailing ranks without a block —
     // "a subset of processes call the file read function".
-    blockSize = std::max<std::uint64_t>(blockSize, cfg.maxGeometryBytes);
-    blockSize = std::max<std::uint64_t>(blockSize, 1);
+    blockSize_ = std::max<std::uint64_t>(blockSize_, cfg.maxGeometryBytes);
+    blockSize_ = std::max<std::uint64_t>(blockSize_, 1);
   }
-  MVIO_CHECK(blockSize <= io::kRomioMaxBytes,
+  MVIO_CHECK(blockSize_ <= io::kRomioMaxBytes,
              "block size exceeds ROMIO's 2 GB single-operation limit; use a smaller blockSize");
 
-  switch (cfg.strategy) {
-    case BoundaryStrategy::kMessage:
-      return messagePartition(comm, file, cfg, blockSize);
-    case BoundaryStrategy::kOverlap:
-      return overlapPartition(comm, file, cfg, blockSize);
+  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(comm.size()) * blockSize_;
+  iterations_ = (fileSize_ + fileChunkSize - 1) / fileChunkSize;
+  result_.iterations = iterations_;
+
+  if (cfg_.strategy == BoundaryStrategy::kMessage) {
+    buf_.resize(static_cast<std::size_t>(blockSize_));
+    recvBuf_.resize(static_cast<std::size_t>(cfg_.maxGeometryBytes));
   }
-  MVIO_UNREACHABLE("unknown boundary strategy");
+}
+
+bool PartitionReader::stepMessage(std::string& out) {
+  const int nprocs = comm_->size();
+  const int rank = comm_->rank();
+  const char delim = cfg_.delimiter;
+  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize_;
+  const std::uint64_t i = iter_;
+
+  const std::uint64_t globalOffset = i * fileChunkSize;
+  const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize_;
+  const std::uint64_t myLen =
+      start < fileSize_ ? std::min<std::uint64_t>(blockSize_, fileSize_ - start) : 0;
+  const int k = readerCount(globalOffset, fileSize_, blockSize_, nprocs);
+  const bool lastIteration = (i + 1 == iterations_);
+  const bool reading = myLen > 0;
+
+  // File read (Level 0 or Level 1). Collective calls include non-readers.
+  if (cfg_.collectiveRead) {
+    const std::size_t got = file_->readAtAllBytes(start, buf_.data(), static_cast<std::size_t>(myLen));
+    MVIO_CHECK(got == myLen, "collective read returned short");
+  } else if (reading) {
+    const std::size_t got = file_->readAtBytes(start, buf_.data(), static_cast<std::size_t>(myLen));
+    MVIO_CHECK(got == myLen, "independent read returned short");
+  }
+  result_.bytesRead += myLen;
+
+  if (!reading) {
+    if (lastIteration) MVIO_CHECK(carry_.empty() || rank != 0, "unconsumed carry fragment");
+    return true;
+  }
+
+  const bool tailHolder = lastIteration && rank == k - 1;  // holds the EOF tail
+
+  // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
+  const std::int64_t lastDelimPos = findLastDelim(buf_.data(), myLen, delim);
+
+  std::string_view keep;
+  std::string_view fragment;
+  if (tailHolder) {
+    // Everything up to EOF is mine; a missing trailing delimiter just
+    // means the final record is EOF-terminated.
+    keep = std::string_view(buf_.data(), static_cast<std::size_t>(myLen));
+  } else {
+    MVIO_CHECK(lastDelimPos >= 0,
+               "no record delimiter inside a file block: block size is smaller than a record; "
+               "increase blockSize or maxGeometryBytes");
+    keep = std::string_view(buf_.data(), static_cast<std::size_t>(lastDelimPos) + 1);
+    fragment = std::string_view(buf_.data() + lastDelimPos + 1,
+                                myLen - static_cast<std::uint64_t>(lastDelimPos) - 1);
+  }
+
+  const bool willSend = !tailHolder;  // every reader except the EOF-tail holder
+  const int succ = (rank + 1) % nprocs;
+  const int pred = (rank - 1 + nprocs) % nprocs;
+  // Rank 0 receives the chunk-junction fragment from rank N-1, to be
+  // prepended to its next-iteration block.
+  const bool willRecv = rank > 0 ? true : !lastIteration;
+  const int tag = static_cast<int>(i % kTagModulus);
+
+  std::string received;
+  auto doSend = [&] {
+    comm_->send(fragment.data(), static_cast<int>(fragment.size()), mpi::Datatype::char_(), succ, tag);
+    result_.fragmentsSent += 1;
+    result_.fragmentBytes += fragment.size();
+  };
+  auto doRecv = [&] {
+    const mpi::Status st =
+        comm_->recv(recvBuf_.data(), static_cast<int>(recvBuf_.size()), mpi::Datatype::char_(), pred, tag);
+    received.assign(recvBuf_.data(), st.bytes);
+  };
+
+  // Even ranks send before receiving; odd ranks receive before sending
+  // (Algorithm 1 lines 12-19).
+  if (rank % 2 == 0) {
+    if (willSend) doSend();
+    if (willRecv) doRecv();
+  } else {
+    if (willRecv) doRecv();
+    if (willSend) doSend();
+  }
+
+  // Assemble this iteration's text: predecessor fragment + own records.
+  if (rank == 0) {
+    out.append(carry_);
+    carry_ = std::move(received);
+  } else {
+    out.append(received);
+  }
+  out.append(keep);
+  if (lastIteration) MVIO_CHECK(carry_.empty() || rank != 0, "unconsumed carry fragment");
+  return true;
+}
+
+bool PartitionReader::stepOverlap(std::string& out) {
+  const int nprocs = comm_->size();
+  const int rank = comm_->rank();
+  const char delim = cfg_.delimiter;
+  const std::uint64_t halo = cfg_.maxGeometryBytes;
+  const std::uint64_t fileChunkSize = static_cast<std::uint64_t>(nprocs) * blockSize_;
+  const std::uint64_t i = iter_;
+
+  const std::uint64_t globalOffset = i * fileChunkSize;
+  const std::uint64_t start = globalOffset + static_cast<std::uint64_t>(rank) * blockSize_;
+  const std::uint64_t myLen =
+      start < fileSize_ ? std::min<std::uint64_t>(blockSize_, fileSize_ - start) : 0;
+
+  // Read [start-1, start+myLen+halo): one look-back byte to detect a
+  // record boundary exactly at `start`, plus the halo for the record
+  // spilling over the block end.
+  const std::uint64_t readStart = start == 0 ? 0 : start - 1;
+  const std::uint64_t readEnd =
+      myLen == 0 ? readStart : std::min<std::uint64_t>(start + myLen + halo, fileSize_);
+  const std::uint64_t readLen = readEnd - readStart;
+  buf_.resize(static_cast<std::size_t>(readLen));
+
+  if (cfg_.collectiveRead) {
+    const std::size_t got = file_->readAtAllBytes(readStart, buf_.data(), static_cast<std::size_t>(readLen));
+    MVIO_CHECK(got == readLen, "collective read returned short");
+  } else if (readLen > 0) {
+    const std::size_t got = file_->readAtBytes(readStart, buf_.data(), static_cast<std::size_t>(readLen));
+    MVIO_CHECK(got == readLen, "independent read returned short");
+  }
+  result_.bytesRead += readLen;
+  if (myLen == 0) return true;
+
+  const std::uint64_t blockEnd = start + myLen;  // absolute file offset
+
+  // First record starting inside [start, blockEnd).
+  std::uint64_t firstStart;  // absolute
+  if (start == 0) {
+    firstStart = 0;
+  } else {
+    const std::uint64_t d = findDelimFrom(buf_.data(), readLen, 0, delim);
+    if (d == readLen) return true;  // no record begins in this block
+    firstStart = readStart + d + 1;
+    if (firstStart >= blockEnd) return true;  // boundary record belongs to successor
+  }
+
+  // End of the record containing byte blockEnd-1: first delimiter at an
+  // absolute offset >= blockEnd-1 (or EOF for a final unterminated record).
+  const std::uint64_t e = findDelimFrom(buf_.data(), readLen, blockEnd - 1 - readStart, delim);
+  std::uint64_t keepEndExclusive;  // absolute
+  if (e < readLen) {
+    keepEndExclusive = readStart + e + 1;  // include the delimiter
+  } else {
+    MVIO_CHECK(readEnd == fileSize_,
+               "record extends past the halo region: maxGeometryBytes is smaller than a record");
+    keepEndExclusive = fileSize_;
+  }
+
+  out.append(buf_.data() + (firstStart - readStart),
+             static_cast<std::size_t>(keepEndExclusive - firstStart));
+  return true;
+}
+
+bool PartitionReader::next(std::string& text) {
+  text.clear();
+  if (iter_ >= iterations_) return false;
+
+  if (!streaming_) {
+    // One-shot: run every iteration into one string. This rank keeps
+    // ~blockSize bytes per iteration (capped by the file), so pre-size
+    // the output once instead of paying append-growth copies.
+    text.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(iterations_ * blockSize_, fileSize_)));
+  }
+  do {
+    switch (cfg_.strategy) {
+      case BoundaryStrategy::kMessage:
+        stepMessage(text);
+        break;
+      case BoundaryStrategy::kOverlap:
+        stepOverlap(text);
+        break;
+    }
+    ++iter_;
+  } while (!streaming_ && iter_ < iterations_);
+  return true;
+}
+
+PartitionResult readPartitioned(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg) {
+  PartitionReader reader(comm, file, cfg);
+  std::string text;
+  reader.next(text);
+  PartitionResult out = reader.counters();
+  out.text = std::move(text);
+  return out;
 }
 
 }  // namespace mvio::core

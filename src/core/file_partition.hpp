@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "io/file.hpp"
 #include "mpi/runtime.hpp"
@@ -57,10 +58,62 @@ struct PartitionResult {
   std::uint64_t fragmentBytes = 0;   ///< total fragment payload sent
 };
 
+/// Incremental partitioned reader — the chunk source of the streaming
+/// pipeline (DESIGN.md §7). Both boundary strategies already proceed in
+/// file iterations of nprocs × blockSize bytes; this class exposes that
+/// loop one step at a time, so a rank can read, hand ~chunkBytes of
+/// records to the parser, and release the text before touching the next
+/// chunk — the whole-partition string never exists.
+///
+/// With `chunkBytes` == 0 the reader is the one-shot path: a single
+/// next() call yields the rank's entire partition, with the block size
+/// resolved exactly as readPartitioned always has. With `chunkBytes` > 0
+/// the per-iteration block size *is* chunkBytes (it must still fit the
+/// largest record, as Algorithm 1 requires) and every next() call yields
+/// one iteration's records.
+///
+/// Collective: every rank constructs the reader and calls next() in
+/// lockstep until it returns false. The iteration count derives from the
+/// file size, so all ranks agree on it without communication; trailing
+/// ranks that read no bytes in the last iteration still participate and
+/// simply yield empty text.
+class PartitionReader {
+ public:
+  PartitionReader(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
+                  std::uint64_t chunkBytes = 0);
+
+  /// Fill `text` with the next chunk's records (cleared first). Returns
+  /// false once the stream is exhausted — on the same call on every rank.
+  bool next(std::string& text);
+
+  /// Number of next() calls that return true; identical on every rank.
+  [[nodiscard]] std::uint64_t chunkCount() const { return streaming_ ? iterations_ : 1; }
+
+  /// Read counters accumulated so far (the `text` field stays empty).
+  [[nodiscard]] const PartitionResult& counters() const { return result_; }
+
+ private:
+  bool stepMessage(std::string& out);
+  bool stepOverlap(std::string& out);
+
+  mpi::Comm* comm_;
+  io::File* file_;
+  PartitionConfig cfg_;
+  bool streaming_ = false;
+  std::uint64_t blockSize_ = 0;
+  std::uint64_t fileSize_ = 0;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t iter_ = 0;  ///< next iteration to execute
+  std::vector<char> buf_;
+  std::vector<char> recvBuf_;  ///< kMessage: predecessor-fragment landing area
+  std::string carry_;          ///< kMessage rank 0: fragment for the next iteration
+  PartitionResult result_;
+};
+
 /// Read `file` partitioned across all ranks of `comm`. Collective: every
 /// rank must call. Afterwards the concatenation of all ranks' `text` (in
 /// rank-major, iteration-major order) contains every record of the file
-/// exactly once.
+/// exactly once. (One-shot wrapper over PartitionReader.)
 PartitionResult readPartitioned(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg);
 
 }  // namespace mvio::core

@@ -1,7 +1,9 @@
 #include "core/framework.hpp"
 
+#include <deque>
 #include <unordered_map>
 
+#include "geom/batch_shard.hpp"
 #include "io/file.hpp"
 #include "util/error.hpp"
 
@@ -16,26 +18,179 @@ void RefineTask::adoptBatches(geom::GeometryBatch&& /*r*/, geom::GeometryBatch&&
 
 namespace {
 
-/// Phase 1+2 for one layer: partitioned read then parse straight into the
-/// batch arenas (no per-record Geometry objects).
-void loadLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
-               const FrameworkConfig& cfg, geom::GeometryBatch& out, ParseStats& parseStats,
-               PartitionResult& ioStats, PhaseBreakdown& phases) {
+std::uint64_t allreduceMaxU64(mpi::Comm& comm, std::uint64_t v) {
+  std::uint64_t out = 0;
+  comm.allreduce(&v, &out, 1, mpi::Datatype::uint64(), mpi::Op::max());
+  return out;
+}
+
+/// Rank-local spill plumbing shared by the streaming stages: encodes
+/// batches to BatchShards on the rank's SpillStore and charges the
+/// modelled scratch-I/O time to the rank clock / spill phase.
+struct Spiller {
+  mpi::Comm* comm;
+  pfs::SpillStore* store;
+  double bytesPerSecond;
+  PhaseBreakdown* phases;
+
+  void charge(std::uint64_t bytes) const {
+    const double t = static_cast<double>(bytes) / bytesPerSecond;
+    comm->clock().advanceBy(t);
+    phases->spill += t;
+  }
+
+  void spill(const std::string& name, const geom::GeometryBatch& b) const {
+    std::string bytes;
+    bytes.reserve(geom::shardEncodedSize(b, 0, b.size()));
+    geom::encodeShard(b, bytes);
+    charge(bytes.size());
+    store->put(name, std::move(bytes));
+  }
+
+  /// Reload a shard, *appending* its records to `out`, and drop the blob.
+  void reload(const std::string& name, geom::GeometryBatch& out) const {
+    const std::string bytes = store->fetch(name);
+    charge(bytes.size());
+    geom::decodeShard(bytes, out);
+    store->remove(name);
+  }
+};
+
+/// FIFO of parsed-but-not-yet-exchanged chunk batches with a resident-byte
+/// budget: when the queue's in-memory bytes exceed the budget, the oldest
+/// resident batches are written out as shards (oldest first — they are
+/// also the first to be reloaded, so the resident tail stays hot).
+class BatchStager {
+ public:
+  BatchStager(const Spiller& spiller, std::string base, std::uint64_t budget)
+      : spiller_(spiller), base_(std::move(base)), budget_(budget) {}
+
+  void push(geom::GeometryBatch&& b) {
+    Slot slot;
+    slot.bytes = b.memoryBytes();
+    slot.batch = std::move(b);
+    resident_ += slot.bytes;
+    slots_.push_back(std::move(slot));
+    enforceBudget();
+  }
+
+  /// Pop the oldest chunk (reloading it if spilled). Returns false when
+  /// the queue is empty — callers then run an empty round.
+  bool pop(geom::GeometryBatch& out) {
+    if (slots_.empty()) return false;
+    Slot& front = slots_.front();
+    if (front.spilled) {
+      out = geom::GeometryBatch();
+      spiller_.reload(front.shard, out);
+    } else {
+      resident_ -= front.bytes;
+      out = std::move(front.batch);
+    }
+    slots_.pop_front();
+    if (spillCursor_ > 0) --spillCursor_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    geom::GeometryBatch batch;
+    std::string shard;
+    std::uint64_t bytes = 0;
+    bool spilled = false;
+  };
+
+  void enforceBudget() {
+    // Invariant: slots_[0, spillCursor_) are spilled, the rest resident —
+    // spilling proceeds front-to-back and pop() removes the front, so the
+    // cursor avoids rescanning already-spilled slots on every push.
+    while (resident_ > budget_ && spillCursor_ < slots_.size()) {
+      Slot& slot = slots_[spillCursor_++];
+      slot.shard = base_ + "." + std::to_string(seq_++);
+      spiller_.spill(slot.shard, slot.batch);
+      resident_ -= slot.bytes;
+      slot.batch = geom::GeometryBatch();
+      slot.spilled = true;
+    }
+  }
+
+  Spiller spiller_;
+  std::string base_;
+  std::uint64_t budget_;
+  std::deque<Slot> slots_;
+  std::uint64_t resident_ = 0;
+  std::size_t seq_ = 0;
+  std::size_t spillCursor_ = 0;  ///< first not-yet-spilled slot
+};
+
+/// The rank's owned records, accumulated round by round. Spills the
+/// accumulated segment whenever it outgrows the budget; assemble()
+/// reloads every segment (in spill order, so record order is the
+/// concatenation of round arrivals) for the refine phase.
+class OwnedAccumulator {
+ public:
+  OwnedAccumulator(const Spiller& spiller, std::string base, std::uint64_t budget)
+      : spiller_(spiller), base_(std::move(base)), budget_(budget) {}
+
+  void add(geom::GeometryBatch&& roundBatch) {
+    resident_.splice(std::move(roundBatch));
+    if (resident_.memoryBytes() <= budget_) return;
+    const std::string name = base_ + "." + std::to_string(shards_++);
+    spiller_.spill(name, resident_);
+    resident_ = geom::GeometryBatch();
+  }
+
+  [[nodiscard]] geom::GeometryBatch assemble() {
+    if (shards_ == 0) return std::move(resident_);
+    geom::GeometryBatch all;
+    for (std::size_t k = 0; k < shards_; ++k) {
+      spiller_.reload(base_ + "." + std::to_string(k), all);
+    }
+    all.splice(std::move(resident_));
+    shards_ = 0;
+    return all;
+  }
+
+ private:
+  Spiller spiller_;
+  std::string base_;
+  std::uint64_t budget_;
+  geom::GeometryBatch resident_;
+  std::size_t shards_ = 0;
+};
+
+/// Phases 1+2 for one layer, chunk by chunk: partitioned read then parse
+/// straight into a per-chunk batch (no per-record Geometry objects),
+/// staged for the exchange rounds. Accumulates the layer's local MBR for
+/// grid construction along the way.
+void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
+                 const FrameworkConfig& cfg, BatchStager& stage, geom::Envelope& localBounds,
+                 ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases) {
   MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
   io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
+  PartitionReader reader(comm, file, ds.partition, cfg.stream.chunkBytes);
 
-  const double t0 = comm.clock().now();
-  PartitionResult part = readPartitioned(comm, file, ds.partition);
-  phases.read += comm.clock().now() - t0;
+  std::string text;
+  while (true) {
+    const double t0 = comm.clock().now();
+    const bool more = reader.next(text);
+    phases.read += comm.clock().now() - t0;
+    if (!more) break;
 
-  {
-    mpi::CpuCharge charge(comm);
-    parseStats = ds.parser->parseAll(part.text, out);
-    phases.parse += charge.stop();
+    geom::GeometryBatch chunk;
+    {
+      mpi::CpuCharge charge(comm);
+      const ParseStats ps = ds.parser->parseAll(text, chunk);
+      parseStats.records += ps.records;
+      parseStats.badRecords += ps.badRecords;
+      parseStats.bytes += ps.bytes;
+      phases.parse += charge.stop();
+    }
+    localBounds.expandToInclude(chunk.bounds());
+    stage.push(std::move(chunk));
   }
-  ioStats = std::move(part);
-  ioStats.text.clear();  // the text has been consumed; keep only the counters
-  ioStats.text.shrink_to_fit();
+  ioStats = reader.counters();
 }
 
 /// Phase 4: map records to overlapping cells, in place. The first cell is
@@ -63,55 +218,96 @@ geom::GeometryBatch project(const GridSpec& grid, const CellLocator* locator,
   return std::move(geoms);
 }
 
+/// Phases 4+5 for one layer: one project + exchange round per staged
+/// chunk, every round's received records folded into the owned
+/// accumulator. In streaming mode the data rounds are followed by one
+/// empty round flagged `last`, the stream-termination barrier; in
+/// one-shot mode the single data round is itself final. The round count
+/// is allreduced so a rank whose stage drained early keeps participating
+/// with empty rounds instead of leaving the collectives (and the peers
+/// that still hold data) hanging.
+geom::GeometryBatch streamLayer(mpi::Comm& comm, BatchStager& stage, OwnedAccumulator& owned,
+                                const GridSpec& grid, const CellLocator* locator,
+                                const CellOwnerFn& ownerFn, const FrameworkConfig& cfg,
+                                FrameworkStats& stats) {
+  const bool streaming = cfg.stream.chunkBytes > 0;
+  const std::uint64_t rounds = allreduceMaxU64(comm, stage.pending());
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    geom::GeometryBatch chunk;
+    stage.pop(chunk);  // false → empty round for this rank
+    {
+      mpi::CpuCharge charge(comm);
+      chunk = project(grid, locator, std::move(chunk));
+      stats.phases.partition += charge.stop();
+    }
+    const bool last = !streaming && round + 1 == rounds;
+    const double t0 = comm.clock().now();
+    geom::GeometryBatch got = exchangeByCell(comm, std::move(chunk), ownerFn, cfg.windowPhases,
+                                             grid.cellCount(), &stats.exchange, {}, last);
+    stats.phases.comm += comm.clock().now() - t0;
+    stats.phases.rounds += 1;
+    owned.add(std::move(got));
+  }
+  if (streaming) {
+    // Termination barrier: an empty round whose header carries kRoundLast
+    // on every rank, making "no records this round" and "stream over"
+    // distinct on the wire.
+    const double t0 = comm.clock().now();
+    geom::GeometryBatch got =
+        exchangeByCell(comm, geom::GeometryBatch(), ownerFn, cfg.windowPhases, grid.cellCount(),
+                       &stats.exchange, {}, /*lastRound=*/true);
+    stats.phases.comm += comm.clock().now() - t0;
+    stats.phases.rounds += 1;
+    owned.add(std::move(got));
+  }
+  return owned.assemble();
+}
+
 }  // namespace
 
 FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
                                const DatasetHandle* s, const FrameworkConfig& cfg, RefineTask& task) {
   MVIO_CHECK(cfg.gridCells >= 1, "need at least one grid cell");
   FrameworkStats stats;
+  const StreamConfig& sc = cfg.stream;
+  const std::uint64_t budget = sc.memoryBudget == 0 ? UINT64_MAX : sc.memoryBudget;
 
-  // 1+2: read and parse both layers.
-  geom::GeometryBatch batchR, batchS;
-  loadLayer(comm, volume, r, cfg, batchR, stats.parseR, stats.ioR, stats.phases);
+  // Rank-local scratch for spilled shards; blobs are dropped on exit.
+  pfs::SpillStore spill(volume, sc.spillDir + "/rank" + std::to_string(comm.worldRank()));
+  const Spiller spiller{&comm, &spill, sc.spillBytesPerSecond, &stats.phases};
+
+  // 1+2: read and parse both layers, chunk by chunk, staging the parsed
+  // batches (under the memory budget) for the exchange rounds.
+  BatchStager stageR(spiller, "pend_r", budget);
+  BatchStager stageS(spiller, "pend_s", budget);
+  geom::Envelope localBounds;
+  ingestLayer(comm, volume, r, cfg, stageR, localBounds, stats.parseR, stats.ioR, stats.phases);
   if (s != nullptr) {
-    loadLayer(comm, volume, *s, cfg, batchS, stats.parseS, stats.ioS, stats.phases);
+    ingestLayer(comm, volume, *s, cfg, stageS, localBounds, stats.parseS, stats.ioS, stats.phases);
   }
 
-  // 3: global grid via MPI_UNION of local MBRs (both layers). The batches
-  // keep per-record envelopes, so the local bound is one linear scan.
-  {
-    geom::Envelope localBounds = batchR.bounds();
-    localBounds.expandToInclude(batchS.bounds());
-    stats.grid = buildGlobalGrid(comm, localBounds, cfg.gridCells);
-  }
+  // 3: global grid via MPI_UNION of local MBRs (both layers). Chunked
+  // parsing folded every chunk's bounds into localBounds, so the union is
+  // identical to a whole-batch scan.
+  stats.grid = buildGlobalGrid(comm, localBounds, cfg.gridCells);
   const GridSpec& grid = stats.grid;
 
-  // 4: project to cells (filter phase).
   std::optional<CellLocator> locator;
   if (cfg.rtreeCellLocator) locator.emplace(grid);
-  {
-    mpi::CpuCharge charge(comm);
-    batchR = project(grid, locator ? &*locator : nullptr, std::move(batchR));
-    batchS = project(grid, locator ? &*locator : nullptr, std::move(batchS));
-    stats.phases.partition += charge.stop();
-  }
-
-  // 5: all-to-all exchange (communication phase), one round per layer.
   const int p = comm.size();
   auto owner = [p](int cell) { return roundRobinOwner(cell, p); };
-  geom::GeometryBatch mineR, mineS;
-  {
-    // exchangeByCell charges serialization/deserialization CPU internally;
-    // the clock delta here therefore covers buffer management + transfer,
-    // the paper's definition of communication time.
-    const double t0 = comm.clock().now();
-    mineR = exchangeByCell(comm, std::move(batchR), owner, cfg.windowPhases, grid.cellCount(),
-                           &stats.exchange);
-    if (s != nullptr) {
-      mineS = exchangeByCell(comm, std::move(batchS), owner, cfg.windowPhases, grid.cellCount(),
-                             &stats.exchange);
-    }
-    stats.phases.comm += comm.clock().now() - t0;
+
+  // 4+5: project + exchange rounds per layer (communication phase).
+  // exchangeByCell charges serialization/deserialization CPU internally;
+  // the clock deltas accumulated per round therefore cover buffer
+  // management + transfer, the paper's definition of communication time.
+  OwnedAccumulator ownedR(spiller, "own_r", budget);
+  OwnedAccumulator ownedS(spiller, "own_s", budget);
+  geom::GeometryBatch mineR =
+      streamLayer(comm, stageR, ownedR, grid, locator ? &*locator : nullptr, owner, cfg, stats);
+  geom::GeometryBatch mineS;
+  if (s != nullptr) {
+    mineS = streamLayer(comm, stageS, ownedS, grid, locator ? &*locator : nullptr, owner, cfg, stats);
   }
   stats.localR = mineR.size();
   stats.localS = mineS.size();
@@ -138,6 +334,8 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     stats.phases.compute += charge.stop();
   }
 
+  stats.spill = spill.stats();
+  spill.clear();
   return stats;
 }
 

@@ -9,6 +9,16 @@
 //   5. All-to-all exchange for spatial locality  (exchange.hpp)
 //   6. Per-cell refine tasks, scheduled by the rank-to-cell mapping
 //
+// The pipeline runs in bounded-memory *rounds* (DESIGN.md §7): each rank
+// reads and parses its partition in StreamConfig::chunkBytes chunks,
+// steps 4–5 execute once per chunk (a multi-round exchange closed by a
+// final empty round), and received records accumulate into the rank's
+// owned batch. Whenever a stage's working set exceeds
+// StreamConfig::memoryBudget, pending batches are spilled to a
+// pfs::SpillStore as BatchShards and reloaded when their round (or the
+// refine phase) needs them. The default StreamConfig — one round,
+// unlimited budget — is exactly the classic one-shot pass.
+//
 // Applications extend RefineTask — "spatial computation can be carried
 // out by extending [the] refine interface that receives two collections
 // of geometries in a cell". The collections arrive as BatchSpan views
@@ -27,6 +37,7 @@
 #include "core/grid.hpp"
 #include "core/parser.hpp"
 #include "core/phases.hpp"
+#include "pfs/spill_store.hpp"
 #include "pfs/volume.hpp"
 
 namespace mvio::core {
@@ -38,11 +49,37 @@ struct DatasetHandle {
   PartitionConfig partition;
 };
 
+/// Streaming-round controls (DESIGN.md §7). The defaults reproduce the
+/// one-shot pipeline: a single round over the whole partition, nothing
+/// ever spilled.
+struct StreamConfig {
+  /// Per-rank read/parse chunk size; 0 = one-shot (whole partition in one
+  /// round). When set it becomes the per-iteration file block size, so it
+  /// must still fit the largest record (PartitionConfig::maxGeometryBytes
+  /// semantics apply unchanged).
+  std::uint64_t chunkBytes = 0;
+  /// Per-rank byte bound on each streaming stage's resident batch set
+  /// (pending parsed chunks; the accumulating owned batch). 0 = unbounded.
+  /// When a stage exceeds it, batches spill to the volume as BatchShards
+  /// and reload on demand. The bound is per stage structure, not a strict
+  /// whole-process cap: one in-flight chunk plus one reloading shard are
+  /// always resident.
+  std::uint64_t memoryBudget = 0;
+  /// Modelled node-local scratch bandwidth for spill writes + reloads
+  /// (charged to the rank clock; lands in PhaseBreakdown::spill).
+  double spillBytesPerSecond = 2.0e9;
+  /// Volume directory for spill shards; each rank uses
+  /// "<spillDir>/rank<worldRank>". Scratch blobs are removed when the run
+  /// finishes.
+  std::string spillDir = "__spill";
+};
+
 struct FrameworkConfig {
   int gridCells = 1024;       ///< target number of grid cells (unit tasks)
   int windowPhases = 1;       ///< sliding-window exchange phases
   bool rtreeCellLocator = true;  ///< cell lookup via R-tree (paper) vs arithmetic
   io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
+  StreamConfig stream;        ///< chunked-round + spill controls
 };
 
 /// Refine callback: receives the two record collections of one cell as
@@ -62,11 +99,15 @@ class RefineTask {
   virtual ~RefineTask() = default;
   virtual void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
                                const geom::BatchSpan& s) = 0;
-  /// Called exactly once, after the last refineCellBatch, offering
-  /// ownership of the rank's post-exchange batches. Record indices seen
-  /// through the spans stay valid in the adopted batches (moving a batch
-  /// moves its arenas, it never reindexes records). The default discards
-  /// them, which is correct for tasks that fully reduce in refine.
+  /// Offers ownership of the rank's post-exchange batches, after the last
+  /// refineCellBatch. Record indices seen through the spans stay valid in
+  /// the adopted batches (moving a batch moves its arenas, it never
+  /// reindexes records). The hook is *appendable*: the framework calls it
+  /// once per run, but streaming consumers (shard reloads,
+  /// DistributedIndex::loadShards) deliver batches incrementally, so an
+  /// implementation that keeps state must splice subsequent batches onto
+  /// what it already holds rather than replace it. The default discards
+  /// the batches, which is correct for tasks that fully reduce in refine.
   virtual void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& s);
 };
 
@@ -76,6 +117,7 @@ struct FrameworkStats {
   ParseStats parseR, parseS;
   PartitionResult ioR, ioS;
   GridSpec grid;
+  pfs::SpillStats spill;        ///< this rank's shard spill/reload volumes
   std::uint64_t cellsOwned = 0;
   std::uint64_t localR = 0, localS = 0;  ///< geometries held after exchange
 };

@@ -1,28 +1,41 @@
 #include "core/indexing.hpp"
 
+#include "geom/batch_shard.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace mvio::core {
 
-void DistributedIndex::addCell(int cell, const geom::BatchSpan& records, std::size_t fanout) {
-  // The span's index buffer is caller-owned (the framework's per-cell
-  // lists); copy the ids so they survive the pipeline.
-  std::vector<std::uint32_t> ids;
-  ids.reserve(records.size());
-  for (std::size_t k = 0; k < records.size(); ++k) {
-    ids.push_back(static_cast<std::uint32_t>(records.recordIndex(k)));
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4D53564Du;  // "MVSM" little-endian
+constexpr std::uint32_t kManifestVersion = 1;
+
+using util::putScalar;
+using util::readScalar;
+
+}  // namespace
+
+void DistributedIndex::addBatch(geom::GeometryBatch&& b) {
+  const std::size_t base = batch_.size();
+  batch_.splice(std::move(b));
+  for (std::size_t i = base; i < batch_.size(); ++i) {
+    const int cell = batch_.cell(i);
+    if (cell == geom::GeometryBatch::kNoCell) continue;
+    CellIndex& ci = cells_[cell];
+    ci.records.push_back(static_cast<std::uint32_t>(i));
+    ci.stale = true;
+    localGeometries_ += 1;
   }
-  addCell(cell, std::move(ids), records.batch(), fanout);
 }
 
-void DistributedIndex::addCell(int cell, std::vector<std::uint32_t>&& ids,
-                               const geom::GeometryBatch& source, std::size_t fanout) {
-  CellIndex ci;
-  ci.records = std::move(ids);
-  ci.rtree = geom::RTree(fanout);
-  ci.rtree.bulkLoad(geom::BatchSpan(&source, ci.records.data(), ci.records.size()));
-  localGeometries_ += ci.records.size();
-  cells_.emplace(cell, std::move(ci));
+void DistributedIndex::buildTrees() const {
+  for (const auto& [cell, ci] : cells_) {
+    if (!ci.stale) continue;
+    ci.rtree = geom::RTree(fanout_);
+    ci.rtree.bulkLoad(geom::BatchSpan(&batch_, ci.records.data(), ci.records.size()));
+    ci.stale = false;
+  }
 }
 
 std::uint64_t DistributedIndex::queryCount(const geom::Envelope& queryBox) const {
@@ -35,6 +48,13 @@ void DistributedIndex::query(const geom::Envelope& queryBox,
                              const std::function<void(std::size_t)>& fn) const {
   if (queryBox.isNull()) return;
   for (const auto& [cell, ci] : cells_) {
+    if (ci.stale) {
+      // Lazy re-bulk-load: streaming adoption appended ids since the tree
+      // was last packed (or it was never packed at all).
+      ci.rtree = geom::RTree(fanout_);
+      ci.rtree.bulkLoad(geom::BatchSpan(&batch_, ci.records.data(), ci.records.size()));
+      ci.stale = false;
+    }
     ci.rtree.visit(queryBox, [&](std::uint64_t k) {
       const std::size_t id = ci.records[static_cast<std::size_t>(k)];
       const geom::Envelope& env = batch_.envelope(id);
@@ -49,54 +69,135 @@ void DistributedIndex::query(const geom::Envelope& queryBox,
   }
 }
 
+void DistributedIndex::saveShards(pfs::SpillStore& store, const std::string& base,
+                                  std::uint64_t maxShardBytes) const {
+  // Split the adopted batch into contiguous record ranges whose encoded
+  // size stays under the bound (each shard holds at least one record).
+  std::uint64_t shards = 0;
+  std::size_t lo = 0;
+  while (lo < batch_.size()) {
+    std::size_t hi = lo;
+    std::uint64_t bytes = geom::kShardHeaderBytes;
+    while (hi < batch_.size()) {
+      const std::uint64_t rec = geom::shardRecordBytes(batch_, hi);
+      if (hi > lo && maxShardBytes != 0 && bytes + rec > maxShardBytes) break;
+      bytes += rec;
+      ++hi;
+    }
+    std::string blob;
+    blob.reserve(static_cast<std::size_t>(bytes));
+    geom::encodeShard(batch_, lo, hi, blob);
+    store.put(base + "." + std::to_string(shards), std::move(blob));
+    ++shards;
+    lo = hi;
+  }
+
+  std::string manifest;
+  putScalar<std::uint32_t>(manifest, kManifestMagic);
+  putScalar<std::uint32_t>(manifest, kManifestVersion);
+  putScalar<std::uint64_t>(manifest, shards);
+  putScalar<std::uint64_t>(manifest, localGeometries_);
+  putScalar<std::uint64_t>(manifest, fanout_);
+  const geom::Envelope& gb = grid_.bounds();
+  putScalar<std::uint8_t>(manifest, gb.isNull() ? 1 : 0);
+  putScalar<double>(manifest, gb.isNull() ? 0.0 : gb.minX());
+  putScalar<double>(manifest, gb.isNull() ? 0.0 : gb.minY());
+  putScalar<double>(manifest, gb.isNull() ? 0.0 : gb.maxX());
+  putScalar<double>(manifest, gb.isNull() ? 0.0 : gb.maxY());
+  putScalar<std::int32_t>(manifest, grid_.cellsX());
+  putScalar<std::int32_t>(manifest, grid_.cellsY());
+  // Checksum-before-trust, like the shards: covers every preceding byte.
+  putScalar<std::uint64_t>(manifest, util::fnv1a(manifest.data(), manifest.size()));
+  store.put(base + ".manifest", std::move(manifest));
+}
+
+DistributedIndex DistributedIndex::loadShards(pfs::SpillStore& store, const std::string& base,
+                                              std::size_t rtreeFanout) {
+  const std::string manifestName = base + ".manifest";
+  MVIO_CHECK(store.contains(manifestName), "index shards: missing manifest " + manifestName);
+  const std::string m = store.fetch(manifestName);
+  constexpr std::size_t kManifestBytes = 4 + 4 + 8 + 8 + 8 + 1 + 4 * 8 + 4 + 4 + 8;
+  MVIO_CHECK(m.size() == kManifestBytes, "index shards: truncated manifest");
+  MVIO_CHECK(util::fnv1a(m.data(), kManifestBytes - 8) ==
+                 readScalar<std::uint64_t>(m.data() + kManifestBytes - 8),
+             "index shards: corrupted manifest (checksum mismatch)");
+  MVIO_CHECK(readScalar<std::uint32_t>(m.data()) == kManifestMagic, "index shards: bad manifest magic");
+  MVIO_CHECK(readScalar<std::uint32_t>(m.data() + 4) == kManifestVersion,
+             "index shards: unsupported manifest version");
+  const auto shards = readScalar<std::uint64_t>(m.data() + 8);
+  const auto expectedRecords = readScalar<std::uint64_t>(m.data() + 16);
+  const auto fanout = static_cast<std::size_t>(readScalar<std::uint64_t>(m.data() + 24));
+  const bool nullGrid = readScalar<std::uint8_t>(m.data() + 32) != 0;
+  const double minX = readScalar<double>(m.data() + 33);
+  const double minY = readScalar<double>(m.data() + 41);
+  const double maxX = readScalar<double>(m.data() + 49);
+  const double maxY = readScalar<double>(m.data() + 57);
+  const auto cellsX = readScalar<std::int32_t>(m.data() + 65);
+  const auto cellsY = readScalar<std::int32_t>(m.data() + 69);
+
+  DistributedIndex index;
+  index.fanout_ = rtreeFanout != 0 ? rtreeFanout : fanout;
+  if (!nullGrid) index.grid_ = GridSpec(geom::Envelope(minX, minY, maxX, maxY), cellsX, cellsY);
+
+  for (std::uint64_t k = 0; k < shards; ++k) {
+    const std::string name = base + "." + std::to_string(k);
+    MVIO_CHECK(store.contains(name), "index shards: missing shard " + name);
+    geom::GeometryBatch b;
+    geom::decodeShard(store.fetch(name), b);
+    index.addBatch(std::move(b));
+  }
+  MVIO_CHECK(index.localGeometries_ == expectedRecords,
+             "index shards: record count does not match the manifest");
+  return index;
+}
+
 DistributedIndex DistributedIndex::fromBatch(geom::GeometryBatch&& batch, const GridSpec& grid,
                                              std::size_t rtreeFanout) {
   DistributedIndex index;
   index.grid_ = grid;
-  std::unordered_map<int, std::vector<std::uint32_t>> byCell;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch.cell(i) == geom::GeometryBatch::kNoCell) continue;
-    byCell[batch.cell(i)].push_back(static_cast<std::uint32_t>(i));
-  }
-  for (auto& [cell, ids] : byCell) {
-    index.addCell(cell, std::move(ids), batch, rtreeFanout);
-  }
-  index.batch_ = std::move(batch);
+  index.fanout_ = rtreeFanout;
+  index.addBatch(std::move(batch));
+  index.buildTrees();
   return index;
 }
 
 DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& data,
                                        const IndexingConfig& cfg, IndexingStats* stats) {
   DistributedIndex index;
+  index.fanout_ = cfg.rtreeFanout;
 
-  /// RefineTask that bulk-loads an R-tree per cell from the arena-resident
-  /// MBRs and records each cell's record-id list. No geometry is copied:
-  /// after the refine loop the task adopts the rank's batch wholesale, and
-  /// the recorded ids stay valid inside the moved arenas. (Local class:
-  /// it shares this friend function's access to the index internals.)
+  /// RefineTask that adopts the rank's post-exchange batch into the index
+  /// through the appendable addBatch hook. No geometry is copied beyond
+  /// the adoption splice, and no R-tree is packed per round — trees build
+  /// once, below, after the last batch arrives.
   struct BuildTask final : RefineTask {
     DistributedIndex* index;
-    std::size_t fanout;
 
-    void refineCellBatch(const GridSpec& /*grid*/, int cell, const geom::BatchSpan& r,
+    void refineCellBatch(const GridSpec& /*grid*/, int /*cell*/, const geom::BatchSpan& /*r*/,
                          const geom::BatchSpan& /*s*/) override {
-      if (r.empty()) return;
-      index->addCell(cell, r, fanout);
+      // Grouping happens in addBatch from the adopted records' cell tags.
     }
 
     void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& /*s*/) override {
-      index->batch_ = std::move(r);
+      index->addBatch(std::move(r));
     }
   };
 
   BuildTask task;
   task.index = &index;
-  task.fanout = cfg.rtreeFanout;
   const FrameworkStats fw = runFilterRefine(comm, volume, data, nullptr, cfg.framework, task);
   index.grid_ = fw.grid;
 
+  // Pack the per-cell R-trees now (rather than at first query) so the
+  // build phase of the figure benches keeps pricing the whole build.
+  mpi::CpuCharge charge(comm);
+  index.buildTrees();
+  const double treeSeconds = charge.stop();
+
   if (stats != nullptr) {
     stats->phases = fw.phases;
+    stats->phases.compute += treeSeconds;
+    stats->spill = fw.spill;
     stats->cellsOwned = fw.cellsOwned;
     stats->grid = fw.grid;
     stats->globalGeometries = comm.allreduceSumU64(index.localGeometries());

@@ -9,18 +9,30 @@
 // the rank's post-exchange GeometryBatch wholesale (no per-record copies
 // or materialized Geometry objects), per-cell R-trees bulk-load from the
 // arena-resident MBRs, and queries run filter + exact refine directly
-// against batch records (recordIntersectsBox). The resulting
-// DistributedIndex supports batch rectangle queries against the local
-// portion plus a helper to reduce global match counts.
+// against batch records (recordIntersectsBox).
+//
+// Adoption is *incremental* (DESIGN.md §7): addBatch() splices a batch
+// onto the index's arenas and appends its record ids to the per-cell
+// lists, marking touched cells stale; stale R-trees re-bulk-load lazily
+// at first query (or eagerly via buildTrees()), so a streaming run that
+// delivers many batches pays one tree build per cell, not one per round.
+// The same mechanism persists a rank's owned cells across runs:
+// saveShards() writes the adopted batch as BatchShards on a SpillStore
+// plus a manifest, and loadShards() rebuilds the index from them without
+// re-running the pipeline. The resulting DistributedIndex supports batch
+// rectangle queries against the local portion plus a helper to reduce
+// global match counts.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/framework.hpp"
 #include "geom/rtree.hpp"
+#include "pfs/spill_store.hpp"
 
 namespace mvio::core {
 
@@ -37,20 +49,35 @@ class DistributedIndex {
  public:
   struct CellIndex {
     std::vector<std::uint32_t> records;  ///< record ids into batch()
-    geom::RTree rtree;                   ///< entry ids are positions into `records`
+    /// Entry ids are positions into `records`. Mutable + dirty: addBatch
+    /// only appends ids; the tree re-bulk-loads lazily on first query.
+    mutable geom::RTree rtree;
+    mutable bool stale = true;
   };
 
   [[nodiscard]] const GridSpec& grid() const { return grid_; }
   [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
   [[nodiscard]] std::uint64_t localGeometries() const { return localGeometries_; }
   /// The records this index serves, in the pipeline's arena layout. Views
-  /// into it (coordsOf/userData/...) live as long as the index.
+  /// into it (coordsOf/userData/...) live as long as the index — until the
+  /// next addBatch(), whose splice may reallocate the arenas.
   [[nodiscard]] const geom::GeometryBatch& batch() const { return batch_; }
+
+  /// Incremental adoption: splice `b` onto the index's batch and append
+  /// its records (skipping kNoCell tombstones) to the per-cell id lists.
+  /// Touched cells are marked stale for lazy re-bulk-loading. Callable any
+  /// number of times — this is the appendable form of adoptBatches.
+  void addBatch(geom::GeometryBatch&& b);
+
+  /// Eagerly (re)build every stale per-cell R-tree (what a query would do
+  /// lazily). The collective build calls this once so query latency — and
+  /// the benches' build/query split — stays honest.
+  void buildTrees() const;
 
   /// Count local records whose MBR intersects `query` and whose exact
   /// geometry intersects it too (filter + refine), deduplicated with the
   /// reference-point rule so global sums are exact. Allocation-free per
-  /// record: the exact test runs in place on the batch.
+  /// record once trees are built: the exact test runs in place on the batch.
   [[nodiscard]] std::uint64_t queryCount(const geom::Envelope& query) const;
 
   /// Visit matching local records by batch record id; read them through
@@ -60,9 +87,26 @@ class DistributedIndex {
   /// Rebuild one matched record as a standalone Geometry (allocates).
   [[nodiscard]] geom::Geometry materialize(std::size_t id) const { return batch_.materialize(id); }
 
+  /// Persist the rank's owned cells: the adopted batch split into shards
+  /// of at most `maxShardBytes` encoded bytes (0 = one shard) plus a
+  /// "<base>.manifest" blob recording the grid and shard count. The blobs
+  /// survive on the store's volume, so a later run (or rank) can
+  /// loadShards() without re-reading and re-exchanging the input.
+  void saveShards(pfs::SpillStore& store, const std::string& base,
+                  std::uint64_t maxShardBytes = 0) const;
+
+  /// Rebuild an index from saveShards() output: reads the manifest,
+  /// decodes every shard, and addBatch()es them in order. Record ids are
+  /// assigned afresh (shard order), cell membership comes from the
+  /// serialized cell tags. `rtreeFanout` 0 keeps the fanout recorded in
+  /// the manifest. Throws util::Error on a missing/corrupt manifest or
+  /// shard.
+  static DistributedIndex loadShards(pfs::SpillStore& store, const std::string& base,
+                                     std::size_t rtreeFanout = 0);
+
   /// Build locally from an already cell-tagged batch — the single-rank
   /// form of the MPI build (the collective path produces exactly this per
-  /// rank). Used by tests and the micro benches.
+  /// rank). Used by tests and the micro benches. Trees are built eagerly.
   static DistributedIndex fromBatch(geom::GeometryBatch&& batch, const GridSpec& grid,
                                     std::size_t rtreeFanout = 16);
 
@@ -70,18 +114,16 @@ class DistributedIndex {
   friend DistributedIndex buildDistributedIndex(mpi::Comm&, pfs::Volume&, const DatasetHandle&,
                                                 const IndexingConfig&, struct IndexingStats*);
 
-  void addCell(int cell, const geom::BatchSpan& records, std::size_t fanout);
-  void addCell(int cell, std::vector<std::uint32_t>&& ids, const geom::GeometryBatch& source,
-               std::size_t fanout);
-
   GridSpec grid_;
   geom::GeometryBatch batch_;
   std::unordered_map<int, CellIndex> cells_;
   std::uint64_t localGeometries_ = 0;
+  std::size_t fanout_ = 16;
 };
 
 struct IndexingStats {
   PhaseBreakdown phases;
+  pfs::SpillStats spill;               ///< this rank's shard spill/reload volumes
   std::uint64_t globalGeometries = 0;  ///< geometries indexed across ranks (incl. replicas)
   std::uint64_t cellsOwned = 0;
   GridSpec grid;

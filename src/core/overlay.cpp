@@ -1,5 +1,6 @@
 #include "core/overlay.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "geom/clip.hpp"
@@ -13,15 +14,33 @@ namespace {
 /// Accumulates clipped coverage per owned cell. Batch-native: measures
 /// are clipped straight from the arena coordinates (recordClippedMeasure),
 /// so no record is ever materialized.
+///
+/// A cell's records arrive in whatever order the exchange delivered them,
+/// and the streaming pipeline's rounds interleave arrivals differently
+/// than the one-shot pass. Floating-point addition is not associative, so
+/// the per-record measures are sorted before summing — the cell total is
+/// then a function of the record *multiset* alone, and chunked and
+/// one-shot runs write bit-identical coverage rasters.
 struct CoverageTask final : RefineTask {
   std::map<int, CellCoverage> cells;  // ordered: simplifies the strided write
+  std::vector<double> measures;       // reused per-cell scratch
+
+  double orderInsensitiveSum(const geom::BatchSpan& span, const geom::Envelope& box) {
+    measures.clear();
+    measures.reserve(span.size());
+    for (std::size_t k = 0; k < span.size(); ++k) measures.push_back(span.clippedMeasure(k, box));
+    std::sort(measures.begin(), measures.end());
+    double sum = 0;
+    for (const double m : measures) sum += m;
+    return sum;
+  }
 
   void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
                        const geom::BatchSpan& s) override {
     const geom::Envelope box = grid.cellEnvelope(cell);
     CellCoverage& cov = cells[cell];
-    for (std::size_t k = 0; k < r.size(); ++k) cov.measureR += r.clippedMeasure(k, box);
-    for (std::size_t k = 0; k < s.size(); ++k) cov.measureS += s.clippedMeasure(k, box);
+    cov.measureR += orderInsensitiveSum(r, box);
+    cov.measureS += orderInsensitiveSum(s, box);
   }
 };
 

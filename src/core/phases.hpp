@@ -5,6 +5,16 @@
 // rank's sim::Clock; harnesses reduce with max() across ranks, as the
 // paper does ("we note the time taken by each process and take the
 // maximum time for each of the components").
+//
+// The streaming pipeline (DESIGN.md §7) executes every phase once per
+// round, so all fields are *accumulators* — a chunked run charges read,
+// parse, partition and comm per round into the same totals a one-shot
+// run produces, keeping the splits comparable across chunk sizes. The
+// `rounds` counter says how many exchange rounds contributed, and
+// `spill` is the modelled scratch I/O spent writing/reloading batch
+// shards when the working set exceeded the memory budget.
+
+#include <cstdint>
 
 #include "mpi/runtime.hpp"
 
@@ -16,20 +26,24 @@ struct PhaseBreakdown {
   double partition = 0;  ///< grid projection + serialization (measured CPU)
   double comm = 0;       ///< geometry exchange (modelled + buffer CPU)
   double compute = 0;    ///< refine work: join / index build (measured CPU)
+  double spill = 0;      ///< shard spill/reload scratch I/O (modelled)
+  std::uint64_t rounds = 0;  ///< exchange rounds executed (1 per layer one-shot)
 
-  [[nodiscard]] double total() const { return read + parse + partition + comm + compute; }
+  [[nodiscard]] double total() const { return read + parse + partition + comm + compute + spill; }
 
   /// Field-wise max across all ranks (collective).
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
     PhaseBreakdown out;
-    double mine[5] = {read, parse, partition, comm, compute};
-    double reduced[5] = {0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 5, mpi::Datatype::float64(), mpi::Op::max());
+    double mine[6] = {read, parse, partition, comm, compute, spill};
+    double reduced[6] = {0, 0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 6, mpi::Datatype::float64(), mpi::Op::max());
     out.read = reduced[0];
     out.parse = reduced[1];
     out.partition = reduced[2];
     out.comm = reduced[3];
     out.compute = reduced[4];
+    out.spill = reduced[5];
+    comm_.allreduce(&rounds, &out.rounds, 1, mpi::Datatype::uint64(), mpi::Op::max());
     return out;
   }
 };

@@ -5,20 +5,14 @@
 
 #include "geom/rtree.hpp"
 #include "geom/wkb.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace mvio::core {
 
 namespace {
 
-std::uint64_t fnv1a(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+using util::fnv1a;
 
 bool applyPredicate(JoinPredicate predicate, const geom::Geometry& r, const geom::Geometry& s) {
   switch (predicate) {
@@ -32,10 +26,12 @@ bool applyPredicate(JoinPredicate predicate, const geom::Geometry& r, const geom
 
 /// RefineTask running the per-cell filter (R-tree) + refine (exact
 /// predicate) with reference-point duplicate avoidance. Operates on batch
-/// spans: the filter index bulk-loads from arena-resident envelopes, and
-/// the general geometry-vs-geometry predicates are the one place the
-/// refine layer still materializes — at most once per record, and only
-/// when a candidate pair survives duplicate avoidance.
+/// spans: the filter index bulk-loads from arena-resident envelopes, the
+/// result keys hash WKB written straight from the arenas (no Geometry,
+/// no per-pair WKB string), and the general geometry-vs-geometry
+/// predicates are the one place the refine layer still materializes — at
+/// most once per record, and only when a candidate pair survives
+/// duplicate avoidance.
 class JoinTask final : public RefineTask {
  public:
   JoinTask(const JoinConfig& cfg, std::vector<JoinPair>* results)
@@ -49,10 +45,23 @@ class JoinTask final : public RefineTask {
     geom::RTree index(cfg_.rtreeFanout);
     index.bulkLoad(r);
 
+    // Per-record key cache for this cell: computed lazily, batch-native.
+    std::vector<std::uint64_t> rKeys(r.size());
+    std::vector<char> rKeySet(r.size(), 0);
+    auto keyOfR = [&](std::size_t id) {
+      if (!rKeySet[id]) {
+        rKeys[id] = geometryKey(r.batch(), r.recordIndex(id), scratch_);
+        rKeySet[id] = 1;
+      }
+      return rKeys[id];
+    };
+
     std::vector<std::optional<geom::Geometry>> rCache(r.size());
     for (std::size_t k = 0; k < s.size(); ++k) {
       const geom::Envelope& sEnv = s.envelope(k);
       std::optional<geom::Geometry> sg;
+      std::uint64_t sKey = 0;
+      bool sKeySet = false;
       index.visit(sEnv, [&](std::uint64_t id) {
         ++candidates_;
         const geom::Envelope& rEnv = r.envelope(id);
@@ -65,7 +74,13 @@ class JoinTask final : public RefineTask {
         if (!sg) sg = s.materialize(k);
         if (!applyPredicate(cfg_.predicate, *rg, *sg)) return;
         ++pairs_;
-        if (results_ != nullptr) results_->push_back({geometryKey(*rg), geometryKey(*sg)});
+        if (results_ != nullptr) {
+          if (!sKeySet) {
+            sKey = geometryKey(s.batch(), s.recordIndex(k), scratch_);
+            sKeySet = true;
+          }
+          results_->push_back({keyOfR(static_cast<std::size_t>(id)), sKey});
+        }
       });
     }
   }
@@ -76,6 +91,7 @@ class JoinTask final : public RefineTask {
  private:
   const JoinConfig& cfg_;
   std::vector<JoinPair>* results_;
+  std::string scratch_;  ///< reused WKB staging buffer for batch-native keys
   std::uint64_t pairs_ = 0;
   std::uint64_t candidates_ = 0;
 };
@@ -83,6 +99,14 @@ class JoinTask final : public RefineTask {
 }  // namespace
 
 std::uint64_t geometryKey(const geom::Geometry& g) { return fnv1a(geom::writeWkb(g)); }
+
+std::uint64_t geometryKey(const geom::GeometryBatch& b, std::size_t i, std::string& scratch) {
+  scratch.resize(b.wkbSize(i));
+  char* end = b.writeWkbTo(i, scratch.data());
+  MVIO_CHECK(static_cast<std::size_t>(end - scratch.data()) == scratch.size(),
+             "batch WKB size mismatch");
+  return fnv1a(scratch);
+}
 
 JoinStats spatialJoin(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
                       const DatasetHandle& s, const JoinConfig& cfg,

@@ -32,10 +32,12 @@
 #include "core/range_query.hpp"
 #include "core/spatial_join.hpp"
 #include "core/spatial_types.hpp"
+#include "geom/batch_shard.hpp"
 #include "geom/geometry_batch.hpp"
 #include "geom/wkt.hpp"
 #include "io/file.hpp"
 #include "mpi/runtime.hpp"
 #include "pfs/gpfs.hpp"
 #include "pfs/lustre.hpp"
+#include "pfs/spill_store.hpp"
 #include "pfs/volume.hpp"

@@ -251,6 +251,50 @@ void GeometryBatch::appendRecordFrom(const GeometryBatch& src, std::size_t i, in
   userEnd_.push_back(userData_.size());
 }
 
+void GeometryBatch::splice(const GeometryBatch& src) {
+  MVIO_CHECK(!recordOpen_ && !src.recordOpen_, "splice with a record open");
+  MVIO_CHECK(this != &src, "splice from self");
+  const std::size_t coordBase = coords_.size();
+  const std::size_t shapeBase = shape_.size();
+  const std::size_t userBase = userData_.size();
+
+  coords_.insert(coords_.end(), src.coords_.begin(), src.coords_.end());
+  shape_.insert(shape_.end(), src.shape_.begin(), src.shape_.end());
+  userData_.insert(userData_.end(), src.userData_.begin(), src.userData_.end());
+  tags_.insert(tags_.end(), src.tags_.begin(), src.tags_.end());
+  envelopes_.insert(envelopes_.end(), src.envelopes_.begin(), src.envelopes_.end());
+  cells_.insert(cells_.end(), src.cells_.begin(), src.cells_.end());
+
+  const std::size_t n = src.size();
+  coordEnd_.reserve(coordEnd_.size() + n);
+  shapeEnd_.reserve(shapeEnd_.size() + n);
+  userEnd_.reserve(userEnd_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coordEnd_.push_back(src.coordEnd_[i] + coordBase);
+    shapeEnd_.push_back(src.shapeEnd_[i] + shapeBase);
+    userEnd_.push_back(src.userEnd_[i] + userBase);
+  }
+  util::perf::addBytesCopied(src.coords_.size() * sizeof(Coord) +
+                             src.shape_.size() * sizeof(std::uint32_t) + src.userData_.size());
+}
+
+void GeometryBatch::splice(GeometryBatch&& src) {
+  if (empty()) {
+    MVIO_CHECK(!recordOpen_ && !src.recordOpen_, "splice with a record open");
+    *this = std::move(src);
+    return;
+  }
+  splice(src);
+  src = GeometryBatch();
+}
+
+std::uint64_t GeometryBatch::memoryBytes() const {
+  constexpr std::size_t perRecord = sizeof(std::uint8_t) + sizeof(Envelope) + sizeof(int) +
+                                    3 * sizeof(std::size_t);
+  return coords_.size() * sizeof(Coord) + shape_.size() * sizeof(std::uint32_t) +
+         userData_.size() + size() * perRecord;
+}
+
 Geometry GeometryBatch::materialize(std::size_t i) const {
   MVIO_CHECK(i < size(), "materialize: record index out of range");
   ShapeCursor cur{shape_.data() + shapeBegin(i), shape_.data() + shapeEnd_[i],

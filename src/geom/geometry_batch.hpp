@@ -113,6 +113,21 @@ class GeometryBatch {
   /// Copy record `i` of `src` (which may be *this) — three memcpys.
   void appendRecordFrom(const GeometryBatch& src, std::size_t i, int cell);
 
+  // ---- Whole-batch append (streaming rounds, shard reload) -------------
+  /// Append every record of `src` after the existing ones: bulk arena
+  /// copies plus end-offset rebasing. Record indices of *this* batch are
+  /// unchanged; `src`'s record k becomes record size()+k. `src` may not
+  /// be *this.
+  void splice(const GeometryBatch& src);
+  /// Move form: when *this is empty the arenas are adopted wholesale
+  /// (no copy), otherwise falls back to the copying splice.
+  void splice(GeometryBatch&& src);
+
+  /// Resident payload bytes of the batch: the three arenas plus the
+  /// per-record columns (sizes, not capacities). This is the quantity the
+  /// streaming pipeline compares against StreamConfig::memoryBudget.
+  [[nodiscard]] std::uint64_t memoryBytes() const;
+
   /// Rebuild record `i` as a standalone Geometry (userData included).
   /// This is the materialization boundary: it heap-allocates the
   /// Geometry's coordinate vectors and userData string. Refine code
@@ -143,6 +158,11 @@ class GeometryBatch {
                       std::size_t userBytesPerRecord = 8);
 
  private:
+  /// Column access for the shard codec (geom/batch_shard.cpp): shards are
+  /// raw snapshots of the arenas, so the codec reads and rebuilds the
+  /// private columns directly instead of going through record APIs.
+  friend struct ShardAccess;
+
   [[nodiscard]] std::size_t coordBegin(std::size_t i) const { return i == 0 ? 0 : coordEnd_[i - 1]; }
   [[nodiscard]] std::size_t shapeBegin(std::size_t i) const { return i == 0 ? 0 : shapeEnd_[i - 1]; }
   [[nodiscard]] std::size_t userBegin(std::size_t i) const { return i == 0 ? 0 : userEnd_[i - 1]; }

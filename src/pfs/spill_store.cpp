@@ -1,0 +1,63 @@
+#include "pfs/spill_store.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mvio::pfs {
+
+SpillStore::SpillStore(Volume& volume, std::string prefix)
+    : volume_(&volume), prefix_(std::move(prefix)) {
+  MVIO_CHECK(!prefix_.empty(), "spill store needs a non-empty prefix");
+}
+
+std::string SpillStore::pathOf(const std::string& name) const { return prefix_ + "/" + name; }
+
+void SpillStore::put(const std::string& name, std::string bytes) {
+  // bytesHeld accounts only blobs this instance wrote (or adopted by
+  // overwriting): replacing a blob left by an earlier instance must not
+  // subtract bytes that were never added — the name is adopted instead,
+  // so a later clear() also removes it.
+  const auto it = written_.find(name);
+  if (it != written_.end()) stats_.bytesHeld -= it->second;
+  stats_.blobsWritten += 1;
+  stats_.bytesWritten += bytes.size();
+  stats_.bytesHeld += bytes.size();
+  stats_.peakBytesHeld = std::max(stats_.peakBytesHeld, stats_.bytesHeld);
+  written_[name] = bytes.size();
+  volume_->createOrReplace(pathOf(name), std::make_shared<MemoryBackingStore>(std::move(bytes)));
+}
+
+std::string SpillStore::fetch(const std::string& name) const {
+  const auto file = volume_->lookup(pathOf(name));  // throws if missing
+  std::string bytes(file->data->size(), '\0');
+  file->data->read(0, bytes.data(), bytes.size());
+  stats_.blobsRead += 1;
+  stats_.bytesRead += bytes.size();
+  return bytes;
+}
+
+bool SpillStore::contains(const std::string& name) const { return volume_->exists(pathOf(name)); }
+
+void SpillStore::remove(const std::string& name) {
+  const std::string path = pathOf(name);
+  if (!volume_->exists(path)) return;
+  // Mirror put(): only bytes this instance accounted can be released.
+  const auto it = written_.find(name);
+  if (it != written_.end()) {
+    stats_.bytesHeld -= it->second;
+    written_.erase(it);
+  }
+  volume_->remove(path);
+}
+
+void SpillStore::clear() {
+  // remove() edits written_, so drain a copy of the names.
+  std::vector<std::string> names;
+  names.reserve(written_.size());
+  for (const auto& [name, bytes] : written_) names.push_back(name);
+  for (const auto& name : names) remove(name);
+}
+
+}  // namespace mvio::pfs

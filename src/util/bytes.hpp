@@ -1,0 +1,47 @@
+#pragma once
+// Byte-level helpers shared by the little codecs scattered through the
+// tree: the shard/manifest writers (geom/batch_shard.cpp,
+// core/indexing.cpp) and the content hashing of join keys and shard
+// checksums (core/spatial_join.cpp). One definition each, so the hash
+// constants and scalar layout cannot silently diverge between the
+// writers and the readers.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace mvio::util {
+
+/// FNV-1a over a byte range (64-bit offset basis / prime).
+[[nodiscard]] inline std::uint64_t fnv1a(const char* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+/// Append `v`'s native-endian bytes to `out`.
+template <typename T>
+void putScalar(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Read a `T` from `p` (unaligned-safe).
+template <typename T>
+[[nodiscard]] T readScalar(const char* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace mvio::util
