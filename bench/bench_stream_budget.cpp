@@ -50,8 +50,9 @@ int main() {
       {"64 KiB", kChunk, 64 << 10},
   };
 
-  util::TextTable table({"budget", "rounds", "spilled", "spill t", "read", "parse", "comm",
-                         "total", "allocs", "copied", "matches"});
+  std::vector<std::string> columns = {"budget", "matches", "spilled", "allocs", "copied"};
+  for (const auto& c : bench::streamPhaseColumns()) columns.push_back(c);
+  util::TextTable table(columns);
   for (const Config& cfg : configs) {
     bench::resetModel(*volume);
     const bench::Counters c0 = bench::countersNow();
@@ -73,12 +74,11 @@ int main() {
     });
     const bench::Counters used = bench::countersSince(c0);
 
-    table.addRow({cfg.label, std::to_string(maxPhases.rounds),
-                  util::formatBytes(spilledBytes.load()), util::formatSeconds(maxPhases.spill),
-                  util::formatSeconds(maxPhases.read), util::formatSeconds(maxPhases.parse),
-                  util::formatSeconds(maxPhases.comm), util::formatSeconds(maxPhases.total()),
-                  std::to_string(used.allocs), util::formatBytes(used.bytesCopied),
-                  std::to_string(matches.load())});
+    std::vector<std::string> row = {cfg.label, std::to_string(matches.load()),
+                                    util::formatBytes(spilledBytes.load()),
+                                    std::to_string(used.allocs), util::formatBytes(used.bytesCopied)};
+    for (const auto& cell : bench::streamPhaseRow(maxPhases)) row.push_back(cell);
+    table.addRow(row);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("note: matches must be identical on every row; rounds and spilled bytes are the\n"

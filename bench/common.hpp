@@ -31,6 +31,23 @@
 // so the replaceable global allocation functions can live here. They count
 // calls and bytes, which is how the harnesses verify the batch pipeline's
 // "fewer allocations" claim next to its timings.
+//
+// Under AddressSanitizer the override is disabled: ASan pairs its own
+// operator-new interceptor with the malloc/free below and reports an
+// alloc-dealloc mismatch. Sanitized runs (the asan preset) therefore
+// report zero allocation counts — they exist to catch memory bugs, not
+// to price allocations.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MVIO_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MVIO_BENCH_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef MVIO_BENCH_COUNT_ALLOCS
+#define MVIO_BENCH_COUNT_ALLOCS 1
+#endif
 
 namespace mvio::bench {
 inline std::atomic<std::uint64_t> gAllocCount{0};
@@ -45,12 +62,14 @@ inline void* countedAlloc(std::size_t size) {
 }
 }  // namespace mvio::bench
 
+#if MVIO_BENCH_COUNT_ALLOCS
 void* operator new(std::size_t size) { return mvio::bench::countedAlloc(size); }
 void* operator new[](std::size_t size) { return mvio::bench::countedAlloc(size); }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
 
 namespace mvio::bench {
 
@@ -116,5 +135,29 @@ struct Sample {
   double seconds = 0;
   double bandwidth = 0;  // bytes/s where applicable
 };
+
+// ---- Streaming / rebalancing phase columns ------------------------------
+// Shared column set for harnesses that price the bounded-memory pipeline:
+// exchange rounds and spill time next to the refine phase's shard-reload
+// bytes and the shard-migration wire volume (bytes + blob rounds), so a
+// budget or rebalance sweep prints comparable rows everywhere.
+
+inline std::vector<std::string> streamPhaseColumns() {
+  return {"rounds", "spill t", "refine reload", "migr bytes", "migr blobs",
+          "read",   "parse",   "comm",          "migrate",    "total"};
+}
+
+inline std::vector<std::string> streamPhaseRow(const core::PhaseBreakdown& p) {
+  return {std::to_string(p.rounds),
+          util::formatSeconds(p.spill),
+          util::formatBytes(p.refineSpillBytes),
+          util::formatBytes(p.migrateBytes),
+          std::to_string(p.migrateRounds),
+          util::formatSeconds(p.read),
+          util::formatSeconds(p.parse),
+          util::formatSeconds(p.comm),
+          util::formatSeconds(p.migrate),
+          util::formatSeconds(p.total())};
+}
 
 }  // namespace mvio::bench

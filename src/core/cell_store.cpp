@@ -1,0 +1,307 @@
+#include "core/cell_store.hpp"
+
+#include <algorithm>
+
+#include "geom/batch_shard.hpp"
+#include "util/error.hpp"
+
+namespace mvio::core {
+
+namespace {
+
+std::uint64_t shardKey(std::size_t seg, std::size_t idx) {
+  return (static_cast<std::uint64_t>(seg) << 32) | static_cast<std::uint64_t>(idx);
+}
+
+}  // namespace
+
+CellStore::CellStore(pfs::SpillStore* store, std::string base, std::uint64_t memoryBudget,
+                     std::uint64_t shardBytes, SpillChargeFn charge)
+    : store_(store),
+      base_(std::move(base)),
+      budget_(memoryBudget),
+      shardBytes_(shardBytes),
+      charge_(std::move(charge)) {
+  if (streaming() && shardBytes_ == 0) shardBytes_ = std::max<std::uint64_t>(budget_ / 4, 1);
+}
+
+void CellStore::add(geom::GeometryBatch&& roundBatch) {
+  MVIO_CHECK(!finalized_, "CellStore: add after finalize");
+  records_ += roundBatch.size();
+  resident_.splice(std::move(roundBatch));
+  if (streaming() && resident_.memoryBytes() > budget_) {
+    flushSegment(resident_);
+    resident_ = geom::GeometryBatch();
+  }
+}
+
+void CellStore::finalize() {
+  MVIO_CHECK(!finalized_, "CellStore: already finalized");
+  finalized_ = true;
+  // Streaming: the accumulated tail stays resident when it fits its half
+  // of the budget (it is served through the same per-cell index as the
+  // resident regime and counts against the merge window's bound);
+  // otherwise it joins the cell-sorted shard segments. A run whose owned
+  // set never outgrew the budget therefore spills nothing at all.
+  if (streaming() && resident_.memoryBytes() > budget_ / 2) {
+    flushSegment(resident_);
+    resident_ = geom::GeometryBatch();
+  }
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    const int cell = resident_.cell(i);
+    if (cell == geom::GeometryBatch::kNoCell) continue;
+    cellIndex_[cell].push_back(static_cast<std::uint32_t>(i));
+  }
+  peakBytes_ = std::max(peakBytes_, resident_.memoryBytes());
+}
+
+void CellStore::flushSegment(const geom::GeometryBatch& b) {
+  if (b.empty()) return;
+  const std::size_t n = b.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  // Stable: within a cell, records keep their arrival order, so the
+  // concatenation of segments reproduces the resident regime's per-cell
+  // record sequence.
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return b.cell(x) < b.cell(y);
+  });
+
+  std::vector<ShardRef> segment;
+  geom::GeometryBatch cur;
+  ShardRef ref;
+  std::uint64_t curBytes = geom::kShardHeaderBytes;
+
+  auto closeShard = [&] {
+    if (cur.empty()) return;
+    std::string blob;
+    blob.reserve(static_cast<std::size_t>(curBytes));
+    geom::encodeShard(cur, blob);
+    ref.name = base_ + ".shard" + std::to_string(shardSeq_++);
+    ref.firstCell = ref.runs.front().cell;
+    ref.lastCell = ref.runs.back().cell;
+    ref.encodedBytes = blob.size();
+    charge_(blob.size(), /*isWrite=*/true);
+    store_->put(ref.name, std::move(blob));
+    segment.push_back(std::move(ref));
+    ref = ShardRef{};
+    cur = geom::GeometryBatch();
+    curBytes = geom::kShardHeaderBytes;
+  };
+
+  for (const std::uint32_t i : order) {
+    const int cell = b.cell(i);
+    MVIO_CHECK(cell != geom::GeometryBatch::kNoCell, "CellStore: untagged record in owned set");
+    const std::uint64_t rec = geom::shardRecordBytes(b, i);
+    if (!cur.empty() && curBytes + rec > shardBytes_) closeShard();
+    cur.appendRecordFrom(b, i, cell);
+    if (ref.runs.empty() || ref.runs.back().cell != cell) ref.runs.push_back({cell, 0, false});
+    ref.runs.back().records += 1;
+    curBytes += rec;
+  }
+  closeShard();
+  segments_.push_back(std::move(segment));
+}
+
+std::vector<int> CellStore::cells() const {
+  // Both regimes index the resident records (the whole set, or the
+  // streaming tail) in cellIndex_; streaming adds the shard directories.
+  std::vector<int> out;
+  out.reserve(cellIndex_.size());
+  for (const auto& [cell, ids] : cellIndex_) out.push_back(cell);
+  if (segments_.empty()) return out;  // map iteration is already ascending
+  for (const auto& segment : segments_) {
+    for (const ShardRef& shard : segment) {
+      for (const ShardRun& run : shard.runs) {
+        if (!run.dead) out.push_back(run.cell);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void CellStore::accumulateCellLoads(std::vector<std::uint64_t>& loads) const {
+  for (const auto& [cell, ids] : cellIndex_) {
+    loads[static_cast<std::size_t>(cell)] += ids.size();
+  }
+  for (const auto& segment : segments_) {
+    for (const ShardRef& shard : segment) {
+      for (const ShardRun& run : shard.runs) {
+        if (!run.dead) loads[static_cast<std::size_t>(run.cell)] += run.records;
+      }
+    }
+  }
+}
+
+std::uint64_t CellStore::trackedBytes() const {
+  if (!streaming()) return resident_.memoryBytes();
+  // Merge window + current cell + the resident tail segment.
+  return loadedBytes_ + scratch_.memoryBytes() + resident_.memoryBytes();
+}
+
+void CellStore::notePeak() { peakBytes_ = std::max(peakBytes_, trackedBytes()); }
+
+geom::GeometryBatch& CellStore::loadShard(std::size_t seg, std::size_t idx, int currentCell) {
+  const std::uint64_t key = shardKey(seg, idx);
+  auto it = loaded_.find(key);
+  if (it == loaded_.end()) {
+    const ShardRef& ref = segments_[seg][idx];
+    evictShards(currentCell, ref.encodedBytes);
+    const std::string blob = store_->fetch(ref.name);
+    charge_(blob.size(), /*isWrite=*/false);
+    reloadBytes_ += blob.size();
+    LoadedShard loadedShard;
+    geom::decodeShard(blob, loadedShard.batch);
+    loadedShard.bytes = loadedShard.batch.memoryBytes();
+    loadedBytes_ += loadedShard.bytes;
+    it = loaded_.emplace(key, std::move(loadedShard)).first;
+  }
+  it->second.lastUse = ++useClock_;
+  notePeak();
+  return it->second.batch;
+}
+
+void CellStore::evictShards(int currentCell, std::uint64_t incomingBytes) {
+  // Drop shards the ascending iteration has passed, then least-recently
+  // used ones until the incoming load fits the budget (a single oversized
+  // shard is the allowed slack — it must be resident to be read at all).
+  for (auto it = loaded_.begin(); it != loaded_.end();) {
+    const std::size_t seg = static_cast<std::size_t>(it->first >> 32);
+    const std::size_t idx = static_cast<std::size_t>(it->first & 0xffffffffu);
+    if (segments_[seg][idx].lastCell < currentCell) {
+      loadedBytes_ -= it->second.bytes;
+      it = loaded_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (!loaded_.empty() &&
+         loadedBytes_ + scratch_.memoryBytes() + resident_.memoryBytes() + incomingBytes > budget_) {
+    auto lru = loaded_.begin();
+    for (auto it = loaded_.begin(); it != loaded_.end(); ++it) {
+      if (it->second.lastUse < lru->second.lastUse) lru = it;
+    }
+    loadedBytes_ -= lru->second.bytes;
+    loaded_.erase(lru);
+  }
+}
+
+void CellStore::assembleCell(int cell, geom::GeometryBatch& out, bool extract) {
+  // Spilled segments first (flush order), the resident tail last — the
+  // concatenation is the cell's arrival order.
+  for (std::size_t seg = 0; seg < segments_.size(); ++seg) {
+    std::vector<ShardRef>& segment = segments_[seg];
+    // Shards of a segment are cell-ordered; binary-search the first one
+    // whose range can still contain `cell`.
+    auto first = std::lower_bound(segment.begin(), segment.end(), cell,
+                                  [](const ShardRef& s, int c) { return s.lastCell < c; });
+    for (auto it = first; it != segment.end() && it->firstCell <= cell; ++it) {
+      std::size_t offset = 0;
+      for (ShardRun& run : it->runs) {
+        if (run.cell == cell) {
+          if (!run.dead) {
+            const geom::GeometryBatch& b =
+                loadShard(seg, static_cast<std::size_t>(it - segment.begin()), cell);
+            for (std::size_t k = 0; k < run.records; ++k) {
+              out.appendRecordFrom(b, offset + k, cell);
+            }
+            notePeak();
+            if (extract) run.dead = true;
+          }
+          break;  // at most one run per cell per shard
+        }
+        offset += run.records;
+      }
+    }
+  }
+  const auto tail = cellIndex_.find(cell);
+  if (tail != cellIndex_.end()) {
+    for (const std::uint32_t i : tail->second) out.appendRecordFrom(resident_, i, cell);
+    if (extract) cellIndex_.erase(tail);
+    notePeak();
+  }
+}
+
+geom::BatchSpan CellStore::cellSpan(int cell) {
+  MVIO_CHECK(finalized_, "CellStore: cellSpan before finalize");
+  if (!streaming()) {
+    const auto it = cellIndex_.find(cell);
+    // Absent cells still get a span backed by a live batch, so tasks may
+    // call span.batch() unconditionally.
+    if (it == cellIndex_.end()) return {&resident_, nullptr, 0};
+    return {&resident_, it->second.data(), it->second.size()};
+  }
+  scratch_ = geom::GeometryBatch();
+  assembleCell(cell, scratch_, /*extract=*/false);
+  scratchIdx_.resize(scratch_.size());
+  for (std::size_t k = 0; k < scratch_.size(); ++k) {
+    scratchIdx_[k] = static_cast<std::uint32_t>(k);
+  }
+  return {&scratch_, scratchIdx_.data(), scratch_.size()};
+}
+
+geom::GeometryBatch CellStore::takeCellBatch() {
+  MVIO_CHECK(streaming(), "CellStore: takeCellBatch is a streaming-regime call");
+  geom::GeometryBatch out = std::move(scratch_);
+  scratch_ = geom::GeometryBatch();
+  return out;
+}
+
+geom::GeometryBatch CellStore::extractCell(int cell) {
+  MVIO_CHECK(finalized_, "CellStore: extractCell before finalize");
+  geom::GeometryBatch out;
+  if (!streaming()) {
+    const auto it = cellIndex_.find(cell);
+    if (it == cellIndex_.end()) return out;
+    for (const std::uint32_t i : it->second) {
+      out.appendRecordFrom(resident_, i, cell);
+      // Tombstone: the record stays in the arenas but is invisible to any
+      // consumer that groups by cell tag (takeResidentBatch adoption).
+      resident_.setCell(i, geom::GeometryBatch::kNoCell);
+    }
+    cellIndex_.erase(it);
+  } else {
+    assembleCell(cell, out, /*extract=*/true);
+  }
+  records_ -= out.size();
+  return out;
+}
+
+void CellStore::addMigrated(geom::GeometryBatch&& batch) {
+  MVIO_CHECK(finalized_, "CellStore: addMigrated before finalize");
+  records_ += batch.size();
+  if (!streaming()) {
+    const std::size_t base = resident_.size();
+    resident_.splice(std::move(batch));
+    for (std::size_t i = base; i < resident_.size(); ++i) {
+      const int cell = resident_.cell(i);
+      MVIO_CHECK(cell != geom::GeometryBatch::kNoCell, "CellStore: untagged migrated record");
+      cellIndex_[cell].push_back(static_cast<std::uint32_t>(i));
+    }
+    peakBytes_ = std::max(peakBytes_, resident_.memoryBytes());
+    return;
+  }
+  // One more cell-sorted segment; the resident tail is left untouched.
+  flushSegment(batch);
+}
+
+geom::GeometryBatch CellStore::takeResidentBatch() {
+  MVIO_CHECK(!streaming(), "CellStore: takeResidentBatch is a resident-regime call");
+  cellIndex_.clear();
+  geom::GeometryBatch out = std::move(resident_);
+  resident_ = geom::GeometryBatch();
+  return out;
+}
+
+void CellStore::releaseBlobs() {
+  for (const auto& segment : segments_) {
+    for (const ShardRef& shard : segment) store_->remove(shard.name);
+  }
+  segments_.clear();
+  loaded_.clear();
+  loadedBytes_ = 0;
+}
+
+}  // namespace mvio::core

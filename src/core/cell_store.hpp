@@ -1,0 +1,164 @@
+#pragma once
+// Cell-major owned-record store (DESIGN.md §8).
+//
+// The streaming pipeline's exchange rounds deliver a rank's owned records
+// in arrival order, but the refine phase consumes them cell by cell. The
+// CellStore is the structure between the two: rounds add() batches as
+// they arrive, and after finalize() the store serves the records of one
+// cell at a time, in ascending cell-id order, without ever holding the
+// whole owned set resident.
+//
+// Two regimes, selected by StreamConfig::memoryBudget:
+//
+//  * Resident (budget 0 / unbounded): arrivals splice into one batch;
+//    finalize() builds per-cell record-id lists over it. cellSpan() is a
+//    zero-copy view into the batch, and the whole batch is handed to the
+//    task once at the end (takeResidentBatch) — the classic path.
+//
+//  * Streaming (budget set): whenever the accumulating segment exceeds
+//    the budget — and at finalize(), unless the tail fits half the
+//    budget and simply stays resident — the segment's records are
+//    stably sorted by cell id and written out as a run of BatchShards of
+//    bounded encoded size (a cell larger than the bound spans shards).
+//    Only a small directory (per shard: cell runs and record counts)
+//    stays in memory. cellSpan() then performs an external merge: for the
+//    requested cell it loads exactly the shards whose cell range covers
+//    it, copies that cell's records (and the tail's) into a scratch
+//    batch, and evicts loaded shards once the ascending iteration passes
+//    them (or earlier under budget pressure) — peak refine memory is the
+//    merge window plus one cell, not the owned-batch size.
+//
+// extractCell() removes a cell's records (the shard-migration path uses
+// it to ship leaving cells), and addMigrated() appends records received
+// from peers as one more cell-sorted segment. The store tracks its spill
+// traffic and its peak resident bytes so FrameworkStats can report — and
+// tests can assert — the refine-phase memory bound.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/geometry_batch.hpp"
+#include "pfs/spill_store.hpp"
+
+namespace mvio::core {
+
+/// Charges one spill transfer to the rank's clock and phase breakdown
+/// (bytes, isWrite). Supplied by the framework, which owns both.
+using SpillChargeFn = std::function<void(std::uint64_t, bool)>;
+
+class CellStore {
+ public:
+  /// `memoryBudget` 0 = resident regime. In the streaming regime segments
+  /// are split into shards of at most `shardBytes` encoded bytes
+  /// (0 = budget/4) so the merge window loads small pieces.
+  CellStore(pfs::SpillStore* store, std::string base, std::uint64_t memoryBudget,
+            std::uint64_t shardBytes, SpillChargeFn charge);
+
+  // ---- Accumulation (exchange rounds) ---------------------------------
+  /// Splice one round's received records; may flush a cell-sorted segment.
+  void add(geom::GeometryBatch&& roundBatch);
+  /// Close accumulation; the store becomes cell-readable.
+  void finalize();
+
+  // ---- Introspection ---------------------------------------------------
+  [[nodiscard]] bool streaming() const { return budget_ != 0; }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+  /// Ascending distinct cell ids with at least one record.
+  [[nodiscard]] std::vector<int> cells() const;
+  /// loads[cell] += record count, for every cell present (skew measurement;
+  /// `loads` must span the grid).
+  void accumulateCellLoads(std::vector<std::uint64_t>& loads) const;
+  /// Bytes currently resident for refine service: merge window + scratch
+  /// (streaming) or the owned batch (resident).
+  [[nodiscard]] std::uint64_t trackedBytes() const;
+  [[nodiscard]] std::uint64_t peakBytes() const { return peakBytes_; }
+  /// Shard bytes reloaded by cellSpan/extractCell (refine-side traffic).
+  [[nodiscard]] std::uint64_t reloadBytes() const { return reloadBytes_; }
+
+  // ---- Cell-major access (after finalize) ------------------------------
+  /// The records of `cell` as a span. Resident: a view into the owned
+  /// batch. Streaming: assembled into an internal scratch batch via the
+  /// external merge; the span is valid until the next cellSpan /
+  /// extractCell / takeCellBatch call. Intended to be called with
+  /// ascending cells (any order is correct; ascending keeps the merge
+  /// window warm).
+  geom::BatchSpan cellSpan(int cell);
+  /// Streaming regime: hand over the scratch batch assembled by the last
+  /// cellSpan() (the per-cell adoption unit).
+  [[nodiscard]] geom::GeometryBatch takeCellBatch();
+  /// Remove `cell` from the store and return its records (migration).
+  /// Resident: the records are tombstoned with kNoCell in the owned batch
+  /// so a later takeResidentBatch() cannot leak them to the task.
+  [[nodiscard]] geom::GeometryBatch extractCell(int cell);
+  /// Append records received from peers (cell tags intact). Streaming:
+  /// flushed immediately as one more cell-sorted segment.
+  void addMigrated(geom::GeometryBatch&& batch);
+  /// Resident regime: the whole owned batch, for whole-run adoption.
+  [[nodiscard]] geom::GeometryBatch takeResidentBatch();
+
+  /// Drop every shard blob this store wrote from the SpillStore.
+  void releaseBlobs();
+
+ private:
+  /// One maximal run of same-cell records inside a shard.
+  struct ShardRun {
+    int cell = 0;
+    std::uint32_t records = 0;
+    bool dead = false;  ///< extracted (migrated away); skip on reload
+  };
+  /// Directory entry for one spilled shard (cell-sorted records).
+  struct ShardRef {
+    std::string name;
+    int firstCell = 0;
+    int lastCell = 0;
+    std::uint64_t encodedBytes = 0;
+    std::vector<ShardRun> runs;
+  };
+  struct LoadedShard {
+    geom::GeometryBatch batch;
+    std::uint64_t bytes = 0;    ///< batch.memoryBytes() at load
+    std::uint64_t lastUse = 0;  ///< eviction clock
+  };
+
+  /// Sort `b`'s records by cell and write them out as one segment of
+  /// bounded-size shards (directory kept in memory).
+  void flushSegment(const geom::GeometryBatch& b);
+  /// Copy `cell`'s records from every covering shard into `out`; marks the
+  /// runs dead when `extract`.
+  void assembleCell(int cell, geom::GeometryBatch& out, bool extract);
+  geom::GeometryBatch& loadShard(std::size_t seg, std::size_t idx, int currentCell);
+  void evictShards(int currentCell, std::uint64_t incomingBytes);
+  void notePeak();
+
+  pfs::SpillStore* store_;
+  std::string base_;
+  std::uint64_t budget_;
+  std::uint64_t shardBytes_;
+  SpillChargeFn charge_;
+
+  bool finalized_ = false;
+  std::uint64_t records_ = 0;
+  std::uint64_t reloadBytes_ = 0;
+  std::uint64_t peakBytes_ = 0;
+
+  // Accumulating / resident state. After finalize, resident_ holds the
+  // whole owned set (resident regime) or the under-half-budget tail
+  // segment (streaming regime); cellIndex_ maps its records per cell.
+  geom::GeometryBatch resident_;
+  std::map<int, std::vector<std::uint32_t>> cellIndex_;
+
+  // Streaming state.
+  std::vector<std::vector<ShardRef>> segments_;
+  std::unordered_map<std::uint64_t, LoadedShard> loaded_;  ///< key: seg<<32|idx
+  std::uint64_t loadedBytes_ = 0;
+  std::uint64_t useClock_ = 0;
+  geom::GeometryBatch scratch_;
+  std::vector<std::uint32_t> scratchIdx_;
+  std::size_t shardSeq_ = 0;  ///< unique shard-name counter
+};
+
+}  // namespace mvio::core

@@ -2,36 +2,27 @@
 
 #include <algorithm>
 #include <cstring>
+#include <queue>
 
+#include "geom/batch_shard.hpp"
 #include "geom/wkb.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/perf.hpp"
 
 namespace mvio::core {
 
-namespace {
-
-void appendU32(std::string& out, std::uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out.append(buf, 4);
-}
-
-std::uint32_t readU32(const char* p) {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-}  // namespace
+using util::fnv1a;
+using util::putScalar;
+using util::readScalar;
 
 void serializeCellGeometry(const CellGeometry& cg, std::string& out) {
   MVIO_CHECK(cg.cell >= 0, "negative cell id");
   const std::size_t start = out.size();
-  appendU32(out, static_cast<std::uint32_t>(cg.cell));
-  appendU32(out, static_cast<std::uint32_t>(cg.geometry.userData.size()));
+  putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(cg.cell));
+  putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(cg.geometry.userData.size()));
   const std::size_t lenPos = out.size();
-  appendU32(out, 0);  // wkb length patched below
+  putScalar<std::uint32_t>(out, 0);  // wkb length patched below
   out.append(cg.geometry.userData);
   const std::size_t wkbStart = out.size();
   geom::appendWkb(cg.geometry, out);
@@ -44,9 +35,9 @@ void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>
   std::size_t pos = 0;
   while (pos < bytes.size()) {
     MVIO_CHECK(pos + 12 <= bytes.size(), "truncated geometry record header");
-    const std::uint32_t cell = readU32(bytes.data() + pos);
-    const std::uint32_t userLen = readU32(bytes.data() + pos + 4);
-    const std::uint32_t wkbLen = readU32(bytes.data() + pos + 8);
+    const auto cell = readScalar<std::uint32_t>(bytes.data() + pos);
+    const auto userLen = readScalar<std::uint32_t>(bytes.data() + pos + 4);
+    const auto wkbLen = readScalar<std::uint32_t>(bytes.data() + pos + 8);
     pos += 12;
     MVIO_CHECK(pos + userLen + wkbLen <= bytes.size(), "truncated geometry record body");
     CellGeometry cg;
@@ -201,6 +192,154 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
   }
   outgoing.clear();
   return mine;
+}
+
+namespace {
+
+// Summary frame closing one sender→receiver migration stream:
+// [magic "MVSX"][version][blobs:u64][records:u64][payloadBytes:u64]
+// [checksum:u64 over the preceding 32 bytes]. The magic differs from the
+// shard magic ("MVSH"), so a receiver discriminates blob vs summary on the
+// first four bytes alone.
+constexpr std::uint32_t kSummaryMagic = 0x5853564Du;  // "MVSX" little-endian
+constexpr std::uint32_t kSummaryVersion = 1;
+constexpr std::size_t kSummaryBytes = 4 + 4 + 8 + 8 + 8 + 8;
+
+std::string encodeMigrationSummary(std::uint64_t blobs, std::uint64_t records, std::uint64_t bytes) {
+  std::string out;
+  out.reserve(kSummaryBytes);
+  putScalar<std::uint32_t>(out, kSummaryMagic);
+  putScalar<std::uint32_t>(out, kSummaryVersion);
+  putScalar<std::uint64_t>(out, blobs);
+  putScalar<std::uint64_t>(out, records);
+  putScalar<std::uint64_t>(out, bytes);
+  putScalar<std::uint64_t>(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> lptAssignCells(const std::vector<std::uint64_t>& cellLoads, int nprocs) {
+  MVIO_CHECK(nprocs >= 1, "lptAssignCells: need at least one rank");
+  const std::size_t cells = cellLoads.size();
+  std::vector<std::uint32_t> order(cells);
+  for (std::size_t c = 0; c < cells; ++c) order[c] = static_cast<std::uint32_t>(c);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return cellLoads[a] != cellLoads[b] ? cellLoads[a] > cellLoads[b] : a < b;
+  });
+
+  // Min-heap of (assigned load, rank); ties break toward the lower rank id
+  // so every rank computes the identical map.
+  using Bin = std::pair<std::uint64_t, int>;
+  std::priority_queue<Bin, std::vector<Bin>, std::greater<>> bins;
+  for (int r = 0; r < nprocs; ++r) bins.push({0, r});
+
+  std::vector<int> owner(cells, 0);
+  for (const std::uint32_t c : order) {
+    Bin bin = bins.top();
+    bins.pop();
+    owner[c] = bin.second;
+    bin.first += cellLoads[c] + 1;  // +1: empty cells still spread out
+    bins.push(bin);
+  }
+  return owner;
+}
+
+geom::GeometryBatch migrateShards(mpi::Comm& comm, std::vector<geom::GeometryBatch>&& outgoing,
+                                  std::uint64_t maxBlobBytes, ShardTransportStats* stats,
+                                  const SerializationCostModel& costs) {
+  const int p = comm.size();
+  MVIO_CHECK(outgoing.size() == static_cast<std::size_t>(p),
+             "migrateShards: need one outgoing batch per rank");
+  MVIO_CHECK(outgoing[static_cast<std::size_t>(comm.rank())].empty(),
+             "migrateShards: records staying on this rank must not enter the transport");
+  const auto byteType = mpi::Datatype::byte();
+
+  // Send side: split each destination's records into blobs of at most
+  // maxBlobBytes encoded bytes (at least one record each), then the
+  // summary frame. send() is buffered, so streaming all sends before any
+  // receive cannot deadlock.
+  std::string blob;
+  for (int d = 0; d < p; ++d) {
+    if (d == comm.rank()) continue;
+    geom::GeometryBatch& batch = outgoing[static_cast<std::size_t>(d)];
+    std::uint64_t blobs = 0;
+    std::uint64_t payloadBytes = 0;
+    std::size_t lo = 0;
+    while (lo < batch.size()) {
+      std::size_t hi = lo;
+      std::uint64_t bytes = geom::kShardHeaderBytes;
+      while (hi < batch.size()) {
+        const std::uint64_t rec = geom::shardRecordBytes(batch, hi);
+        if (hi > lo && maxBlobBytes != 0 && bytes + rec > maxBlobBytes) break;
+        bytes += rec;
+        ++hi;
+      }
+      blob.clear();
+      blob.reserve(static_cast<std::size_t>(bytes));
+      geom::encodeShard(batch, lo, hi, blob);
+      comm.clock().advanceBy(static_cast<double>(blob.size()) / costs.bytesPerSecond +
+                             static_cast<double>(hi - lo) * costs.perGeometrySeconds);
+      comm.send(blob.data(), static_cast<int>(blob.size()), byteType, d, kShardMigrationTag);
+      payloadBytes += blob.size();
+      ++blobs;
+      lo = hi;
+    }
+    const std::string summary = encodeMigrationSummary(blobs, batch.size(), payloadBytes);
+    comm.send(summary.data(), static_cast<int>(summary.size()), byteType, d, kShardMigrationTag);
+    if (stats != nullptr) {
+      stats->bytesSent += payloadBytes;
+      stats->recordsSent += batch.size();
+      stats->blobsSent += blobs;
+    }
+    batch = geom::GeometryBatch();  // release the shipped arenas
+  }
+
+  // Receive side: drain every peer's stream in rank order (mailboxes are
+  // FIFO per source+tag, so blobs arrive before their summary). Appending
+  // per source in ascending rank order makes the received record order a
+  // function of the map alone, not of thread scheduling.
+  geom::GeometryBatch received;
+  std::string buf;
+  for (int src = 0; src < p; ++src) {
+    if (src == comm.rank()) continue;
+    std::uint64_t blobs = 0;
+    std::uint64_t records = 0;
+    std::uint64_t payloadBytes = 0;
+    while (true) {
+      const mpi::Status st = comm.probe(src, kShardMigrationTag);
+      buf.resize(st.bytes);
+      comm.recv(buf.data(), static_cast<int>(buf.size()), byteType, src, kShardMigrationTag);
+      MVIO_CHECK(buf.size() >= 4, "shard migration: runt message");
+      if (readScalar<std::uint32_t>(buf.data()) == kSummaryMagic) {
+        MVIO_CHECK(buf.size() == kSummaryBytes, "shard migration: truncated summary frame");
+        MVIO_CHECK(fnv1a(buf.data(), kSummaryBytes - 8) ==
+                       readScalar<std::uint64_t>(buf.data() + kSummaryBytes - 8),
+                   "shard migration: corrupted summary frame (checksum mismatch)");
+        MVIO_CHECK(readScalar<std::uint32_t>(buf.data() + 4) == kSummaryVersion,
+                   "shard migration: unsupported summary version");
+        MVIO_CHECK(readScalar<std::uint64_t>(buf.data() + 8) == blobs &&
+                       readScalar<std::uint64_t>(buf.data() + 16) == records &&
+                       readScalar<std::uint64_t>(buf.data() + 24) == payloadBytes,
+                   "shard migration: stream does not match its summary frame");
+        break;
+      }
+      // decodeShard validates both checksums before appending — a corrupt
+      // or truncated wire blob throws without half-migrated records.
+      const std::size_t decoded = geom::decodeShard(buf, received);
+      records += decoded;
+      payloadBytes += buf.size();
+      ++blobs;
+      comm.clock().advanceBy(static_cast<double>(buf.size()) / costs.bytesPerSecond +
+                             static_cast<double>(decoded) * costs.perGeometrySeconds);
+    }
+    if (stats != nullptr) {
+      stats->bytesReceived += payloadBytes;
+      stats->recordsReceived += records;
+      stats->blobsReceived += blobs;
+    }
+  }
+  return received;
 }
 
 }  // namespace mvio::core

@@ -83,6 +83,52 @@ struct RoundHeader {
 static_assert(sizeof(RoundHeader) == 16, "round header is 16 wire bytes");
 inline constexpr std::uint32_t kRoundLast = 1;
 
+// ---- MPI shard transport (owned-cell rebalancing) ------------------------
+// After the exchange phase every cell's records sit on its round-robin
+// owner, which under spatial skew can leave one rank holding a multiple of
+// the mean load. The transport moves whole owned cells: ranks agree on a
+// new cell→rank map (greedy LPT over globally-reduced per-cell loads, a
+// deterministic computation every rank repeats bit-identically), then each
+// leaving cell's records travel point-to-point as checksummed BatchShard
+// wire blobs (geom/batch_shard.hpp — the same codec the spill path uses;
+// header and payload are FNV-1a checksummed, so a truncated or corrupted
+// blob is rejected at decode). Each sender closes its per-peer stream with
+// a summary frame carrying blob/record/byte totals, which the receiver
+// cross-checks before trusting the migrated records.
+
+/// Point-to-point tag carried by migration blobs and summary frames.
+inline constexpr int kShardMigrationTag = 7741;
+
+struct ShardTransportStats {
+  std::uint64_t bytesSent = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t recordsSent = 0;
+  std::uint64_t recordsReceived = 0;
+  std::uint64_t blobsSent = 0;      ///< wire blobs (migration rounds) this rank sent
+  std::uint64_t blobsReceived = 0;
+};
+
+/// Greedy LPT (longest-processing-time-first) assignment of cells to
+/// ranks: cells sorted by load descending (ties by cell id) each go to the
+/// currently least-loaded rank (ties by rank id). Every cell weighs at
+/// least 1 so empty cells spread round-robin-ish instead of piling onto
+/// rank 0. Deterministic: identical inputs produce identical maps on every
+/// rank, so no agreement round is needed after the load reduction.
+std::vector<int> lptAssignCells(const std::vector<std::uint64_t>& cellLoads, int nprocs);
+
+/// Move owned-cell records between ranks. `outgoing[d]` holds the records
+/// this rank ships to rank d (cell tags preserved; `outgoing[rank]` must
+/// be empty — cells that stay put never hit the wire). Each destination's
+/// records are split into shard blobs of at most `maxBlobBytes` encoded
+/// bytes (at least one record per blob) and sent point-to-point, followed
+/// by a summary frame; the function then receives every peer's stream in
+/// rank order and returns the records migrating to this rank. Throws
+/// util::Error on a corrupted/truncated blob or a summary mismatch.
+/// Collective over `comm`.
+geom::GeometryBatch migrateShards(mpi::Comm& comm, std::vector<geom::GeometryBatch>&& outgoing,
+                                  std::uint64_t maxBlobBytes, ShardTransportStats* stats = nullptr,
+                                  const SerializationCostModel& costs = {});
+
 /// Personalized all-to-all of a cell-tagged GeometryBatch — the pipeline's
 /// hot path. `outgoing` is consumed; records with cell == kNoCell are
 /// dropped (they project to no grid cell). Each phase sizes every

@@ -1,8 +1,9 @@
 #include "core/framework.hpp"
 
+#include <algorithm>
 #include <deque>
-#include <unordered_map>
 
+#include "core/cell_store.hpp"
 #include "geom/batch_shard.hpp"
 #include "io/file.hpp"
 #include "util/error.hpp"
@@ -26,15 +27,17 @@ std::uint64_t allreduceMaxU64(mpi::Comm& comm, std::uint64_t v) {
 
 /// Rank-local spill plumbing shared by the streaming stages: encodes
 /// batches to BatchShards on the rank's SpillStore and charges the
-/// modelled scratch-I/O time to the rank clock / spill phase.
+/// modelled scratch-I/O time (flat node-local rate, or the Volume's
+/// storage model when the scratch lives on the PFS) to the rank clock /
+/// spill phase.
 struct Spiller {
   mpi::Comm* comm;
   pfs::SpillStore* store;
-  double bytesPerSecond;
+  pfs::SpillPricer pricer;
   PhaseBreakdown* phases;
 
-  void charge(std::uint64_t bytes) const {
-    const double t = static_cast<double>(bytes) / bytesPerSecond;
+  void charge(std::uint64_t bytes, bool isWrite) const {
+    const double t = pricer.seconds(bytes, isWrite, comm->clock().now());
     comm->clock().advanceBy(t);
     phases->spill += t;
   }
@@ -43,14 +46,14 @@ struct Spiller {
     std::string bytes;
     bytes.reserve(geom::shardEncodedSize(b, 0, b.size()));
     geom::encodeShard(b, bytes);
-    charge(bytes.size());
+    charge(bytes.size(), /*isWrite=*/true);
     store->put(name, std::move(bytes));
   }
 
   /// Reload a shard, *appending* its records to `out`, and drop the blob.
   void reload(const std::string& name, geom::GeometryBatch& out) const {
     const std::string bytes = store->fetch(name);
-    charge(bytes.size());
+    charge(bytes.size(), /*isWrite=*/false);
     geom::decodeShard(bytes, out);
     store->remove(name);
   }
@@ -124,42 +127,6 @@ class BatchStager {
   std::size_t spillCursor_ = 0;  ///< first not-yet-spilled slot
 };
 
-/// The rank's owned records, accumulated round by round. Spills the
-/// accumulated segment whenever it outgrows the budget; assemble()
-/// reloads every segment (in spill order, so record order is the
-/// concatenation of round arrivals) for the refine phase.
-class OwnedAccumulator {
- public:
-  OwnedAccumulator(const Spiller& spiller, std::string base, std::uint64_t budget)
-      : spiller_(spiller), base_(std::move(base)), budget_(budget) {}
-
-  void add(geom::GeometryBatch&& roundBatch) {
-    resident_.splice(std::move(roundBatch));
-    if (resident_.memoryBytes() <= budget_) return;
-    const std::string name = base_ + "." + std::to_string(shards_++);
-    spiller_.spill(name, resident_);
-    resident_ = geom::GeometryBatch();
-  }
-
-  [[nodiscard]] geom::GeometryBatch assemble() {
-    if (shards_ == 0) return std::move(resident_);
-    geom::GeometryBatch all;
-    for (std::size_t k = 0; k < shards_; ++k) {
-      spiller_.reload(base_ + "." + std::to_string(k), all);
-    }
-    all.splice(std::move(resident_));
-    shards_ = 0;
-    return all;
-  }
-
- private:
-  Spiller spiller_;
-  std::string base_;
-  std::uint64_t budget_;
-  geom::GeometryBatch resident_;
-  std::size_t shards_ = 0;
-};
-
 /// Phases 1+2 for one layer, chunk by chunk: partitioned read then parse
 /// straight into a per-chunk batch (no per-record Geometry objects),
 /// staged for the exchange rounds. Accumulates the layer's local MBR for
@@ -219,17 +186,16 @@ geom::GeometryBatch project(const GridSpec& grid, const CellLocator* locator,
 }
 
 /// Phases 4+5 for one layer: one project + exchange round per staged
-/// chunk, every round's received records folded into the owned
-/// accumulator. In streaming mode the data rounds are followed by one
+/// chunk, every round's received records folded into the owned cell
+/// store. In streaming mode the data rounds are followed by one
 /// empty round flagged `last`, the stream-termination barrier; in
 /// one-shot mode the single data round is itself final. The round count
 /// is allreduced so a rank whose stage drained early keeps participating
 /// with empty rounds instead of leaving the collectives (and the peers
 /// that still hold data) hanging.
-geom::GeometryBatch streamLayer(mpi::Comm& comm, BatchStager& stage, OwnedAccumulator& owned,
-                                const GridSpec& grid, const CellLocator* locator,
-                                const CellOwnerFn& ownerFn, const FrameworkConfig& cfg,
-                                FrameworkStats& stats) {
+void streamLayer(mpi::Comm& comm, BatchStager& stage, CellStore& owned, const GridSpec& grid,
+                 const CellLocator* locator, const CellOwnerFn& ownerFn,
+                 const FrameworkConfig& cfg, FrameworkStats& stats) {
   const bool streaming = cfg.stream.chunkBytes > 0;
   const std::uint64_t rounds = allreduceMaxU64(comm, stage.pending());
   for (std::uint64_t round = 0; round < rounds; ++round) {
@@ -260,7 +226,14 @@ geom::GeometryBatch streamLayer(mpi::Comm& comm, BatchStager& stage, OwnedAccumu
     stats.phases.rounds += 1;
     owned.add(std::move(got));
   }
-  return owned.assemble();
+}
+
+/// Ascending union of two sorted cell-id lists.
+std::vector<int> mergeCellLists(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
 }
 
 }  // namespace
@@ -274,7 +247,10 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
 
   // Rank-local scratch for spilled shards; blobs are dropped on exit.
   pfs::SpillStore spill(volume, sc.spillDir + "/rank" + std::to_string(comm.worldRank()));
-  const Spiller spiller{&comm, &spill, sc.spillBytesPerSecond, &stats.phases};
+  const pfs::SpillPricer pricer = sc.spillOnPfs
+                                      ? pfs::SpillPricer::onVolume(volume, comm.nodeId())
+                                      : pfs::SpillPricer::flatRate(sc.spillBytesPerSecond);
+  const Spiller spiller{&comm, &spill, pricer, &stats.phases};
 
   // 1+2: read and parse both layers, chunk by chunk, staging the parsed
   // batches (under the memory budget) for the exchange rounds.
@@ -301,39 +277,106 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   // exchangeByCell charges serialization/deserialization CPU internally;
   // the clock deltas accumulated per round therefore cover buffer
   // management + transfer, the paper's definition of communication time.
-  OwnedAccumulator ownedR(spiller, "own_r", budget);
-  OwnedAccumulator ownedS(spiller, "own_s", budget);
-  geom::GeometryBatch mineR =
-      streamLayer(comm, stageR, ownedR, grid, locator ? &*locator : nullptr, owner, cfg, stats);
-  geom::GeometryBatch mineS;
+  // Received records accumulate into per-layer CellStores: resident when
+  // the budget is unbounded, cell-sorted spill segments otherwise.
+  const SpillChargeFn spillCharge = [&spiller](std::uint64_t bytes, bool isWrite) {
+    spiller.charge(bytes, isWrite);
+  };
+  // Two-layer runs split the refine budget between the layer stores so
+  // the reported peak (their sum) stays within the configured bound.
+  const std::uint64_t storeBudget =
+      (s != nullptr && sc.memoryBudget > 0) ? std::max<std::uint64_t>(sc.memoryBudget / 2, 1)
+                                            : sc.memoryBudget;
+  CellStore ownedR(&spill, "own_r", storeBudget, 0, spillCharge);
+  CellStore ownedS(&spill, "own_s", storeBudget, 0, spillCharge);
+  streamLayer(comm, stageR, ownedR, grid, locator ? &*locator : nullptr, owner, cfg, stats);
   if (s != nullptr) {
-    mineS = streamLayer(comm, stageS, ownedS, grid, locator ? &*locator : nullptr, owner, cfg, stats);
+    streamLayer(comm, stageS, ownedS, grid, locator ? &*locator : nullptr, owner, cfg, stats);
   }
-  stats.localR = mineR.size();
-  stats.localS = mineS.size();
+  ownedR.finalize();
+  ownedS.finalize();
+  stats.localR = ownedR.records();
+  stats.localS = ownedS.records();
 
-  // 6: group record indices by cell and run refine tasks over batch spans.
+  // 5b: skew-aware owned-cell rebalancing. Every rank reduces the global
+  // per-cell loads, repeats the same deterministic LPT assignment, and
+  // ships leaving cells point-to-point as checksummed shard blobs.
+  if (cfg.rebalanceCells && p > 1) {
+    const double t0 = comm.clock().now();
+    const double spillBefore = stats.phases.spill;
+    stats.balance.ownedRecordsBefore = ownedR.records() + ownedS.records();
+    std::vector<std::uint64_t> loads(static_cast<std::size_t>(grid.cellCount()), 0);
+    ownedR.accumulateCellLoads(loads);
+    ownedS.accumulateCellLoads(loads);
+    std::vector<std::uint64_t> global(loads.size(), 0);
+    comm.allreduce(loads.data(), global.data(), static_cast<int>(loads.size()),
+                   mpi::Datatype::uint64(), mpi::Op::sum());
+    stats.cellOwner = lptAssignCells(global, p);
+    for (int c = 0; c < grid.cellCount(); ++c) {
+      if (stats.cellOwner[static_cast<std::size_t>(c)] != roundRobinOwner(c, p)) {
+        stats.balance.cellsMoved += 1;
+      }
+    }
+
+    const auto migrateLayer = [&](CellStore& store) {
+      std::vector<geom::GeometryBatch> outgoing(static_cast<std::size_t>(p));
+      for (const int cell : store.cells()) {
+        const int dst = stats.cellOwner[static_cast<std::size_t>(cell)];
+        if (dst == comm.rank()) continue;
+        outgoing[static_cast<std::size_t>(dst)].splice(store.extractCell(cell));
+      }
+      geom::GeometryBatch got = migrateShards(comm, std::move(outgoing), cfg.migrationBlobBytes,
+                                              &stats.balance.transport);
+      store.addMigrated(std::move(got));
+    };
+    migrateLayer(ownedR);
+    if (s != nullptr) migrateLayer(ownedS);
+
+    stats.balance.ownedRecordsAfter = ownedR.records() + ownedS.records();
+    // Shard reloads during cell extraction charged themselves to the
+    // spill phase; subtract them so total() counts the time once.
+    stats.phases.migrate += (comm.clock().now() - t0) - (stats.phases.spill - spillBefore);
+    stats.phases.migrateBytes = stats.balance.transport.bytesSent;
+    stats.phases.migrateRounds = stats.balance.transport.blobsSent;
+  }
+
+  // 6: cell-major refine. Owned cells are visited in ascending cell-id
+  // order; each cell's two record collections are served by the stores —
+  // zero-copy spans into the owned batch in the resident regime, a
+  // bounded external merge over cell-sorted shards in the streaming
+  // regime, where the task also adopts the records cell by cell.
+  const std::uint64_t reloadBase = ownedR.reloadBytes() + ownedS.reloadBytes();
   {
     mpi::CpuCharge charge(comm);
-    std::unordered_map<int, std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>> cells;
-    for (std::size_t i = 0; i < mineR.size(); ++i) {
-      cells[mineR.cell(i)].first.push_back(static_cast<std::uint32_t>(i));
-    }
-    for (std::size_t i = 0; i < mineS.size(); ++i) {
-      cells[mineS.cell(i)].second.push_back(static_cast<std::uint32_t>(i));
-    }
+    const bool streamingRefine = ownedR.streaming();
+    const std::vector<int> cells = mergeCellLists(ownedR.cells(), ownedS.cells());
     stats.cellsOwned = cells.size();
-    for (auto& [cell, pair] : cells) {
-      task.refineCellBatch(grid, cell,
-                           geom::BatchSpan(&mineR, pair.first.data(), pair.first.size()),
-                           geom::BatchSpan(&mineS, pair.second.data(), pair.second.size()));
+    for (const int cell : cells) {
+      const geom::BatchSpan spanR = ownedR.cellSpan(cell);
+      const geom::BatchSpan spanS = ownedS.cellSpan(cell);
+      task.refineCellBatch(grid, cell, spanR, spanS);
+      stats.refinePeakBytes =
+          std::max(stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes());
+      if (streamingRefine) {
+        // Per-cell adoption: the scratch batches the spans were built over
+        // move to the task, so indices it captured stay valid.
+        task.adoptBatches(ownedR.takeCellBatch(), ownedS.takeCellBatch());
+      }
     }
-    // Hand the batches to the task; record indices it captured during the
-    // refine loop stay valid in the adopted arenas.
-    task.adoptBatches(std::move(mineR), std::move(mineS));
+    if (!streamingRefine) {
+      // Whole-run adoption, as in the one-shot pipeline (records migrated
+      // away by rebalancing are kNoCell-tombstoned in the batch).
+      task.adoptBatches(ownedR.takeResidentBatch(), ownedS.takeResidentBatch());
+    }
     stats.phases.compute += charge.stop();
   }
+  stats.refinePeakBytes = std::max({stats.refinePeakBytes, ownedR.peakBytes(), ownedS.peakBytes()});
+  // Only the refine loop's reloads; migration-extraction reloads are
+  // priced in the spill phase and counted in FrameworkStats::spill.
+  stats.phases.refineSpillBytes = ownedR.reloadBytes() + ownedS.reloadBytes() - reloadBase;
 
+  ownedR.releaseBlobs();
+  ownedS.releaseBlobs();
   stats.spill = spill.stats();
   spill.clear();
   return stats;

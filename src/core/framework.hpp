@@ -7,17 +7,23 @@
 //   3. Global grid from MPI_UNION of local MBRs  (grid.hpp)
 //   4. Project geometries to overlapping cells   (filter: MBR vs cells)
 //   5. All-to-all exchange for spatial locality  (exchange.hpp)
-//   6. Per-cell refine tasks, scheduled by the rank-to-cell mapping
+//      5b. optional skew-aware owned-cell rebalancing: LPT reassignment
+//          of cells over globally-reduced loads + point-to-point shard
+//          migration (exchange.hpp, FrameworkConfig::rebalanceCells)
+//   6. Per-cell refine tasks in ascending cell-id order, scheduled by
+//      the (possibly rebalanced) rank-to-cell mapping
 //
-// The pipeline runs in bounded-memory *rounds* (DESIGN.md §7): each rank
-// reads and parses its partition in StreamConfig::chunkBytes chunks,
+// The pipeline runs in bounded-memory *rounds* (DESIGN.md §7–8): each
+// rank reads and parses its partition in StreamConfig::chunkBytes chunks,
 // steps 4–5 execute once per chunk (a multi-round exchange closed by a
 // final empty round), and received records accumulate into the rank's
-// owned batch. Whenever a stage's working set exceeds
-// StreamConfig::memoryBudget, pending batches are spilled to a
-// pfs::SpillStore as BatchShards and reloaded when their round (or the
-// refine phase) needs them. The default StreamConfig — one round,
-// unlimited budget — is exactly the classic one-shot pass.
+// owned CellStore (core/cell_store.hpp). Whenever a stage's working set
+// exceeds StreamConfig::memoryBudget, pending batches are spilled to a
+// pfs::SpillStore as BatchShards — the owned set as *cell-sorted*
+// segments — and the refine phase streams cell by cell through a bounded
+// external-merge window instead of reassembling the owned batch. The
+// default StreamConfig — one round, unlimited budget — is exactly the
+// classic one-shot pass with a fully resident refine.
 //
 // Applications extend RefineTask — "spatial computation can be carried
 // out by extending [the] refine interface that receives two collections
@@ -68,6 +74,11 @@ struct StreamConfig {
   /// Modelled node-local scratch bandwidth for spill writes + reloads
   /// (charged to the rank clock; lands in PhaseBreakdown::spill).
   double spillBytesPerSecond = 2.0e9;
+  /// When true the scratch directory lives on the parallel filesystem:
+  /// spill writes and reloads are priced by the Volume's storage model
+  /// (pfs::SpillPricer::onVolume — OST/NSD queue contention with every
+  /// other rank's traffic) instead of the flat node-local rate above.
+  bool spillOnPfs = false;
   /// Volume directory for spill shards; each rank uses
   /// "<spillDir>/rank<worldRank>". Scratch blobs are removed when the run
   /// finishes.
@@ -80,6 +91,20 @@ struct FrameworkConfig {
   bool rtreeCellLocator = true;  ///< cell lookup via R-tree (paper) vs arithmetic
   io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
   StreamConfig stream;        ///< chunked-round + spill controls
+  /// Skew-aware owned-cell rebalancing: after the exchange phase, reduce
+  /// per-cell record counts globally, recompute the cell→rank map with a
+  /// greedy LPT pass (lptAssignCells) and migrate leaving cells between
+  /// ranks as checksummed shard blobs (migrateShards). The refine phase
+  /// and FrameworkStats::cellOwner then follow the new map. Default off:
+  /// ownership stays round-robin, nothing moves.
+  ///
+  /// Memory caveat: the migration pass itself is not budget-bounded — a
+  /// rank transiently holds its leaving (and then its arriving) records
+  /// resident while they are in flight, outside refinePeakBytes.
+  /// Budget-bounded migration rounds are a ROADMAP item.
+  bool rebalanceCells = false;
+  /// Largest encoded migration blob (migrateShards bound).
+  std::uint64_t migrationBlobBytes = 1ull << 20;
 };
 
 /// Refine callback: receives the two record collections of one cell as
@@ -99,16 +124,29 @@ class RefineTask {
   virtual ~RefineTask() = default;
   virtual void refineCellBatch(const GridSpec& grid, int cell, const geom::BatchSpan& r,
                                const geom::BatchSpan& s) = 0;
-  /// Offers ownership of the rank's post-exchange batches, after the last
-  /// refineCellBatch. Record indices seen through the spans stay valid in
-  /// the adopted batches (moving a batch moves its arenas, it never
-  /// reindexes records). The hook is *appendable*: the framework calls it
-  /// once per run, but streaming consumers (shard reloads,
-  /// DistributedIndex::loadShards) deliver batches incrementally, so an
-  /// implementation that keeps state must splice subsequent batches onto
-  /// what it already holds rather than replace it. The default discards
-  /// the batches, which is correct for tasks that fully reduce in refine.
+  /// Offers ownership of the rank's post-exchange batches. Record indices
+  /// seen through the spans stay valid in the adopted batches (moving a
+  /// batch moves its arenas, it never reindexes records). The hook is
+  /// *appendable*: in the one-shot/resident regime the framework calls it
+  /// once, after the last refineCellBatch, with the whole owned batch
+  /// (records migrated away by rebalancing are tombstoned with kNoCell);
+  /// in the streaming regime (StreamConfig::memoryBudget set) it is
+  /// called once per refined cell with that cell's records — and other
+  /// streaming consumers (shard reloads, DistributedIndex::loadShards)
+  /// deliver incrementally too — so an implementation that keeps state
+  /// must splice subsequent batches onto what it already holds rather
+  /// than replace it. The default discards the batches, which is correct
+  /// for tasks that fully reduce in refine.
   virtual void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& s);
+};
+
+/// What the skew-aware rebalancing pass did for this rank (all zero when
+/// FrameworkConfig::rebalanceCells is off).
+struct RebalanceStats {
+  ShardTransportStats transport;         ///< wire volumes, both layers
+  std::uint64_t ownedRecordsBefore = 0;  ///< this rank's records at exchange end
+  std::uint64_t ownedRecordsAfter = 0;   ///< after migration
+  std::uint64_t cellsMoved = 0;          ///< cells that changed owner (global count)
 };
 
 struct FrameworkStats {
@@ -118,6 +156,21 @@ struct FrameworkStats {
   PartitionResult ioR, ioS;
   GridSpec grid;
   pfs::SpillStats spill;        ///< this rank's shard spill/reload volumes
+  RebalanceStats balance;       ///< owned-cell migration volumes (rebalanceCells)
+  /// Post-rebalance cell→rank map, identical on every rank. Empty when
+  /// rebalancing did not run — ownership is then roundRobinOwner, which
+  /// consumers with per-owned-cell output (the overlay writer) fall back
+  /// to.
+  std::vector<int> cellOwner;
+  /// Peak bytes resident in the refine phase's serving structures (merge
+  /// window + tail + current cell in the streaming regime, summed over
+  /// both layer stores — two-layer runs split the budget between them;
+  /// the owned batch in the resident regime). Streaming runs keep this
+  /// within StreamConfig::memoryBudget, plus the one-resident-cell slack:
+  /// a cell must be resident in full to be refined, so a single cell
+  /// larger than its store's budget share exceeds the bound by exactly
+  /// its own size.
+  std::uint64_t refinePeakBytes = 0;
   std::uint64_t cellsOwned = 0;
   std::uint64_t localR = 0, localS = 0;  ///< geometries held after exchange
 };

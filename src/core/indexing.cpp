@@ -198,6 +198,8 @@ DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, con
     stats->phases = fw.phases;
     stats->phases.compute += treeSeconds;
     stats->spill = fw.spill;
+    stats->balance = fw.balance;
+    stats->refinePeakBytes = fw.refinePeakBytes;
     stats->cellsOwned = fw.cellsOwned;
     stats->grid = fw.grid;
     stats->globalGeometries = comm.allreduceSumU64(index.localGeometries());

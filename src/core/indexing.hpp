@@ -124,6 +124,8 @@ class DistributedIndex {
 struct IndexingStats {
   PhaseBreakdown phases;
   pfs::SpillStats spill;               ///< this rank's shard spill/reload volumes
+  RebalanceStats balance;              ///< owned-cell migration volumes (rebalanceCells)
+  std::uint64_t refinePeakBytes = 0;   ///< peak refine-serving bytes (FrameworkStats)
   std::uint64_t globalGeometries = 0;  ///< geometries indexed across ranks (incl. replicas)
   std::uint64_t cellsOwned = 0;
   GridSpec grid;

@@ -54,6 +54,7 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
   OverlayStats stats;
   stats.phases = fw.phases;
   stats.grid = fw.grid;
+  stats.balance = fw.balance;
 
   const int p = comm.size();
   const int cellCount = fw.grid.cellCount();
@@ -72,20 +73,48 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
   const double writeStart = comm.clock().now();
   io::File out = io::File::open(comm, volume, cfg.outputPath, cfg.framework.ioHints);
 
-  // Figure 4's view: record `rank` of every group of P records (the
-  // round-robin cell ownership), written collectively in one call.
-  const auto record = mpi::Datatype::contiguous(static_cast<int>(kRecordBytes), mpi::Datatype::byte());
-  const auto filetype = record.resized(0, static_cast<std::uint64_t>(p) * kRecordBytes);
-  out.setView(static_cast<std::uint64_t>(comm.rank()) * kRecordBytes, mpi::Datatype::byte(), filetype);
-
-  // My owned cells are exactly {c : c % P == rank}; the task only has
-  // entries for non-empty ones, so fill the gaps with zero records.
+  // My owned cells, ascending: the round-robin stride {c : c % P == rank}
+  // by default, or the rebalanced cell→rank map when the framework ran a
+  // migration. The task only has entries for non-empty cells, so fill the
+  // gaps with zero records.
+  std::vector<int> myCells;
+  if (fw.cellOwner.empty()) {
+    for (int c = comm.rank(); c < cellCount; c += p) myCells.push_back(c);
+  } else {
+    for (int c = 0; c < cellCount; ++c) {
+      if (fw.cellOwner[static_cast<std::size_t>(c)] == comm.rank()) myCells.push_back(c);
+    }
+  }
   std::vector<CellCoverage> mine;
-  for (int c = comm.rank(); c < cellCount; c += p) {
+  mine.reserve(myCells.size());
+  for (const int c : myCells) {
     auto it = task.cells.find(c);
     mine.push_back(it == task.cells.end() ? CellCoverage{} : it->second);
   }
-  out.writeAtAll(0, mine.data(), static_cast<int>(mine.size()), record);
+
+  const auto record = mpi::Datatype::contiguous(static_cast<int>(kRecordBytes), mpi::Datatype::byte());
+  if (fw.cellOwner.empty()) {
+    // Figure 4's view: record `rank` of every group of P records (the
+    // round-robin cell ownership), written collectively in one call.
+    const auto filetype = record.resized(0, static_cast<std::uint64_t>(p) * kRecordBytes);
+    out.setView(static_cast<std::uint64_t>(comm.rank()) * kRecordBytes, mpi::Datatype::byte(),
+                filetype);
+    out.writeAtAll(0, mine.data(), static_cast<int>(mine.size()), record);
+  } else if (!myCells.empty()) {
+    // Rebalanced ownership is irregular, so the view is an indexed
+    // filetype over this rank's cell ids (one record block per cell),
+    // pinned to the raster extent — the same collective Level-3 write,
+    // with MPI_Type_indexed instead of a stride.
+    const std::vector<int> ones(myCells.size(), 1);
+    const auto filetype = mpi::Datatype::indexed(ones, myCells, record)
+                              .resized(0, static_cast<std::uint64_t>(cellCount) * kRecordBytes);
+    out.setView(0, mpi::Datatype::byte(), filetype);
+    out.writeAtAll(0, mine.data(), static_cast<int>(mine.size()), record);
+  } else {
+    // No owned cells: still participate in the collective write.
+    out.setView(0, mpi::Datatype::byte(), record);
+    out.writeAtAll(0, nullptr, 0, record);
+  }
   stats.phases.comm += comm.clock().now() - writeStart;
   stats.cellsWritten = mine.size();
 

@@ -10,9 +10,14 @@
 // The overlay product is a per-cell coverage raster: every geometry
 // replicated to a cell is clipped to that cell (geom/clip.hpp), so the
 // per-cell measures of each layer sum exactly to the layer's global
-// measure — replication introduces no double counting. Each rank owns the
-// round-robin cells of the grid and writes its records into the shared
-// output file through a strided MPI file view with writeAtAll (Level 3).
+// measure — replication introduces no double counting. Each rank owns a
+// set of grid cells and writes its records into the shared output file
+// through a non-contiguous MPI file view with writeAtAll (Level 3): a
+// regular strided view under the default round-robin ownership, or an
+// indexed view over the rank's owned-cell list when skew-aware
+// rebalancing (FrameworkConfig::rebalanceCells) has reassigned cells —
+// either way the output file is identical to the sequentially produced
+// raster.
 
 #include <cstdint>
 #include <string>
@@ -35,6 +40,7 @@ struct OverlayConfig {
 struct OverlayStats {
   PhaseBreakdown phases;  ///< this rank's breakdown (write time lands in `comm`)
   GridSpec grid;
+  RebalanceStats balance;  ///< owned-cell migration volumes (rebalanceCells)
   double totalR = 0;  ///< global sum of layer-R measures over all cells
   double totalS = 0;
   std::uint64_t cellsWritten = 0;  ///< this rank's output records

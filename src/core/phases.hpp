@@ -27,23 +27,39 @@ struct PhaseBreakdown {
   double comm = 0;       ///< geometry exchange (modelled + buffer CPU)
   double compute = 0;    ///< refine work: join / index build (measured CPU)
   double spill = 0;      ///< shard spill/reload scratch I/O (modelled)
+  double migrate = 0;    ///< owned-cell shard migration (rebalancing)
   std::uint64_t rounds = 0;  ///< exchange rounds executed (1 per layer one-shot)
+  /// Shard bytes reloaded by the cell-major refine merge (the refine
+  /// phase's share of the scratch traffic; writes land in
+  /// FrameworkStats::spill with the rest of the spill volume).
+  std::uint64_t refineSpillBytes = 0;
+  std::uint64_t migrateBytes = 0;   ///< wire bytes this rank sent moving owned cells
+  std::uint64_t migrateRounds = 0;  ///< migration blobs this rank sent
 
-  [[nodiscard]] double total() const { return read + parse + partition + comm + compute + spill; }
+  [[nodiscard]] double total() const {
+    return read + parse + partition + comm + compute + spill + migrate;
+  }
 
   /// Field-wise max across all ranks (collective).
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
     PhaseBreakdown out;
-    double mine[6] = {read, parse, partition, comm, compute, spill};
-    double reduced[6] = {0, 0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 6, mpi::Datatype::float64(), mpi::Op::max());
+    double mine[7] = {read, parse, partition, comm, compute, spill, migrate};
+    double reduced[7] = {0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 7, mpi::Datatype::float64(), mpi::Op::max());
     out.read = reduced[0];
     out.parse = reduced[1];
     out.partition = reduced[2];
     out.comm = reduced[3];
     out.compute = reduced[4];
     out.spill = reduced[5];
-    comm_.allreduce(&rounds, &out.rounds, 1, mpi::Datatype::uint64(), mpi::Op::max());
+    out.migrate = reduced[6];
+    std::uint64_t counts[4] = {rounds, refineSpillBytes, migrateBytes, migrateRounds};
+    std::uint64_t countsOut[4] = {0, 0, 0, 0};
+    comm_.allreduce(counts, countsOut, 4, mpi::Datatype::uint64(), mpi::Op::max());
+    out.rounds = countsOut[0];
+    out.refineSpillBytes = countsOut[1];
+    out.migrateBytes = countsOut[2];
+    out.migrateRounds = countsOut[3];
     return out;
   }
 };

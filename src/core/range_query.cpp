@@ -116,6 +116,7 @@ std::vector<std::uint64_t> batchRangeQuery(mpi::Comm& comm, pfs::Volume& volume,
 
   if (stats != nullptr) {
     stats->phases = fw.phases;
+    stats->balance = fw.balance;
     stats->cellsOwned = fw.cellsOwned;
     stats->grid = fw.grid;
     std::uint64_t total = 0;

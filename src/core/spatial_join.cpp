@@ -117,6 +117,7 @@ JoinStats spatialJoin(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle&
   JoinStats stats;
   stats.phases = fw.phases;
   stats.grid = fw.grid;
+  stats.balance = fw.balance;
   stats.cellsOwned = fw.cellsOwned;
   stats.localPairs = task.pairs();
   stats.globalPairs = comm.allreduceSumU64(task.pairs());

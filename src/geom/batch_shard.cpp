@@ -14,13 +14,9 @@ constexpr std::uint32_t kMagic = 0x4853564Du;  // "MVSH" little-endian
 constexpr std::uint32_t kVersion = 1;
 
 using util::fnv1a;
+using util::putBytes;
 using util::putScalar;
 using util::readScalar;
-
-/// Append `n` bytes from `src` to `out`.
-void putBytes(std::string& out, const void* src, std::size_t n) {
-  out.append(static_cast<const char*>(src), n);
-}
 
 }  // namespace
 
@@ -110,11 +106,11 @@ struct ShardAccess {
     cur += n;
     const std::size_t cellsAt = out.cells_.size();
     out.cells_.resize(cellsAt + n);
-    std::memcpy(out.cells_.data() + cellsAt, cur, n * sizeof(int));
+    util::copyBytes(out.cells_.data() + cellsAt, cur, n * sizeof(int));
     cur += n * sizeof(int);
     const std::size_t envAt = out.envelopes_.size();
     out.envelopes_.resize(envAt + n);
-    std::memcpy(out.envelopes_.data() + envAt, cur, n * sizeof(Envelope));
+    util::copyBytes(out.envelopes_.data() + envAt, cur, n * sizeof(Envelope));
     cur += n * sizeof(Envelope);
 
     // End offsets: validate monotone, in-range, and matching the totals the
@@ -137,11 +133,11 @@ struct ShardAccess {
 
     const std::size_t coordAt = out.coords_.size();
     out.coords_.resize(coordAt + nCoords);
-    std::memcpy(out.coords_.data() + coordAt, cur, nCoords * sizeof(Coord));
+    util::copyBytes(out.coords_.data() + coordAt, cur, nCoords * sizeof(Coord));
     cur += nCoords * sizeof(Coord);
     const std::size_t shapeAt = out.shape_.size();
     out.shape_.resize(shapeAt + nShape);
-    std::memcpy(out.shape_.data() + shapeAt, cur, nShape * sizeof(std::uint32_t));
+    util::copyBytes(out.shape_.data() + shapeAt, cur, nShape * sizeof(std::uint32_t));
     cur += nShape * sizeof(std::uint32_t);
     out.userData_.insert(out.userData_.end(), cur, cur + nUser);
     util::perf::addBytesCopied(bytes.size());

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "geom/wkb.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/perf.hpp"
 
@@ -232,16 +233,16 @@ void GeometryBatch::appendRecordFrom(const GeometryBatch& src, std::size_t i, in
 
   const std::size_t coordAt = coords_.size();
   coords_.resize(coordAt + (ce - cb));
-  std::memcpy(coords_.data() + coordAt, (this == &src ? coords_ : src.coords_).data() + cb,
-              (ce - cb) * sizeof(Coord));
+  util::copyBytes(coords_.data() + coordAt, (this == &src ? coords_ : src.coords_).data() + cb,
+                  (ce - cb) * sizeof(Coord));
   const std::size_t shapeAt = shape_.size();
   shape_.resize(shapeAt + (se - sb));
-  std::memcpy(shape_.data() + shapeAt, (this == &src ? shape_ : src.shape_).data() + sb,
-              (se - sb) * sizeof(std::uint32_t));
+  util::copyBytes(shape_.data() + shapeAt, (this == &src ? shape_ : src.shape_).data() + sb,
+                  (se - sb) * sizeof(std::uint32_t));
   const std::size_t userAt = userData_.size();
   userData_.resize(userAt + (ue - ub));
-  std::memcpy(userData_.data() + userAt, (this == &src ? userData_ : src.userData_).data() + ub,
-              ue - ub);
+  util::copyBytes(userData_.data() + userAt, (this == &src ? userData_ : src.userData_).data() + ub,
+                  ue - ub);
 
   tags_.push_back(tag);
   envelopes_.push_back(env);
@@ -330,7 +331,7 @@ char* GeometryBatch::serializeRecordTo(std::size_t i, char* dst) const {
   dst = putU32(dst, static_cast<std::uint32_t>(user.size()));
   char* wkbLenAt = dst;
   dst = putU32(dst, 0);  // patched below
-  std::memcpy(dst, user.data(), user.size());
+  util::copyBytes(dst, user.data(), user.size());
   dst += user.size();
   char* wkbStart = dst;
   dst = writeWkbTo(i, dst);

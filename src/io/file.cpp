@@ -4,6 +4,7 @@
 #include <cstring>
 #include <set>
 
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace mvio::io {
@@ -330,9 +331,9 @@ void File::collectiveTransfer(bool isWrite, const std::vector<Run>& myRuns, char
     comm.alltoallv(payload, byteSend.data(), byteSendDispls.data(), inbound.data(), byteRecv.data(),
                    byteRecvDispls.data(), mpi::Datatype::byte());
     for (int src = 0; src < p; ++src) {
-      std::memcpy(service[static_cast<std::size_t>(src)].data(),
-                  inbound.data() + byteRecvDispls[static_cast<std::size_t>(src)],
-                  srcBytes[static_cast<std::size_t>(src)]);
+      util::copyBytes(service[static_cast<std::size_t>(src)].data(),
+                      inbound.data() + byteRecvDispls[static_cast<std::size_t>(src)],
+                      srcBytes[static_cast<std::size_t>(src)]);
     }
   }
 
@@ -425,8 +426,9 @@ void File::collectiveTransfer(bool isWrite, const std::vector<Run>& myRuns, char
     }
     outbound.resize(static_cast<std::size_t>(pos));
     for (int i = 0; i < p; ++i) {
-      std::memcpy(outbound.data() + byteSendDispls[static_cast<std::size_t>(i)],
-                  service[static_cast<std::size_t>(i)].data(), srcBytes[static_cast<std::size_t>(i)]);
+      util::copyBytes(outbound.data() + byteSendDispls[static_cast<std::size_t>(i)],
+                      service[static_cast<std::size_t>(i)].data(),
+                      srcBytes[static_cast<std::size_t>(i)]);
     }
     std::uint64_t off = 0;
     for (int d = 0; d < a; ++d) {

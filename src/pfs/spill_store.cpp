@@ -7,6 +7,29 @@
 
 namespace mvio::pfs {
 
+SpillPricer SpillPricer::flatRate(double bytesPerSecond) {
+  SpillPricer p;
+  p.bytesPerSecond_ = bytesPerSecond;
+  return p;
+}
+
+SpillPricer SpillPricer::onVolume(Volume& volume, int node, StripeSettings stripe) {
+  SpillPricer p;
+  p.volume_ = &volume;
+  p.node_ = node;
+  p.stripe_ = stripe;
+  return p;
+}
+
+double SpillPricer::seconds(std::uint64_t bytes, bool isWrite, double start) const {
+  if (bytes == 0) return 0.0;
+  if (volume_ == nullptr) return static_cast<double>(bytes) / bytesPerSecond_;
+  StorageModel& model = volume_->model();
+  const double done = isWrite ? model.write(node_, stripe_, 0, bytes, start)
+                              : model.read(node_, stripe_, 0, bytes, start);
+  return done - start;
+}
+
 SpillStore::SpillStore(Volume& volume, std::string prefix)
     : volume_(&volume), prefix_(std::move(prefix)) {
   MVIO_CHECK(!prefix_.empty(), "spill store needs a non-empty prefix");

@@ -39,6 +39,36 @@ struct SpillStats {
   std::uint64_t peakBytesHeld = 0;
 };
 
+/// Prices spill traffic. Two regimes: a flat bytes/s rate modelling
+/// node-local scratch (SSD/tmpfs — no cross-rank contention), or the
+/// Volume's StorageModel when the scratch directory lives on the parallel
+/// filesystem itself — then every spill write and reload is a priced
+/// request against the shared queue stations (OSTs / NSD servers, client
+/// links, backbone), so concurrent spilling ranks contend exactly like
+/// concurrent readers do. The store itself stays layer-pure (it moves
+/// bytes); callers ask the pricer for the virtual seconds and charge
+/// their own clock.
+class SpillPricer {
+ public:
+  /// Node-local scratch: seconds = bytes / rate, no shared state.
+  static SpillPricer flatRate(double bytesPerSecond);
+
+  /// Scratch on the PFS: requests are priced by `volume`'s storage model
+  /// as issued by compute node `node` (contention included).
+  static SpillPricer onVolume(Volume& volume, int node, StripeSettings stripe = {});
+
+  /// Virtual seconds one spill transfer of `bytes` takes when issued at
+  /// virtual time `start`.
+  [[nodiscard]] double seconds(std::uint64_t bytes, bool isWrite, double start) const;
+
+ private:
+  SpillPricer() = default;
+  Volume* volume_ = nullptr;  ///< null = flat-rate regime
+  int node_ = 0;
+  StripeSettings stripe_;
+  double bytesPerSecond_ = 2.0e9;
+};
+
 class SpillStore {
  public:
   /// Attach to `volume` under `prefix` (e.g. "__spill/rank3"). Blobs put

@@ -35,6 +35,19 @@ void putScalar(std::string& out, T v) {
   out.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
+/// Append `n` raw bytes from `src` to `out`. n == 0 is allowed with a
+/// null `src` (an empty arena's data() is null).
+inline void putBytes(std::string& out, const void* src, std::size_t n) {
+  if (n != 0) out.append(static_cast<const char*>(src), n);
+}
+
+/// memcpy that permits the n == 0 / null-pointer case the C standard
+/// (and UBSan) forbids — empty batch arenas legitimately have null
+/// data().
+inline void copyBytes(void* dst, const void* src, std::size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
+}
+
 /// Read a `T` from `p` (unaligned-safe).
 template <typename T>
 [[nodiscard]] T readScalar(const char* p) {

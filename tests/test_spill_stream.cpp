@@ -417,11 +417,53 @@ TEST(StreamingPipeline, SpillStatsReportBytes) {
     const auto fw = mc::runFilterRefine(comm, *fx.volume, r, &s, cfg.framework, task);
     bytesSpilled += fw.spill.bytesWritten;
     heldAfter += fw.spill.bytesHeld;
-    EXPECT_EQ(fw.spill.bytesRead, fw.spill.bytesWritten)
-        << "every spilled shard must be reloaded exactly once";
+    EXPECT_GE(fw.spill.bytesRead, fw.spill.bytesWritten)
+        << "every spilled shard must be reloaded at least once (the cell-major merge may "
+           "reload a shard whose cell range was evicted under budget pressure)";
+    EXPECT_GT(fw.phases.refineSpillBytes, 0u) << "cell-major refine must stream from shards";
   });
   EXPECT_GT(bytesSpilled.load(), 0u);
   EXPECT_EQ(heldAfter.load(), 0u) << "scratch blobs must be drained by the run";
+}
+
+TEST(StreamingPipeline, RefinePeakStaysWithinBudget) {
+  // The headline bound of the cell-major refine: with a budget far below
+  // the owned set, the refine phase's serving structures (merge window +
+  // current cell) never exceed StreamConfig::memoryBudget, spill is
+  // non-zero, and results still match the resident-refine run.
+  TwoLayerFixture fx;
+  constexpr std::uint64_t kBudget = 32 << 10;
+  std::array<std::uint64_t, 2> counted{0, 0};
+
+  for (int mode = 0; mode < 2; ++mode) {
+    std::atomic<std::uint64_t> records{0};
+    mm::Runtime::run(4, mvio::sim::MachineModel::comet(8), [&](mm::Comm& comm) {
+      mc::FrameworkConfig cfg;
+      cfg.gridCells = 64;
+      if (mode == 1) {
+        cfg.stream.chunkBytes = 4 << 10;
+        cfg.stream.memoryBudget = kBudget;
+      }
+      struct CountTask final : mc::RefineTask {
+        std::uint64_t n = 0;
+        void refineCellBatch(const mc::GridSpec&, int, const mg::BatchSpan& r,
+                             const mg::BatchSpan&) override {
+          n += r.size();
+        }
+      } task;
+      mc::DatasetHandle data{"r.wkt", &fx.parser, {}};
+      const auto fw = mc::runFilterRefine(comm, *fx.volume, data, nullptr, cfg, task);
+      records += task.n;
+      if (mode == 1) {
+        EXPECT_GT(fw.spill.bytesWritten, 0u) << "budgeted run must spill";
+        EXPECT_LE(fw.refinePeakBytes, kBudget)
+            << "refine-phase resident bytes exceed the memory budget";
+      }
+    });
+    counted[static_cast<std::size_t>(mode)] = records.load();
+  }
+  ASSERT_GT(counted[0], 0u);
+  EXPECT_EQ(counted[0], counted[1]) << "streamed refine must see the identical record multiset";
 }
 
 TEST(StreamingPipeline, IndexMatchesOneShot) {
@@ -480,6 +522,44 @@ TEST(StreamingPipeline, OverlayOutputBitIdentical) {
   EXPECT_EQ(totalsR[0], totalsR[1]);
   EXPECT_EQ(totalsS[0], totalsS[1]);
   EXPECT_GT(totalsR[0], 0.0);
+}
+
+TEST(StreamingPipeline, PfsPricedSpillKeepsResultsAndChargesTime) {
+  // With StreamConfig::spillOnPfs the scratch traffic is priced by the
+  // Volume's storage model (queue contention) instead of the flat rate:
+  // results must be unchanged, spill time must still be charged, and the
+  // byte volumes must match the flat-rate run exactly (pricing moves
+  // time, never data).
+  TwoLayerFixture fx;
+  std::array<std::vector<mc::JoinPair>, 2> pairs;
+  std::array<std::uint64_t, 2> spillBytes{0, 0};
+  std::array<std::atomic<int>, 2> ranksCharged{};
+
+  for (int mode = 0; mode < 2; ++mode) {
+    std::mutex mu;
+    mm::Runtime::run(4, mvio::sim::MachineModel::comet(8), [&](mm::Comm& comm) {
+      mc::JoinConfig cfg;
+      cfg.framework.gridCells = 36;
+      cfg.framework.stream = TwoLayerFixture::streamedConfig();
+      cfg.framework.stream.spillOnPfs = mode == 1;
+      mc::DatasetHandle r{"r.wkt", &fx.parser, {}};
+      mc::DatasetHandle s{"s.wkt", &fx.parser, {}};
+      std::vector<mc::JoinPair> local;
+      const auto stats = mc::spatialJoin(comm, *fx.volume, r, s, cfg, &local);
+      if (stats.phases.spill > 0) ranksCharged[static_cast<std::size_t>(mode)] += 1;
+      std::lock_guard<std::mutex> lock(mu);
+      auto& dst = pairs[static_cast<std::size_t>(mode)];
+      dst.insert(dst.end(), local.begin(), local.end());
+      spillBytes[static_cast<std::size_t>(mode)] += stats.phases.refineSpillBytes;
+    });
+    std::sort(pairs[static_cast<std::size_t>(mode)].begin(),
+              pairs[static_cast<std::size_t>(mode)].end());
+  }
+
+  ASSERT_FALSE(pairs[0].empty());
+  EXPECT_EQ(pairs[0], pairs[1]) << "spill pricing must not change results";
+  EXPECT_EQ(spillBytes[0], spillBytes[1]) << "pricing must not change spill byte volumes";
+  EXPECT_GT(ranksCharged[1].load(), 0) << "PFS-priced spill must charge time on spilling ranks";
 }
 
 TEST(StreamingPipeline, ChunkedReadCountsMatchOneShot) {
