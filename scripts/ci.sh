@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build, and run the full ctest suite under both
+# presets — the default RelWithDebInfo build and the ASan+UBSan build
+# (CMakePresets.json; the sanitizer preset compiles with
+# -fsanitize=address,undefined -fno-sanitize-recover=all, so any memory
+# or UB defect fails the run).
+#
+# Usage: scripts/ci.sh [preset...]   (default: "default asan")
+# Useful subsets once built: ctest -L recovery / -L mpi / -L unit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+presets=("${@:-default}" )
+if [[ $# -eq 0 ]]; then presets=(default asan); fi
+
+for preset in "${presets[@]}"; do
+  echo "==> preset: ${preset}"
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}"
+done
+echo "==> tier-1 green under: ${presets[*]}"

@@ -219,30 +219,60 @@ std::string encodeMigrationSummary(std::uint64_t blobs, std::uint64_t records, s
 
 }  // namespace
 
+void validateCellOwnership(const geom::GeometryBatch& b, const std::vector<int>& owner,
+                           int expectedRank, const char* context) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const int cell = b.cell(i);
+    if (cell == geom::GeometryBatch::kNoCell) continue;
+    MVIO_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < owner.size(),
+               std::string(context) + ": record cell " + std::to_string(cell) +
+                   " lies outside the active grid");
+    MVIO_CHECK(owner[static_cast<std::size_t>(cell)] == expectedRank,
+               std::string(context) + ": stale manifest — cell " + std::to_string(cell) +
+                   " belongs to rank " + std::to_string(owner[static_cast<std::size_t>(cell)]) +
+                   " under the active cell map, not rank " + std::to_string(expectedRank));
+  }
+}
+
 std::vector<int> lptAssignCells(const std::vector<std::uint64_t>& cellLoads, int nprocs) {
   MVIO_CHECK(nprocs >= 1, "lptAssignCells: need at least one rank");
+  std::vector<int> owner(cellLoads.size(), 0);
+  lptAssignCellsSeeded(cellLoads, std::vector<char>(cellLoads.size(), 1),
+                       std::vector<std::uint64_t>(static_cast<std::size_t>(nprocs), 0), owner);
+  return owner;
+}
+
+void lptAssignCellsSeeded(const std::vector<std::uint64_t>& cellLoads,
+                          const std::vector<char>& mask, std::vector<std::uint64_t> seedLoads,
+                          std::vector<int>& ownerBins) {
+  MVIO_CHECK(!seedLoads.empty(), "lptAssignCellsSeeded: need at least one bin");
+  MVIO_CHECK(mask.size() == cellLoads.size() && ownerBins.size() == cellLoads.size(),
+             "lptAssignCellsSeeded: mask/owner size mismatch");
   const std::size_t cells = cellLoads.size();
-  std::vector<std::uint32_t> order(cells);
-  for (std::size_t c = 0; c < cells; ++c) order[c] = static_cast<std::uint32_t>(c);
+  std::vector<std::uint32_t> order;
+  order.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (mask[c] != 0) order.push_back(static_cast<std::uint32_t>(c));
+  }
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
     return cellLoads[a] != cellLoads[b] ? cellLoads[a] > cellLoads[b] : a < b;
   });
 
-  // Min-heap of (assigned load, rank); ties break toward the lower rank id
+  // Min-heap of (assigned load, bin); ties break toward the lower bin id
   // so every rank computes the identical map.
   using Bin = std::pair<std::uint64_t, int>;
   std::priority_queue<Bin, std::vector<Bin>, std::greater<>> bins;
-  for (int r = 0; r < nprocs; ++r) bins.push({0, r});
+  for (std::size_t b = 0; b < seedLoads.size(); ++b) {
+    bins.push({seedLoads[b], static_cast<int>(b)});
+  }
 
-  std::vector<int> owner(cells, 0);
   for (const std::uint32_t c : order) {
     Bin bin = bins.top();
     bins.pop();
-    owner[c] = bin.second;
+    ownerBins[c] = bin.second;
     bin.first += cellLoads[c] + 1;  // +1: empty cells still spread out
     bins.push(bin);
   }
-  return owner;
 }
 
 geom::GeometryBatch migrateShards(mpi::Comm& comm, std::vector<geom::GeometryBatch>&& outgoing,
@@ -263,28 +293,17 @@ geom::GeometryBatch migrateShards(mpi::Comm& comm, std::vector<geom::GeometryBat
   for (int d = 0; d < p; ++d) {
     if (d == comm.rank()) continue;
     geom::GeometryBatch& batch = outgoing[static_cast<std::size_t>(d)];
-    std::uint64_t blobs = 0;
     std::uint64_t payloadBytes = 0;
-    std::size_t lo = 0;
-    while (lo < batch.size()) {
-      std::size_t hi = lo;
-      std::uint64_t bytes = geom::kShardHeaderBytes;
-      while (hi < batch.size()) {
-        const std::uint64_t rec = geom::shardRecordBytes(batch, hi);
-        if (hi > lo && maxBlobBytes != 0 && bytes + rec > maxBlobBytes) break;
-        bytes += rec;
-        ++hi;
-      }
-      blob.clear();
-      blob.reserve(static_cast<std::size_t>(bytes));
-      geom::encodeShard(batch, lo, hi, blob);
-      comm.clock().advanceBy(static_cast<double>(blob.size()) / costs.bytesPerSecond +
-                             static_cast<double>(hi - lo) * costs.perGeometrySeconds);
-      comm.send(blob.data(), static_cast<int>(blob.size()), byteType, d, kShardMigrationTag);
-      payloadBytes += blob.size();
-      ++blobs;
-      lo = hi;
-    }
+    const std::uint64_t blobs = geom::forEachShardRange(
+        batch, maxBlobBytes, [&](std::size_t lo, std::size_t hi, std::uint64_t bytes) {
+          blob.clear();
+          blob.reserve(static_cast<std::size_t>(bytes));
+          geom::encodeShard(batch, lo, hi, blob);
+          comm.clock().advanceBy(static_cast<double>(blob.size()) / costs.bytesPerSecond +
+                                 static_cast<double>(hi - lo) * costs.perGeometrySeconds);
+          comm.send(blob.data(), static_cast<int>(blob.size()), byteType, d, kShardMigrationTag);
+          payloadBytes += blob.size();
+        });
     const std::string summary = encodeMigrationSummary(blobs, batch.size(), payloadBytes);
     comm.send(summary.data(), static_cast<int>(summary.size()), byteType, d, kShardMigrationTag);
     if (stats != nullptr) {

@@ -108,6 +108,15 @@ struct ShardTransportStats {
   std::uint64_t blobsReceived = 0;
 };
 
+/// Stale-manifest guard, shared by DistributedIndex::loadShards and the
+/// recovery restore path: throws util::Error unless every record of `b`
+/// sits in a cell that `owner` maps to `expectedRank`. A persisted shard
+/// set whose cells no longer belong to the loading rank (the cell→rank
+/// map moved on since the manifest was written) is rejected instead of
+/// silently double-serving cells. `context` prefixes the error message.
+void validateCellOwnership(const geom::GeometryBatch& b, const std::vector<int>& owner,
+                           int expectedRank, const char* context);
+
 /// Greedy LPT (longest-processing-time-first) assignment of cells to
 /// ranks: cells sorted by load descending (ties by cell id) each go to the
 /// currently least-loaded rank (ties by rank id). Every cell weighs at
@@ -115,6 +124,18 @@ struct ShardTransportStats {
 /// rank 0. Deterministic: identical inputs produce identical maps on every
 /// rank, so no agreement round is needed after the load reduction.
 std::vector<int> lptAssignCells(const std::vector<std::uint64_t>& cellLoads, int nprocs);
+
+/// Seeded, masked form of the same greedy pass — the one LPT loop both
+/// the rebalancer and the recovery re-homing share, so their ordering
+/// and tie-breaking cannot silently diverge. Bins start at `seedLoads`
+/// (its size is the bin count); only cells with mask[c] != 0 are
+/// assigned, each to the least-loaded bin (same descending-load /
+/// ascending-id / lowest-bin tie order, every cell weighing at least 1),
+/// writing the winning *bin index* into ownerBins[c]. Unmasked cells'
+/// entries are left untouched.
+void lptAssignCellsSeeded(const std::vector<std::uint64_t>& cellLoads,
+                          const std::vector<char>& mask, std::vector<std::uint64_t> seedLoads,
+                          std::vector<int>& ownerBins);
 
 /// Move owned-cell records between ranks. `outgoing[d]` holds the records
 /// this rank ships to rank d (cell tags preserved; `outgoing[rank]` must

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
 #include "core/cell_store.hpp"
 #include "geom/batch_shard.hpp"
 #include "io/file.hpp"
+#include "recovery/recovery.hpp"
 #include "util/error.hpp"
 
 namespace mvio::core {
@@ -96,6 +98,18 @@ class BatchStager {
 
   [[nodiscard]] std::size_t pending() const { return slots_.size(); }
 
+  /// Drop every pending chunk without reloading it — the post-recovery
+  /// path re-derives the remaining rounds from the durable chunk log, so
+  /// the staged copies (and their scratch blobs) are dead weight.
+  void discard() {
+    for (const Slot& slot : slots_) {
+      if (slot.spilled) spiller_.store->remove(slot.shard);
+    }
+    slots_.clear();
+    resident_ = 0;
+    spillCursor_ = 0;
+  }
+
  private:
   struct Slot {
     geom::GeometryBatch batch;
@@ -130,10 +144,13 @@ class BatchStager {
 /// Phases 1+2 for one layer, chunk by chunk: partitioned read then parse
 /// straight into a per-chunk batch (no per-record Geometry objects),
 /// staged for the exchange rounds. Accumulates the layer's local MBR for
-/// grid construction along the way.
+/// grid construction along the way. With checkpointing enabled every
+/// parsed chunk is also written to the durable chunk log — the replay
+/// source recovery re-derives lost rounds from.
 void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
                  const FrameworkConfig& cfg, BatchStager& stage, geom::Envelope& localBounds,
-                 ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases) {
+                 ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases,
+                 recovery::CheckpointCoordinator& ckpt, int layer) {
   MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
   io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
   PartitionReader reader(comm, file, ds.partition, cfg.stream.chunkBytes);
@@ -155,17 +172,24 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
       phases.parse += charge.stop();
     }
     localBounds.expandToInclude(chunk.bounds());
+    ckpt.logChunk(layer, chunk);
     stage.push(std::move(chunk));
   }
   ioStats = reader.counters();
 }
 
-/// Phase 4: map records to overlapping cells, in place. The first cell is
-/// assigned to the existing record; a geometry spanning k cells appends
-/// k-1 arena-copied replicas (duplicate results are avoided later in the
-/// refine phase). Records overlapping no cell are tombstoned with kNoCell.
-geom::GeometryBatch project(const GridSpec& grid, const CellLocator* locator,
-                            geom::GeometryBatch&& geoms) {
+/// Ascending union of two sorted cell-id lists.
+std::vector<int> mergeCellLists(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+geom::GeometryBatch projectToCells(const GridSpec& grid, const CellLocator* locator,
+                                   geom::GeometryBatch&& geoms) {
   const std::size_t n = geoms.size();
   std::vector<int> cells;
   for (std::size_t i = 0; i < n; ++i) {
@@ -185,65 +209,42 @@ geom::GeometryBatch project(const GridSpec& grid, const CellLocator* locator,
   return std::move(geoms);
 }
 
-/// Phases 4+5 for one layer: one project + exchange round per staged
-/// chunk, every round's received records folded into the owned cell
-/// store. In streaming mode the data rounds are followed by one
-/// empty round flagged `last`, the stream-termination barrier; in
-/// one-shot mode the single data round is itself final. The round count
-/// is allreduced so a rank whose stage drained early keeps participating
-/// with empty rounds instead of leaving the collectives (and the peers
-/// that still hold data) hanging.
-void streamLayer(mpi::Comm& comm, BatchStager& stage, CellStore& owned, const GridSpec& grid,
-                 const CellLocator* locator, const CellOwnerFn& ownerFn,
-                 const FrameworkConfig& cfg, FrameworkStats& stats) {
-  const bool streaming = cfg.stream.chunkBytes > 0;
-  const std::uint64_t rounds = allreduceMaxU64(comm, stage.pending());
-  for (std::uint64_t round = 0; round < rounds; ++round) {
-    geom::GeometryBatch chunk;
-    stage.pop(chunk);  // false → empty round for this rank
-    {
-      mpi::CpuCharge charge(comm);
-      chunk = project(grid, locator, std::move(chunk));
-      stats.phases.partition += charge.stop();
-    }
-    const bool last = !streaming && round + 1 == rounds;
-    const double t0 = comm.clock().now();
-    geom::GeometryBatch got = exchangeByCell(comm, std::move(chunk), ownerFn, cfg.windowPhases,
-                                             grid.cellCount(), &stats.exchange, {}, last);
-    stats.phases.comm += comm.clock().now() - t0;
-    stats.phases.rounds += 1;
-    owned.add(std::move(got));
-  }
-  if (streaming) {
-    // Termination barrier: an empty round whose header carries kRoundLast
-    // on every rank, making "no records this round" and "stream over"
-    // distinct on the wire.
-    const double t0 = comm.clock().now();
-    geom::GeometryBatch got =
-        exchangeByCell(comm, geom::GeometryBatch(), ownerFn, cfg.windowPhases, grid.cellCount(),
-                       &stats.exchange, {}, /*lastRound=*/true);
-    stats.phases.comm += comm.clock().now() - t0;
-    stats.phases.rounds += 1;
-    owned.add(std::move(got));
-  }
-}
-
-/// Ascending union of two sorted cell-id lists.
-std::vector<int> mergeCellLists(const std::vector<int>& a, const std::vector<int>& b) {
-  std::vector<int> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
-
-}  // namespace
-
 FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& r,
                                const DatasetHandle* s, const FrameworkConfig& cfg, RefineTask& task) {
   MVIO_CHECK(cfg.gridCells >= 1, "need at least one grid cell");
   FrameworkStats stats;
   const StreamConfig& sc = cfg.stream;
   const std::uint64_t budget = sc.memoryBudget == 0 ? UINT64_MAX : sc.memoryBudget;
+  const int p = comm.size();
+
+  // Checkpoint/recovery setup (DESIGN.md §9). Checkpoint blob names are
+  // keyed by world rank, so the subsystem requires the launch (world)
+  // communicator when enabled.
+  recovery::CheckpointConfig ckptCfg;
+  ckptCfg.everyRounds = sc.checkpointEveryRounds;
+  ckptCfg.dir = sc.checkpointDir;
+  ckptCfg.tearEpochSeal = sc.tearEpochSeal;
+  recovery::CheckpointCoordinator ckpt(comm, volume, ckptCfg, &stats.phases);
+  if (ckpt.enabled()) {
+    MVIO_CHECK(comm.rank() == comm.worldRank(),
+               "checkpointing requires the world communicator (blob names are world-rank keyed)");
+  }
+  std::vector<int> failRanks = cfg.failRanks;
+  std::sort(failRanks.begin(), failRanks.end());
+  failRanks.erase(std::unique(failRanks.begin(), failRanks.end()), failRanks.end());
+  const bool injecting = !failRanks.empty();
+  MVIO_CHECK(cfg.killPoint.afterRound == 0 || injecting,
+             "killPoint set without failRanks — the kill would silently never fire");
+  if (injecting) {
+    MVIO_CHECK(cfg.killPoint.afterRound != 0, "failRanks set without a kill point");
+    MVIO_CHECK(ckpt.enabled(),
+               "failure injection requires StreamConfig::checkpointEveryRounds > 0");
+    MVIO_CHECK(static_cast<int>(failRanks.size()) < p,
+               "failure injection must leave at least one survivor");
+    for (const int dead : failRanks) {
+      MVIO_CHECK(dead >= 0 && dead < p, "failRanks entry outside the communicator");
+    }
+  }
 
   // Rank-local scratch for spilled shards; blobs are dropped on exit.
   pfs::SpillStore spill(volume, sc.spillDir + "/rank" + std::to_string(comm.worldRank()));
@@ -257,10 +258,13 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   BatchStager stageR(spiller, "pend_r", budget);
   BatchStager stageS(spiller, "pend_s", budget);
   geom::Envelope localBounds;
-  ingestLayer(comm, volume, r, cfg, stageR, localBounds, stats.parseR, stats.ioR, stats.phases);
+  ingestLayer(comm, volume, r, cfg, stageR, localBounds, stats.parseR, stats.ioR, stats.phases,
+              ckpt, 0);
   if (s != nullptr) {
-    ingestLayer(comm, volume, *s, cfg, stageS, localBounds, stats.parseS, stats.ioS, stats.phases);
+    ingestLayer(comm, volume, *s, cfg, stageS, localBounds, stats.parseS, stats.ioS, stats.phases,
+                ckpt, 1);
   }
+  ckpt.sealIngest();
 
   // 3: global grid via MPI_UNION of local MBRs (both layers). Chunked
   // parsing folded every chunk's bounds into localBounds, so the union is
@@ -270,8 +274,12 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
 
   std::optional<CellLocator> locator;
   if (cfg.rtreeCellLocator) locator.emplace(grid);
-  const int p = comm.size();
   auto owner = [p](int cell) { return roundRobinOwner(cell, p); };
+  std::vector<int> rrOwner;
+  if (ckpt.enabled()) {
+    rrOwner.resize(static_cast<std::size_t>(grid.cellCount()));
+    for (int c = 0; c < grid.cellCount(); ++c) rrOwner[static_cast<std::size_t>(c)] = owner(c);
+  }
 
   // 4+5: project + exchange rounds per layer (communication phase).
   // exchangeByCell charges serialization/deserialization CPU internally;
@@ -289,55 +297,210 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
                                             : sc.memoryBudget;
   CellStore ownedR(&spill, "own_r", storeBudget, 0, spillCharge);
   CellStore ownedS(&spill, "own_s", storeBudget, 0, spillCharge);
-  streamLayer(comm, stageR, ownedR, grid, locator ? &*locator : nullptr, owner, cfg, stats);
-  if (s != nullptr) {
-    streamLayer(comm, stageS, ownedS, grid, locator ? &*locator : nullptr, owner, cfg, stats);
+
+  // The data-round schedule is fixed up front (the counts derive from the
+  // staged chunks, allreduced): the kill point and the checkpoint epochs
+  // are defined on the global data-round index — layer R's rounds first,
+  // then layer S's — and recovery replays against the same schedule.
+  const std::uint64_t roundsR = allreduceMaxU64(comm, stageR.pending());
+  const std::uint64_t roundsS = s != nullptr ? allreduceMaxU64(comm, stageS.pending()) : 0;
+  if (injecting) {
+    MVIO_CHECK(cfg.killPoint.afterRound <= roundsR + roundsS,
+               "kill point lies beyond the data-round schedule");
   }
+
+  mpi::Comm active = comm;  ///< shrinks to the survivors after a recovery
+  std::vector<int> activeWorld;  ///< active-local rank -> world rank (post-recovery)
+  bool recovered = false;
+  std::uint64_t globalRound = 0;
+
+  // One layer's rounds. Returns false when the schedule was cut short —
+  // this rank died, or a recovery re-derived every remaining round from
+  // the durable log (no further exchanges happen either way).
+  const auto runLayerRounds = [&](int layer, BatchStager& stage, CellStore& owned,
+                                  std::uint64_t rounds) -> bool {
+    const bool streaming = sc.chunkBytes > 0;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      geom::GeometryBatch chunk;
+      stage.pop(chunk);  // false → empty round for this rank
+      {
+        mpi::CpuCharge charge(comm);
+        chunk = projectToCells(grid, locator ? &*locator : nullptr, std::move(chunk));
+        stats.phases.partition += charge.stop();
+      }
+      const bool last = !streaming && round + 1 == rounds;
+      const double t0 = comm.clock().now();
+      geom::GeometryBatch got = exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases,
+                                               grid.cellCount(), &stats.exchange, {}, last);
+      stats.phases.comm += comm.clock().now() - t0;
+      stats.phases.rounds += 1;
+      ckpt.noteRound(layer, got);
+      owned.add(std::move(got));
+      globalRound += 1;
+      ckpt.maybeCheckpoint(globalRound, rrOwner);
+
+      if (injecting && cfg.killPoint.fires(globalRound)) {
+        // Failure detection: one last collective every original rank
+        // takes part in (the simulation's failure detector), then the
+        // communicator shrinks to the survivors and the dead ranks leave
+        // with their volatile state.
+        const bool alive =
+            std::find(failRanks.begin(), failRanks.end(), comm.worldRank()) == failRanks.end();
+        const std::int32_t mine = alive ? comm.worldRank() : ~comm.worldRank();
+        std::vector<std::int32_t> flags(static_cast<std::size_t>(p), 0);
+        comm.allgather(&mine, 1, mpi::Datatype::int32(), flags.data());
+        mpi::Comm shrunk = comm.split(alive ? 1 : 0, comm.rank());
+        if (!alive) {
+          stats.recovery.died = true;
+          return false;
+        }
+        active = shrunk;
+        recovery::RecoveryContext ctx;
+        ctx.checkpoint = ckptCfg;
+        ctx.worldSize = p;
+        for (const std::int32_t f : flags) {
+          (f >= 0 ? ctx.survivorWorld : ctx.deadRanks).push_back(f >= 0 ? f : ~f);
+        }
+        std::sort(ctx.deadRanks.begin(), ctx.deadRanks.end());
+        ctx.failRound = globalRound;
+        ctx.roundsPerLayer[0] = roundsR;
+        ctx.roundsPerLayer[1] = roundsS;
+        ctx.grid = &grid;
+        ctx.locator = locator ? &*locator : nullptr;
+        recovery::RecoveryOutcome outcome = recovery::recoverFromFailure(
+            active, volume, ctx, ownedR, s != nullptr ? &ownedS : nullptr, &stats.phases);
+        stats.recovery = outcome.stats;
+        stats.cellOwner = std::move(outcome.cellOwner);
+        activeWorld = std::move(ctx.survivorWorld);
+        recovered = true;
+        return false;
+      }
+    }
+    if (streaming) {
+      // Termination barrier: an empty round whose header carries
+      // kRoundLast on every rank, making "no records this round" and
+      // "stream over" distinct on the wire.
+      const double t0 = comm.clock().now();
+      geom::GeometryBatch got =
+          exchangeByCell(comm, geom::GeometryBatch(), owner, cfg.windowPhases, grid.cellCount(),
+                         &stats.exchange, {}, /*lastRound=*/true);
+      stats.phases.comm += comm.clock().now() - t0;
+      stats.phases.rounds += 1;
+      owned.add(std::move(got));
+    }
+    return true;
+  };
+
+  bool onSchedule = runLayerRounds(0, stageR, ownedR, roundsR);
+  if (onSchedule && s != nullptr) onSchedule = runLayerRounds(1, stageS, ownedS, roundsS);
+
+  if (stats.recovery.died) {
+    // Fail-stop: the rank's volatile state — staged chunks, owned cell
+    // stores, scratch spill blobs — dies with it. Only the durable
+    // checkpoint blobs it already wrote survive on the volume. Its task
+    // never refines and it joins no further collective.
+    spill.clear();
+    stats.spill = spill.stats();
+    return stats;
+  }
+  if (recovered) {
+    // Every remaining round was re-derived from the chunk log; the
+    // staged copies (and the dead ranks' stale deliveries they would
+    // duplicate) are discarded.
+    stageR.discard();
+    stageS.discard();
+    stats.activeComm = active;
+  }
+
   ownedR.finalize();
   ownedS.finalize();
   stats.localR = ownedR.records();
   stats.localS = ownedS.records();
 
-  // 5b: skew-aware owned-cell rebalancing. Every rank reduces the global
-  // per-cell loads, repeats the same deterministic LPT assignment, and
-  // ships leaving cells point-to-point as checksummed shard blobs.
-  if (cfg.rebalanceCells && p > 1) {
-    const double t0 = comm.clock().now();
+  // 5b: skew-aware owned-cell rebalancing, on the active (possibly
+  // shrunk) communicator. Every rank reduces the global per-cell loads
+  // and measures the imbalance; when it clears the adaptive threshold,
+  // all repeat the same deterministic LPT assignment and ship leaving
+  // cells point-to-point as checksummed shard blobs.
+  const int ap = active.size();
+  if (cfg.rebalanceCells && ap > 1) {
+    const double t0 = active.clock().now();
     const double spillBefore = stats.phases.spill;
     stats.balance.ownedRecordsBefore = ownedR.records() + ownedS.records();
     std::vector<std::uint64_t> loads(static_cast<std::size_t>(grid.cellCount()), 0);
     ownedR.accumulateCellLoads(loads);
     ownedS.accumulateCellLoads(loads);
     std::vector<std::uint64_t> global(loads.size(), 0);
-    comm.allreduce(loads.data(), global.data(), static_cast<int>(loads.size()),
-                   mpi::Datatype::uint64(), mpi::Op::sum());
-    stats.cellOwner = lptAssignCells(global, p);
-    for (int c = 0; c < grid.cellCount(); ++c) {
-      if (stats.cellOwner[static_cast<std::size_t>(c)] != roundRobinOwner(c, p)) {
-        stats.balance.cellsMoved += 1;
-      }
+    active.allreduce(loads.data(), global.data(), static_cast<int>(loads.size()),
+                     mpi::Datatype::uint64(), mpi::Op::sum());
+
+    if (activeWorld.empty()) {
+      activeWorld.resize(static_cast<std::size_t>(ap));
+      std::iota(activeWorld.begin(), activeWorld.end(), 0);
     }
-
-    const auto migrateLayer = [&](CellStore& store) {
-      std::vector<geom::GeometryBatch> outgoing(static_cast<std::size_t>(p));
-      for (const int cell : store.cells()) {
-        const int dst = stats.cellOwner[static_cast<std::size_t>(cell)];
-        if (dst == comm.rank()) continue;
-        outgoing[static_cast<std::size_t>(dst)].splice(store.extractCell(cell));
-      }
-      geom::GeometryBatch got = migrateShards(comm, std::move(outgoing), cfg.migrationBlobBytes,
-                                              &stats.balance.transport);
-      store.addMigrated(std::move(got));
+    std::vector<int> worldToLocal(static_cast<std::size_t>(p), -1);
+    for (int local = 0; local < ap; ++local) {
+      worldToLocal[static_cast<std::size_t>(activeWorld[static_cast<std::size_t>(local)])] = local;
+    }
+    // Current ownership in world ranks: the recovery map when one ran,
+    // round-robin over the launch size otherwise.
+    const auto currentWorldOwner = [&](int cell) {
+      return stats.cellOwner.empty() ? roundRobinOwner(cell, p)
+                                     : stats.cellOwner[static_cast<std::size_t>(cell)];
     };
-    migrateLayer(ownedR);
-    if (s != nullptr) migrateLayer(ownedS);
 
-    stats.balance.ownedRecordsAfter = ownedR.records() + ownedS.records();
+    // Adaptive trigger: measure the max/mean per-rank load ratio under
+    // the current map and skip the pass — and its wire traffic — when
+    // the owned loads are already within the threshold.
+    std::vector<std::uint64_t> perRank(static_cast<std::size_t>(ap), 0);
+    std::uint64_t total = 0;
+    for (int c = 0; c < grid.cellCount(); ++c) {
+      const int local = worldToLocal[static_cast<std::size_t>(currentWorldOwner(c))];
+      MVIO_CHECK(local >= 0, "rebalance: cell owned by a rank outside the active communicator");
+      perRank[static_cast<std::size_t>(local)] += global[static_cast<std::size_t>(c)];
+      total += global[static_cast<std::size_t>(c)];
+    }
+    const std::uint64_t maxLoad = *std::max_element(perRank.begin(), perRank.end());
+    const double mean = static_cast<double>(total) / static_cast<double>(ap);
+    stats.balance.imbalance = total == 0 ? 0.0 : static_cast<double>(maxLoad) / mean;
+
+    if (stats.balance.imbalance < cfg.rebalanceThreshold) {
+      stats.balance.skipped = true;
+      stats.balance.ownedRecordsAfter = stats.balance.ownedRecordsBefore;
+    } else {
+      const std::vector<int> newLocal = lptAssignCells(global, ap);
+      std::vector<int> newWorld(newLocal.size());
+      for (std::size_t c = 0; c < newLocal.size(); ++c) {
+        newWorld[c] = activeWorld[static_cast<std::size_t>(newLocal[c])];
+      }
+      for (int c = 0; c < grid.cellCount(); ++c) {
+        if (newWorld[static_cast<std::size_t>(c)] != currentWorldOwner(c)) {
+          stats.balance.cellsMoved += 1;
+        }
+      }
+      stats.cellOwner = std::move(newWorld);
+
+      const auto migrateLayer = [&](CellStore& store) {
+        std::vector<geom::GeometryBatch> outgoing(static_cast<std::size_t>(ap));
+        for (const int cell : store.cells()) {
+          const int dst = newLocal[static_cast<std::size_t>(cell)];
+          if (dst == active.rank()) continue;
+          outgoing[static_cast<std::size_t>(dst)].splice(store.extractCell(cell));
+        }
+        geom::GeometryBatch got = migrateShards(active, std::move(outgoing),
+                                                cfg.migrationBlobBytes, &stats.balance.transport);
+        store.addMigrated(std::move(got));
+      };
+      migrateLayer(ownedR);
+      if (s != nullptr) migrateLayer(ownedS);
+
+      stats.balance.ownedRecordsAfter = ownedR.records() + ownedS.records();
+      stats.phases.migrateBytes = stats.balance.transport.bytesSent;
+      stats.phases.migrateRounds = stats.balance.transport.blobsSent;
+    }
     // Shard reloads during cell extraction charged themselves to the
     // spill phase; subtract them so total() counts the time once.
-    stats.phases.migrate += (comm.clock().now() - t0) - (stats.phases.spill - spillBefore);
-    stats.phases.migrateBytes = stats.balance.transport.bytesSent;
-    stats.phases.migrateRounds = stats.balance.transport.blobsSent;
+    stats.phases.migrate += (active.clock().now() - t0) - (stats.phases.spill - spillBefore);
   }
 
   // 6: cell-major refine. Owned cells are visited in ascending cell-id

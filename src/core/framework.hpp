@@ -83,6 +83,24 @@ struct StreamConfig {
   /// "<spillDir>/rank<worldRank>". Scratch blobs are removed when the run
   /// finishes.
   std::string spillDir = "__spill";
+
+  // ---- Checkpoint/recovery (DESIGN.md §9) -----------------------------
+  /// Seal a durable epoch checkpoint every N exchange data rounds
+  /// (0 = no checkpoints). When set, each parsed chunk is also written to
+  /// a durable per-rank chunk log at ingest time (the replay source), and
+  /// at every boundary each rank persists the records that arrived since
+  /// the previous epoch as BatchShard blobs plus a per-rank manifest;
+  /// rank 0 then seals the epoch with a checksummed global manifest.
+  /// Torn or partial epochs are detected at recovery time and skipped.
+  std::uint64_t checkpointEveryRounds = 0;
+  /// Volume directory for durable checkpoint state: per-rank blobs under
+  /// "<checkpointDir>/rank<worldRank>", global epoch seals under
+  /// "<checkpointDir>/global". Unlike spillDir, blobs survive the run.
+  std::string checkpointDir = "__ckpt";
+  /// Torn-write injection (tests): the seal of this epoch is written
+  /// truncated, as if the writer died mid-write. Recovery must reject it
+  /// and fall back to the previous sealed epoch. 0 = off.
+  std::uint64_t tearEpochSeal = 0;
 };
 
 struct FrameworkConfig {
@@ -105,6 +123,19 @@ struct FrameworkConfig {
   bool rebalanceCells = false;
   /// Largest encoded migration blob (migrateShards bound).
   std::uint64_t migrationBlobBytes = 1ull << 20;
+  /// Adaptive rebalance trigger: the migration pass only runs when the
+  /// allreduced max/mean per-rank load ratio is at least this value.
+  /// 1.0 (or anything ≤ 1) keeps the unconditional behaviour; e.g. 1.5
+  /// skips the pass — and its wire traffic — when the owned loads are
+  /// already within 50% of the mean. The measured imbalance and the
+  /// decision are recorded in RebalanceStats either way.
+  double rebalanceThreshold = 1.0;
+  /// Failure injection: world ranks that die at the kill point (fail-stop;
+  /// requires StreamConfig::checkpointEveryRounds > 0 so survivors can
+  /// recover). Empty = no injection.
+  std::vector<int> failRanks;
+  /// When the named ranks die: after this many exchange data rounds.
+  sim::KillPoint killPoint;
 };
 
 /// Refine callback: receives the two record collections of one cell as
@@ -147,6 +178,30 @@ struct RebalanceStats {
   std::uint64_t ownedRecordsBefore = 0;  ///< this rank's records at exchange end
   std::uint64_t ownedRecordsAfter = 0;   ///< after migration
   std::uint64_t cellsMoved = 0;          ///< cells that changed owner (global count)
+  /// Allreduced max/mean per-rank load ratio measured before the pass
+  /// (1.0 = perfectly balanced; 0 when the pass never ran or the grid
+  /// holds no records).
+  double imbalance = 0;
+  /// True when the measured imbalance stayed below
+  /// FrameworkConfig::rebalanceThreshold and the migration was skipped.
+  bool skipped = false;
+};
+
+/// What the checkpoint/recovery subsystem did for this rank (all zero
+/// when StreamConfig::checkpointEveryRounds is 0 and no failure was
+/// injected). Byte/time volumes live in PhaseBreakdown::{checkpoint,
+/// recovery, checkpointBytes, recoveryBytes, recoveryRounds}.
+struct RecoveryStats {
+  /// This rank was killed by the injection hook: it left the job at the
+  /// kill point and its FrameworkStats describe only the rounds it lived
+  /// through. Its refine task never ran.
+  bool died = false;
+  /// A failure struck and this rank ran the recovery protocol.
+  bool recovered = false;
+  std::uint64_t deadRanks = 0;        ///< ranks lost at the kill point
+  std::uint64_t epochUsed = 0;        ///< sealed epoch restored from (0 = none valid)
+  std::uint64_t restoredRecords = 0;  ///< records this rank reloaded from dead ranks' epochs
+  std::uint64_t replayedRecords = 0;  ///< records this rank re-derived from the chunk log
 };
 
 struct FrameworkStats {
@@ -157,10 +212,18 @@ struct FrameworkStats {
   GridSpec grid;
   pfs::SpillStats spill;        ///< this rank's shard spill/reload volumes
   RebalanceStats balance;       ///< owned-cell migration volumes (rebalanceCells)
-  /// Post-rebalance cell→rank map, identical on every rank. Empty when
-  /// rebalancing did not run — ownership is then roundRobinOwner, which
-  /// consumers with per-owned-cell output (the overlay writer) fall back
-  /// to.
+  RecoveryStats recovery;       ///< failure injection / recovery outcome
+  /// The communicator the pipeline finished on. Engaged only after a
+  /// recovery shrank the job to the survivors — consumers must run their
+  /// post-pipeline collectives (result reductions, the overlay's
+  /// collective write) on it instead of the launch communicator, whose
+  /// dead ranks will never participate again. Dead ranks (recovery.died)
+  /// must skip those collectives entirely.
+  std::optional<mpi::Comm> activeComm;
+  /// Post-rebalance / post-recovery cell→rank map in *world* ranks,
+  /// identical on every live rank. Empty when neither rebalancing nor
+  /// recovery ran — ownership is then roundRobinOwner, which consumers
+  /// with per-owned-cell output (the overlay writer) fall back to.
   std::vector<int> cellOwner;
   /// Peak bytes resident in the refine phase's serving structures (merge
   /// window + tail + current cell in the streaming regime, summed over
@@ -174,6 +237,14 @@ struct FrameworkStats {
   std::uint64_t cellsOwned = 0;
   std::uint64_t localR = 0, localS = 0;  ///< geometries held after exchange
 };
+
+/// Phase-4 grid projection: map every record of `geoms` to its
+/// overlapping cells in place (a k-cell geometry appends k-1 replicas;
+/// no-cell records are tombstoned with kNoCell). Deterministic for a
+/// given grid — the recovery replay re-derives lost exchange rounds by
+/// re-running it over the durable chunk log.
+geom::GeometryBatch projectToCells(const GridSpec& grid, const CellLocator* locator,
+                                   geom::GeometryBatch&& geoms);
 
 /// Run the full pipeline. `s` may be null (single-layer workloads such as
 /// indexing). Collective: all ranks of `comm` must call.

@@ -72,25 +72,16 @@ void DistributedIndex::query(const geom::Envelope& queryBox,
 void DistributedIndex::saveShards(pfs::SpillStore& store, const std::string& base,
                                   std::uint64_t maxShardBytes) const {
   // Split the adopted batch into contiguous record ranges whose encoded
-  // size stays under the bound (each shard holds at least one record).
+  // size stays under the bound (geom::forEachShardRange).
   std::uint64_t shards = 0;
-  std::size_t lo = 0;
-  while (lo < batch_.size()) {
-    std::size_t hi = lo;
-    std::uint64_t bytes = geom::kShardHeaderBytes;
-    while (hi < batch_.size()) {
-      const std::uint64_t rec = geom::shardRecordBytes(batch_, hi);
-      if (hi > lo && maxShardBytes != 0 && bytes + rec > maxShardBytes) break;
-      bytes += rec;
-      ++hi;
-    }
-    std::string blob;
-    blob.reserve(static_cast<std::size_t>(bytes));
-    geom::encodeShard(batch_, lo, hi, blob);
-    store.put(base + "." + std::to_string(shards), std::move(blob));
-    ++shards;
-    lo = hi;
-  }
+  geom::forEachShardRange(batch_, maxShardBytes,
+                          [&](std::size_t lo, std::size_t hi, std::uint64_t bytes) {
+                            std::string blob;
+                            blob.reserve(static_cast<std::size_t>(bytes));
+                            geom::encodeShard(batch_, lo, hi, blob);
+                            store.put(base + "." + std::to_string(shards), std::move(blob));
+                            ++shards;
+                          });
 
   std::string manifest;
   putScalar<std::uint32_t>(manifest, kManifestMagic);
@@ -112,7 +103,8 @@ void DistributedIndex::saveShards(pfs::SpillStore& store, const std::string& bas
 }
 
 DistributedIndex DistributedIndex::loadShards(pfs::SpillStore& store, const std::string& base,
-                                              std::size_t rtreeFanout) {
+                                              std::size_t rtreeFanout,
+                                              const std::vector<int>* cellOwner, int selfRank) {
   const std::string manifestName = base + ".manifest";
   MVIO_CHECK(store.contains(manifestName), "index shards: missing manifest " + manifestName);
   const std::string m = store.fetch(manifestName);
@@ -144,6 +136,7 @@ DistributedIndex DistributedIndex::loadShards(pfs::SpillStore& store, const std:
     MVIO_CHECK(store.contains(name), "index shards: missing shard " + name);
     geom::GeometryBatch b;
     geom::decodeShard(store.fetch(name), b);
+    if (cellOwner != nullptr) validateCellOwnership(b, *cellOwner, selfRank, "index shards");
     index.addBatch(std::move(b));
   }
   MVIO_CHECK(index.localGeometries_ == expectedRecords,
@@ -187,6 +180,19 @@ DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, con
   task.index = &index;
   const FrameworkStats fw = runFilterRefine(comm, volume, data, nullptr, cfg.framework, task);
   index.grid_ = fw.grid;
+  if (stats != nullptr) {
+    stats->phases = fw.phases;
+    stats->spill = fw.spill;
+    stats->balance = fw.balance;
+    stats->recovery = fw.recovery;
+    stats->refinePeakBytes = fw.refinePeakBytes;
+    stats->cellsOwned = fw.cellsOwned;
+    stats->grid = fw.grid;
+  }
+  // A dead rank adopted nothing and joins no further collective: its
+  // (empty) index is returned as-is.
+  if (fw.recovery.died) return index;
+  mpi::Comm active = fw.activeComm ? *fw.activeComm : comm;
 
   // Pack the per-cell R-trees now (rather than at first query) so the
   // build phase of the figure benches keeps pricing the whole build.
@@ -195,14 +201,8 @@ DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, con
   const double treeSeconds = charge.stop();
 
   if (stats != nullptr) {
-    stats->phases = fw.phases;
     stats->phases.compute += treeSeconds;
-    stats->spill = fw.spill;
-    stats->balance = fw.balance;
-    stats->refinePeakBytes = fw.refinePeakBytes;
-    stats->cellsOwned = fw.cellsOwned;
-    stats->grid = fw.grid;
-    stats->globalGeometries = comm.allreduceSumU64(index.localGeometries());
+    stats->globalGeometries = active.allreduceSumU64(index.localGeometries());
   }
   return index;
 }

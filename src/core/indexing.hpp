@@ -101,8 +101,18 @@ class DistributedIndex {
   /// serialized cell tags. `rtreeFanout` 0 keeps the fanout recorded in
   /// the manifest. Throws util::Error on a missing/corrupt manifest or
   /// shard.
+  ///
+  /// Stale-manifest guard: when `cellOwner` is non-null it is the active
+  /// cell→rank map and every decoded record must sit in a cell it
+  /// assigns to `selfRank` — shards persisted under an older ownership
+  /// (the map moved on: rebalancing, recovery re-homing) are rejected
+  /// with util::Error instead of silently double-serving cells the
+  /// current owner also serves. The recovery restore path applies the
+  /// same validation (core::validateCellOwnership) to epoch deltas.
   static DistributedIndex loadShards(pfs::SpillStore& store, const std::string& base,
-                                     std::size_t rtreeFanout = 0);
+                                     std::size_t rtreeFanout = 0,
+                                     const std::vector<int>* cellOwner = nullptr,
+                                     int selfRank = -1);
 
   /// Build locally from an already cell-tagged batch — the single-rank
   /// form of the MPI build (the collective path produces exactly this per
@@ -125,6 +135,7 @@ struct IndexingStats {
   PhaseBreakdown phases;
   pfs::SpillStats spill;               ///< this rank's shard spill/reload volumes
   RebalanceStats balance;              ///< owned-cell migration volumes (rebalanceCells)
+  RecoveryStats recovery;              ///< failure injection / recovery outcome
   std::uint64_t refinePeakBytes = 0;   ///< peak refine-serving bytes (FrameworkStats)
   std::uint64_t globalGeometries = 0;  ///< geometries indexed across ranks (incl. replicas)
   std::uint64_t cellsOwned = 0;

@@ -55,34 +55,40 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
   stats.phases = fw.phases;
   stats.grid = fw.grid;
   stats.balance = fw.balance;
+  stats.recovery = fw.recovery;
+  if (fw.recovery.died) return stats;  // dead ranks join no further collective
 
-  const int p = comm.size();
+  // The collective write (and the totals reduction) runs on the
+  // communicator the pipeline finished on — after a recovery that is the
+  // survivors, whose owned-cell map fw.cellOwner names world ranks.
+  mpi::Comm active = fw.activeComm ? *fw.activeComm : comm;
+  const int p = active.size();
   const int cellCount = fw.grid.cellCount();
   constexpr std::uint64_t kRecordBytes = sizeof(CellCoverage);
   static_assert(sizeof(CellCoverage) == 16, "coverage record must be two doubles");
 
   // Rank 0 creates the shared row-major output file; everyone then opens
   // it collectively.
-  if (comm.rank() == 0) {
+  if (active.rank() == 0) {
     volume.createOrReplace(cfg.outputPath,
                            std::make_shared<pfs::MemoryBackingStore>(
                                static_cast<std::uint64_t>(cellCount) * kRecordBytes));
   }
-  comm.barrier();
+  active.barrier();
 
-  const double writeStart = comm.clock().now();
-  io::File out = io::File::open(comm, volume, cfg.outputPath, cfg.framework.ioHints);
+  const double writeStart = active.clock().now();
+  io::File out = io::File::open(active, volume, cfg.outputPath, cfg.framework.ioHints);
 
   // My owned cells, ascending: the round-robin stride {c : c % P == rank}
-  // by default, or the rebalanced cell→rank map when the framework ran a
-  // migration. The task only has entries for non-empty cells, so fill the
-  // gaps with zero records.
+  // by default, or the rebalanced/recovered cell→rank map (world ranks)
+  // when the framework reassigned ownership. The task only has entries
+  // for non-empty cells, so fill the gaps with zero records.
   std::vector<int> myCells;
   if (fw.cellOwner.empty()) {
-    for (int c = comm.rank(); c < cellCount; c += p) myCells.push_back(c);
+    for (int c = active.rank(); c < cellCount; c += p) myCells.push_back(c);
   } else {
     for (int c = 0; c < cellCount; ++c) {
-      if (fw.cellOwner[static_cast<std::size_t>(c)] == comm.rank()) myCells.push_back(c);
+      if (fw.cellOwner[static_cast<std::size_t>(c)] == active.worldRank()) myCells.push_back(c);
     }
   }
   std::vector<CellCoverage> mine;
@@ -97,7 +103,7 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
     // Figure 4's view: record `rank` of every group of P records (the
     // round-robin cell ownership), written collectively in one call.
     const auto filetype = record.resized(0, static_cast<std::uint64_t>(p) * kRecordBytes);
-    out.setView(static_cast<std::uint64_t>(comm.rank()) * kRecordBytes, mpi::Datatype::byte(),
+    out.setView(static_cast<std::uint64_t>(active.rank()) * kRecordBytes, mpi::Datatype::byte(),
                 filetype);
     out.writeAtAll(0, mine.data(), static_cast<int>(mine.size()), record);
   } else if (!myCells.empty()) {
@@ -115,7 +121,7 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
     out.setView(0, mpi::Datatype::byte(), record);
     out.writeAtAll(0, nullptr, 0, record);
   }
-  stats.phases.comm += comm.clock().now() - writeStart;
+  stats.phases.comm += active.clock().now() - writeStart;
   stats.cellsWritten = mine.size();
 
   double localR = 0, localS = 0;
@@ -123,8 +129,8 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
     localR += cov.measureR;
     localS += cov.measureS;
   }
-  stats.totalR = comm.allreduceSum(localR);
-  stats.totalS = comm.allreduceSum(localS);
+  stats.totalR = active.allreduceSum(localR);
+  stats.totalS = active.allreduceSum(localS);
   return stats;
 }
 

@@ -40,7 +40,8 @@ struct OverlayConfig {
 struct OverlayStats {
   PhaseBreakdown phases;  ///< this rank's breakdown (write time lands in `comm`)
   GridSpec grid;
-  RebalanceStats balance;  ///< owned-cell migration volumes (rebalanceCells)
+  RebalanceStats balance;   ///< owned-cell migration volumes (rebalanceCells)
+  RecoveryStats recovery;   ///< failure injection / recovery outcome
   double totalR = 0;  ///< global sum of layer-R measures over all cells
   double totalS = 0;
   std::uint64_t cellsWritten = 0;  ///< this rank's output records

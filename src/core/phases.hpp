@@ -28,6 +28,8 @@ struct PhaseBreakdown {
   double compute = 0;    ///< refine work: join / index build (measured CPU)
   double spill = 0;      ///< shard spill/reload scratch I/O (modelled)
   double migrate = 0;    ///< owned-cell shard migration (rebalancing)
+  double checkpoint = 0;  ///< durable chunk-log + epoch-checkpoint writes (modelled)
+  double recovery = 0;    ///< failure recovery: restore + replay (modelled + CPU)
   std::uint64_t rounds = 0;  ///< exchange rounds executed (1 per layer one-shot)
   /// Shard bytes reloaded by the cell-major refine merge (the refine
   /// phase's share of the scratch traffic; writes land in
@@ -35,17 +37,21 @@ struct PhaseBreakdown {
   std::uint64_t refineSpillBytes = 0;
   std::uint64_t migrateBytes = 0;   ///< wire bytes this rank sent moving owned cells
   std::uint64_t migrateRounds = 0;  ///< migration blobs this rank sent
+  std::uint64_t checkpointBytes = 0;   ///< durable bytes this rank wrote (log + epochs)
+  std::uint64_t checkpointEpochs = 0;  ///< epochs this rank sealed
+  std::uint64_t recoveryBytes = 0;     ///< durable bytes this rank read back recovering
+  std::uint64_t recoveryRounds = 0;    ///< data rounds replayed from the chunk log
 
   [[nodiscard]] double total() const {
-    return read + parse + partition + comm + compute + spill + migrate;
+    return read + parse + partition + comm + compute + spill + migrate + checkpoint + recovery;
   }
 
   /// Field-wise max across all ranks (collective).
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
     PhaseBreakdown out;
-    double mine[7] = {read, parse, partition, comm, compute, spill, migrate};
-    double reduced[7] = {0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 7, mpi::Datatype::float64(), mpi::Op::max());
+    double mine[9] = {read, parse, partition, comm, compute, spill, migrate, checkpoint, recovery};
+    double reduced[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 9, mpi::Datatype::float64(), mpi::Op::max());
     out.read = reduced[0];
     out.parse = reduced[1];
     out.partition = reduced[2];
@@ -53,13 +59,20 @@ struct PhaseBreakdown {
     out.compute = reduced[4];
     out.spill = reduced[5];
     out.migrate = reduced[6];
-    std::uint64_t counts[4] = {rounds, refineSpillBytes, migrateBytes, migrateRounds};
-    std::uint64_t countsOut[4] = {0, 0, 0, 0};
-    comm_.allreduce(counts, countsOut, 4, mpi::Datatype::uint64(), mpi::Op::max());
+    out.checkpoint = reduced[7];
+    out.recovery = reduced[8];
+    std::uint64_t counts[8] = {rounds,          refineSpillBytes, migrateBytes,  migrateRounds,
+                               checkpointBytes, checkpointEpochs, recoveryBytes, recoveryRounds};
+    std::uint64_t countsOut[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(counts, countsOut, 8, mpi::Datatype::uint64(), mpi::Op::max());
     out.rounds = countsOut[0];
     out.refineSpillBytes = countsOut[1];
     out.migrateBytes = countsOut[2];
     out.migrateRounds = countsOut[3];
+    out.checkpointBytes = countsOut[4];
+    out.checkpointEpochs = countsOut[5];
+    out.recoveryBytes = countsOut[6];
+    out.recoveryRounds = countsOut[7];
     return out;
   }
 };

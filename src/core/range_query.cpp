@@ -109,16 +109,24 @@ std::vector<std::uint64_t> batchRangeQuery(mpi::Comm& comm, pfs::Volume& volume,
 
   const FrameworkStats fw = runFilterRefine(comm, volume, data, &queryHandle, cfg.framework, task);
 
-  // Reduce per-query counts across ranks.
   std::vector<std::uint64_t> global(queries.size(), 0);
-  comm.allreduce(counts.data(), global.data(), static_cast<int>(counts.size()), mpi::Datatype::uint64(),
-                 mpi::Op::sum());
-
   if (stats != nullptr) {
     stats->phases = fw.phases;
     stats->balance = fw.balance;
+    stats->recovery = fw.recovery;
     stats->cellsOwned = fw.cellsOwned;
     stats->grid = fw.grid;
+  }
+  // Dead ranks join no further collective; their (empty) counts are
+  // covered by the survivors' reduction.
+  if (fw.recovery.died) return global;
+  mpi::Comm active = fw.activeComm ? *fw.activeComm : comm;
+
+  // Reduce per-query counts across the live ranks.
+  active.allreduce(counts.data(), global.data(), static_cast<int>(counts.size()),
+                   mpi::Datatype::uint64(), mpi::Op::sum());
+
+  if (stats != nullptr) {
     std::uint64_t total = 0;
     for (auto c : global) total += c;
     stats->totalMatches = total;

@@ -24,6 +24,7 @@ struct RangeQueryConfig {
 struct RangeQueryStats {
   PhaseBreakdown phases;
   RebalanceStats balance;          ///< owned-cell migration volumes (rebalanceCells)
+  RecoveryStats recovery;          ///< failure injection / recovery outcome
   std::uint64_t totalMatches = 0;  ///< sum over all queries, all ranks
   std::uint64_t cellsOwned = 0;
   GridSpec grid;

@@ -118,10 +118,13 @@ JoinStats spatialJoin(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle&
   stats.phases = fw.phases;
   stats.grid = fw.grid;
   stats.balance = fw.balance;
+  stats.recovery = fw.recovery;
+  if (fw.recovery.died) return stats;  // dead ranks join no further collective
+  mpi::Comm active = fw.activeComm ? *fw.activeComm : comm;
   stats.cellsOwned = fw.cellsOwned;
   stats.localPairs = task.pairs();
-  stats.globalPairs = comm.allreduceSumU64(task.pairs());
-  stats.candidatePairs = comm.allreduceSumU64(task.candidates());
+  stats.globalPairs = active.allreduceSumU64(task.pairs());
+  stats.candidatePairs = active.allreduceSumU64(task.candidates());
   return stats;
 }
 

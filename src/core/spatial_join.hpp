@@ -44,6 +44,7 @@ struct JoinPair {
 struct JoinStats {
   PhaseBreakdown phases;             ///< this rank's breakdown
   RebalanceStats balance;            ///< owned-cell migration volumes (rebalanceCells)
+  RecoveryStats recovery;            ///< failure injection / recovery outcome
   std::uint64_t localPairs = 0;      ///< pairs this rank reported
   std::uint64_t globalPairs = 0;     ///< allreduced total
   std::uint64_t candidatePairs = 0;  ///< global filter-phase candidates

@@ -53,6 +53,34 @@ inline constexpr std::size_t kShardHeaderBytes = 56;
 /// Append the shard encoding of records [lo, hi) of `b` to `out`.
 void encodeShard(const GeometryBatch& b, std::size_t lo, std::size_t hi, std::string& out);
 
+/// Greedy split of `b` into contiguous record ranges whose encoded size
+/// stays at most `maxShardBytes` (header included; every range holds at
+/// least one record, so a single oversized record still ships;
+/// maxShardBytes 0 = one range for the whole batch). The one splitting
+/// rule shared by every bounded-shard writer — the index persister, the
+/// migration transport, and the checkpoint deltas — so their shard
+/// sizes cannot silently diverge. Calls emit(lo, hi, encodedBytes) per
+/// range, in order; returns the range count.
+template <typename Emit>
+std::size_t forEachShardRange(const GeometryBatch& b, std::uint64_t maxShardBytes, Emit&& emit) {
+  std::size_t ranges = 0;
+  std::size_t lo = 0;
+  while (lo < b.size()) {
+    std::size_t hi = lo;
+    std::uint64_t bytes = kShardHeaderBytes;
+    while (hi < b.size()) {
+      const std::uint64_t rec = shardRecordBytes(b, hi);
+      if (hi > lo && maxShardBytes != 0 && bytes + rec > maxShardBytes) break;
+      bytes += rec;
+      ++hi;
+    }
+    emit(lo, hi, bytes);
+    ++ranges;
+    lo = hi;
+  }
+  return ranges;
+}
+
 /// Whole-batch convenience form.
 inline void encodeShard(const GeometryBatch& b, std::string& out) { encodeShard(b, 0, b.size(), out); }
 

@@ -1,0 +1,353 @@
+#include "recovery/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "core/exchange.hpp"
+#include "geom/batch_shard.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace mvio::recovery {
+
+namespace {
+
+using util::fnv1a;
+using util::putScalar;
+using util::readScalar;
+
+constexpr std::uint32_t kSealMagic = 0x4743564Du;      // "MVCG" little-endian
+constexpr std::uint32_t kManifestMagic = 0x5243564Du;  // "MVCR"
+constexpr std::uint32_t kIngestMagic = 0x4943564Du;    // "MVCI"
+constexpr std::uint32_t kVersion = 1;
+
+std::string chunkName(int layer, std::uint64_t chunk) {
+  return std::string("ing.") + layerTag(layer) + "." + std::to_string(chunk);
+}
+
+std::string deltaName(std::uint64_t epoch, int layer, std::uint64_t shard) {
+  return "ep" + std::to_string(epoch) + "." + layerTag(layer) + "." + std::to_string(shard);
+}
+
+std::string manifestName(std::uint64_t epoch) { return "ep" + std::to_string(epoch) + ".manifest"; }
+
+std::string sealName(std::uint64_t epoch) { return "ep" + std::to_string(epoch) + ".seal"; }
+
+/// Fetch a blob that may legitimately be absent. Returns false when it is.
+bool fetchIfPresent(pfs::Volume& volume, const std::string& prefix, const std::string& name,
+                    std::string& out, std::uint64_t* bytesRead) {
+  pfs::SpillStore store(volume, prefix);
+  if (!store.contains(name)) return false;
+  out = store.fetch(name);
+  if (bytesRead != nullptr) *bytesRead += out.size();
+  return true;
+}
+
+/// Split `b` into bounded shards (geom::forEachShardRange — the rule
+/// shared with DistributedIndex::saveShards and migrateShards),
+/// appending {bytes, checksum} refs and handing each blob to `emit`.
+template <typename Emit>
+void encodeDeltaShards(const geom::GeometryBatch& b, std::uint64_t maxShardBytes,
+                       std::vector<RankEpochManifest::Shard>& refs, Emit&& emit) {
+  std::uint64_t shard = 0;
+  geom::forEachShardRange(b, maxShardBytes,
+                          [&](std::size_t lo, std::size_t hi, std::uint64_t bytes) {
+                            std::string blob;
+                            blob.reserve(static_cast<std::size_t>(bytes));
+                            geom::encodeShard(b, lo, hi, blob);
+                            refs.push_back({blob.size(), fnv1a(blob.data(), blob.size())});
+                            emit(shard++, std::move(blob));
+                          });
+}
+
+}  // namespace
+
+std::string rankPrefix(const std::string& dir, int worldRank) {
+  return dir + "/rank" + std::to_string(worldRank);
+}
+
+std::string globalPrefix(const std::string& dir) { return dir + "/global"; }
+
+CheckpointCoordinator::CheckpointCoordinator(mpi::Comm& comm, pfs::Volume& volume,
+                                             CheckpointConfig cfg, core::PhaseBreakdown* phases)
+    : comm_(&comm),
+      volume_(&volume),
+      cfg_(std::move(cfg)),
+      phases_(phases),
+      rankStore_(volume, rankPrefix(cfg_.dir, comm.worldRank())),
+      pricer_(pfs::SpillPricer::onVolume(volume, comm.nodeId())) {}
+
+void CheckpointCoordinator::charge(std::uint64_t bytes, bool isWrite) {
+  const double t = pricer_.seconds(bytes, isWrite, comm_->clock().now());
+  comm_->clock().advanceBy(t);
+  phases_->checkpoint += t;
+  if (isWrite) phases_->checkpointBytes += bytes;
+}
+
+void CheckpointCoordinator::put(const std::string& name, std::string bytes) {
+  charge(bytes.size(), /*isWrite=*/true);
+  rankStore_.put(name, std::move(bytes));
+}
+
+void CheckpointCoordinator::logChunk(int layer, const geom::GeometryBatch& chunk) {
+  if (!enabled()) return;
+  std::string blob;
+  blob.reserve(geom::shardEncodedSize(chunk, 0, chunk.size()));
+  geom::encodeShard(chunk, blob);
+  put(chunkName(layer, chunks_[layer]), std::move(blob));
+  chunks_[layer] += 1;
+}
+
+void CheckpointCoordinator::sealIngest() {
+  if (!enabled()) return;
+  std::string m;
+  putScalar<std::uint32_t>(m, kIngestMagic);
+  putScalar<std::uint32_t>(m, kVersion);
+  putScalar<std::uint64_t>(m, chunks_[0]);
+  putScalar<std::uint64_t>(m, chunks_[1]);
+  putScalar<std::uint64_t>(m, fnv1a(m.data(), m.size()));
+  put("ing.manifest", std::move(m));
+}
+
+void CheckpointCoordinator::noteRound(int layer, const geom::GeometryBatch& delivered) {
+  if (!enabled()) return;
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    const int cell = delivered.cell(i);
+    if (cell == geom::GeometryBatch::kNoCell) continue;
+    if (cellLoads_.size() <= static_cast<std::size_t>(cell)) {
+      cellLoads_.resize(static_cast<std::size_t>(cell) + 1, 0);
+    }
+    cellLoads_[static_cast<std::size_t>(cell)] += 1;
+  }
+  delta_[layer].splice(delivered);
+}
+
+bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
+                                            const std::vector<int>& cellOwner) {
+  if (!enabled() || globalRound == 0 || globalRound % cfg_.everyRounds != 0) return false;
+  epoch_ += 1;
+
+  // 1. Delta shards + per-rank manifest (rank-local writes).
+  RankEpochManifest manifest;
+  manifest.epoch = epoch_;
+  manifest.globalRound = globalRound;
+  for (int layer = 0; layer < 2; ++layer) {
+    manifest.records[layer] = delta_[layer].size();
+    encodeDeltaShards(delta_[layer], cfg_.maxShardBytes, manifest.shards[layer],
+                      [&](std::uint64_t k, std::string blob) {
+                        put(deltaName(epoch_, layer, k), std::move(blob));
+                      });
+    delta_[layer] = geom::GeometryBatch();
+  }
+  std::string m;
+  putScalar<std::uint32_t>(m, kManifestMagic);
+  putScalar<std::uint32_t>(m, kVersion);
+  putScalar<std::uint64_t>(m, manifest.epoch);
+  putScalar<std::uint64_t>(m, manifest.globalRound);
+  for (int layer = 0; layer < 2; ++layer) {
+    putScalar<std::uint64_t>(m, manifest.records[layer]);
+    putScalar<std::uint64_t>(m, manifest.shards[layer].size());
+    for (const auto& s : manifest.shards[layer]) {
+      putScalar<std::uint64_t>(m, s.bytes);
+      putScalar<std::uint64_t>(m, s.checksum);
+    }
+  }
+  const std::uint64_t manifestChecksum = fnv1a(m.data(), m.size());
+  putScalar<std::uint64_t>(m, manifestChecksum);
+  put(manifestName(epoch_), std::move(m));
+
+  // 2. Collective seal: global cumulative loads, every rank's manifest
+  // checksum, and the cell→rank map, committed by rank 0's seal write.
+  const std::size_t cells = cellOwner.size();
+  std::vector<std::uint64_t> localLoads = cellLoads_;
+  localLoads.resize(cells, 0);
+  std::vector<std::uint64_t> globalLoads(cells, 0);
+  if (!localLoads.empty()) {
+    comm_->allreduce(localLoads.data(), globalLoads.data(), static_cast<int>(cells),
+                     mpi::Datatype::uint64(), mpi::Op::sum());
+  }
+  std::vector<std::uint64_t> checksums(static_cast<std::size_t>(comm_->size()), 0);
+  comm_->gather(&manifestChecksum, 1, mpi::Datatype::uint64(), checksums.data(), 0);
+
+  if (comm_->rank() == 0) {
+    std::string seal;
+    putScalar<std::uint32_t>(seal, kSealMagic);
+    putScalar<std::uint32_t>(seal, kVersion);
+    putScalar<std::uint64_t>(seal, epoch_);
+    putScalar<std::uint64_t>(seal, globalRound);
+    putScalar<std::uint32_t>(seal, static_cast<std::uint32_t>(comm_->size()));
+    putScalar<std::uint32_t>(seal, static_cast<std::uint32_t>(cells));
+    for (const int owner : cellOwner) putScalar<std::int32_t>(seal, owner);
+    for (const std::uint64_t load : globalLoads) putScalar<std::uint64_t>(seal, load);
+    for (const std::uint64_t c : checksums) putScalar<std::uint64_t>(seal, c);
+    putScalar<std::uint64_t>(seal, fnv1a(seal.data(), seal.size()));
+    if (cfg_.tearEpochSeal == epoch_) {
+      // Torn-write injection: the writer "died" mid-seal. Recovery must
+      // treat this epoch as never committed.
+      seal.resize(seal.size() / 2);
+    }
+    const double t = pricer_.seconds(seal.size(), /*isWrite=*/true, comm_->clock().now());
+    comm_->clock().advanceBy(t);
+    phases_->checkpoint += t;
+    phases_->checkpointBytes += seal.size();
+    pfs::SpillStore globalStore(*volume_, globalPrefix(cfg_.dir));
+    globalStore.put(sealName(epoch_), std::move(seal));
+  }
+  // The seal write is the commit point; later rounds (and the kill point
+  // itself) begin only after every rank leaves this barrier, so a sealed
+  // epoch is either fully visible to recovery or not attempted.
+  comm_->barrier();
+  phases_->checkpointEpochs += 1;
+  return true;
+}
+
+std::optional<EpochSeal> readEpochSeal(pfs::Volume& volume, const std::string& dir,
+                                       std::uint64_t epoch, std::uint64_t* bytesRead) {
+  std::string blob;
+  if (!fetchIfPresent(volume, globalPrefix(dir), sealName(epoch), blob, bytesRead)) {
+    return std::nullopt;
+  }
+  constexpr std::size_t kFixed = 4 + 4 + 8 + 8 + 4 + 4;
+  if (blob.size() < kFixed + 8) return std::nullopt;
+  if (readScalar<std::uint32_t>(blob.data()) != kSealMagic) return std::nullopt;
+  if (readScalar<std::uint32_t>(blob.data() + 4) != kVersion) return std::nullopt;
+  EpochSeal seal;
+  seal.epoch = readScalar<std::uint64_t>(blob.data() + 8);
+  seal.roundsCompleted = readScalar<std::uint64_t>(blob.data() + 16);
+  seal.worldSize = static_cast<int>(readScalar<std::uint32_t>(blob.data() + 24));
+  const auto cells = static_cast<std::size_t>(readScalar<std::uint32_t>(blob.data() + 28));
+  const std::size_t expect =
+      kFixed + cells * (4 + 8) + static_cast<std::size_t>(seal.worldSize) * 8 + 8;
+  if (blob.size() != expect || seal.epoch != epoch) return std::nullopt;
+  if (fnv1a(blob.data(), expect - 8) != readScalar<std::uint64_t>(blob.data() + expect - 8)) {
+    return std::nullopt;
+  }
+  const char* p = blob.data() + kFixed;
+  seal.cellOwner.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c, p += 4) {
+    seal.cellOwner[c] = readScalar<std::int32_t>(p);
+  }
+  seal.cellLoads.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c, p += 8) {
+    seal.cellLoads[c] = readScalar<std::uint64_t>(p);
+  }
+  seal.rankManifestChecksums.resize(static_cast<std::size_t>(seal.worldSize));
+  for (auto& c : seal.rankManifestChecksums) {
+    c = readScalar<std::uint64_t>(p);
+    p += 8;
+  }
+  return seal;
+}
+
+std::optional<RankEpochManifest> readRankManifest(pfs::Volume& volume, const std::string& dir,
+                                                  int worldRank, std::uint64_t epoch,
+                                                  std::uint64_t* bytesRead) {
+  std::string blob;
+  if (!fetchIfPresent(volume, rankPrefix(dir, worldRank), manifestName(epoch), blob, bytesRead)) {
+    return std::nullopt;
+  }
+  if (blob.size() < 4 + 4 + 8 + 8 + 8) return std::nullopt;
+  if (fnv1a(blob.data(), blob.size() - 8) !=
+      readScalar<std::uint64_t>(blob.data() + blob.size() - 8)) {
+    return std::nullopt;
+  }
+  if (readScalar<std::uint32_t>(blob.data()) != kManifestMagic) return std::nullopt;
+  if (readScalar<std::uint32_t>(blob.data() + 4) != kVersion) return std::nullopt;
+  RankEpochManifest manifest;
+  manifest.epoch = readScalar<std::uint64_t>(blob.data() + 8);
+  manifest.globalRound = readScalar<std::uint64_t>(blob.data() + 16);
+  const char* p = blob.data() + 24;
+  const char* end = blob.data() + blob.size() - 8;
+  for (int layer = 0; layer < 2; ++layer) {
+    if (p + 16 > end) return std::nullopt;
+    manifest.records[layer] = readScalar<std::uint64_t>(p);
+    const auto shards = readScalar<std::uint64_t>(p + 8);
+    p += 16;
+    if (static_cast<std::uint64_t>(end - p) < shards * 16) return std::nullopt;
+    manifest.shards[layer].resize(static_cast<std::size_t>(shards));
+    for (auto& s : manifest.shards[layer]) {
+      s.bytes = readScalar<std::uint64_t>(p);
+      s.checksum = readScalar<std::uint64_t>(p + 8);
+      p += 16;
+    }
+  }
+  if (p != end || manifest.epoch != epoch) return std::nullopt;
+  return manifest;
+}
+
+std::optional<EpochSeal> findLastSealedEpoch(pfs::Volume& volume, const std::string& dir,
+                                             int worldSize, std::uint64_t maxEpoch,
+                                             std::uint64_t* bytesRead) {
+  for (std::uint64_t epoch = maxEpoch; epoch >= 1; --epoch) {
+    std::optional<EpochSeal> seal = readEpochSeal(volume, dir, epoch, bytesRead);
+    if (!seal || seal->worldSize != worldSize) continue;
+    bool complete = true;
+    for (int r = 0; r < worldSize && complete; ++r) {
+      // The manifest must exist, re-checksum to the value the seal
+      // recorded, and name this epoch — otherwise the epoch is partial.
+      std::string blob;
+      if (!fetchIfPresent(volume, rankPrefix(dir, r), manifestName(epoch), blob, bytesRead) ||
+          blob.size() < 8 ||
+          fnv1a(blob.data(), blob.size() - 8) !=
+              seal->rankManifestChecksums[static_cast<std::size_t>(r)]) {
+        complete = false;
+      }
+    }
+    if (complete) return seal;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t loadEpochDelta(pfs::Volume& volume, const std::string& dir, int worldRank,
+                             const RankEpochManifest& manifest, int layer,
+                             const std::vector<int>& sealOwner, geom::GeometryBatch& out,
+                             std::uint64_t* bytesRead) {
+  const std::size_t before = out.size();
+  pfs::SpillStore store(volume, rankPrefix(dir, worldRank));
+  for (std::size_t k = 0; k < manifest.shards[layer].size(); ++k) {
+    const std::string name = deltaName(manifest.epoch, layer, k);
+    MVIO_CHECK(store.contains(name), "recovery: missing epoch delta shard " + name);
+    const std::string blob = store.fetch(name);
+    if (bytesRead != nullptr) *bytesRead += blob.size();
+    const RankEpochManifest::Shard& ref = manifest.shards[layer][k];
+    MVIO_CHECK(blob.size() == ref.bytes && fnv1a(blob.data(), blob.size()) == ref.checksum,
+               "recovery: epoch delta shard " + name + " does not match its manifest");
+    geom::GeometryBatch piece;
+    geom::decodeShard(blob, piece);
+    core::validateCellOwnership(piece, sealOwner, worldRank, "recovery epoch delta");
+    out.splice(std::move(piece));
+  }
+  const std::uint64_t appended = out.size() - before;
+  MVIO_CHECK(appended == manifest.records[layer],
+             "recovery: epoch delta record count does not match the manifest");
+  return appended;
+}
+
+IngestLog readIngestLog(pfs::Volume& volume, const std::string& dir, int worldRank,
+                        std::uint64_t* bytesRead) {
+  std::string blob;
+  MVIO_CHECK(fetchIfPresent(volume, rankPrefix(dir, worldRank), "ing.manifest", blob, bytesRead),
+             "recovery: rank " + std::to_string(worldRank) + " has no ingest manifest");
+  constexpr std::size_t kBytes = 4 + 4 + 8 + 8 + 8;
+  MVIO_CHECK(blob.size() == kBytes &&
+                 fnv1a(blob.data(), kBytes - 8) == readScalar<std::uint64_t>(blob.data() + kBytes - 8) &&
+                 readScalar<std::uint32_t>(blob.data()) == kIngestMagic &&
+                 readScalar<std::uint32_t>(blob.data() + 4) == kVersion,
+             "recovery: corrupt ingest manifest for rank " + std::to_string(worldRank));
+  IngestLog log;
+  log.chunks[0] = readScalar<std::uint64_t>(blob.data() + 8);
+  log.chunks[1] = readScalar<std::uint64_t>(blob.data() + 16);
+  return log;
+}
+
+std::uint64_t loadLoggedChunk(pfs::Volume& volume, const std::string& dir, int worldRank,
+                              int layer, std::uint64_t chunk, geom::GeometryBatch& out,
+                              std::uint64_t* bytesRead) {
+  std::string blob;
+  MVIO_CHECK(fetchIfPresent(volume, rankPrefix(dir, worldRank), chunkName(layer, chunk), blob,
+                            bytesRead),
+             "recovery: missing logged chunk " + chunkName(layer, chunk) + " of rank " +
+                 std::to_string(worldRank));
+  return geom::decodeShard(blob, out);
+}
+
+}  // namespace mvio::recovery

@@ -1,0 +1,175 @@
+#include "recovery/recovery.hpp"
+
+#include <algorithm>
+
+#include "core/exchange.hpp"
+#include "core/grid.hpp"
+#include "util/error.hpp"
+
+namespace mvio::recovery {
+
+namespace {
+
+/// Re-home orphaned cells onto the survivors: the shared seeded LPT
+/// pass (core::lptAssignCellsSeeded — identical ordering and
+/// tie-breaking to the rebalancer's map, so every survivor computes the
+/// identical assignment without an agreement round), with each
+/// survivor's bin seeded by the sealed loads of the cells it keeps.
+void rehomeOrphans(std::vector<int>& owner, const std::vector<char>& orphan,
+                   const std::vector<std::uint64_t>& loads,
+                   const std::vector<int>& survivorWorld) {
+  std::vector<std::uint64_t> seeded(survivorWorld.size(), 0);
+  std::vector<std::size_t> worldToSurvivor;
+  for (std::size_t s = 0; s < survivorWorld.size(); ++s) {
+    const auto world = static_cast<std::size_t>(survivorWorld[s]);
+    if (worldToSurvivor.size() <= world) worldToSurvivor.resize(world + 1, SIZE_MAX);
+    worldToSurvivor[world] = s;
+  }
+  for (std::size_t c = 0; c < owner.size(); ++c) {
+    if (!orphan[c]) seeded[worldToSurvivor[static_cast<std::size_t>(owner[c])]] += loads[c];
+  }
+
+  std::vector<int> bins(owner.size(), 0);
+  core::lptAssignCellsSeeded(loads, orphan, std::move(seeded), bins);
+  for (std::size_t c = 0; c < owner.size(); ++c) {
+    if (orphan[c]) owner[c] = survivorWorld[static_cast<std::size_t>(bins[c])];
+  }
+}
+
+}  // namespace
+
+RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
+                                   const RecoveryContext& ctx, core::CellStore& ownedR,
+                                   core::CellStore* ownedS, core::PhaseBreakdown* phases) {
+  MVIO_CHECK(ctx.grid != nullptr && ctx.worldSize >= 2, "recovery: malformed context");
+  const int myWorld = survivors.worldRank();
+  const std::size_t cells = static_cast<std::size_t>(ctx.grid->cellCount());
+  const double t0 = survivors.clock().now();
+  // Decode + re-projection CPU is charged alongside the modelled reads.
+  mpi::CpuCharge cpu(survivors);
+  const pfs::SpillPricer pricer = pfs::SpillPricer::onVolume(volume, survivors.nodeId());
+  std::uint64_t bytesRead = 0;
+  std::uint64_t chargedBytes = 0;
+  // Charge the durable reads accumulated since the last call (modelled
+  // PFS traffic; contention with the other recovering survivors).
+  auto chargeReads = [&] {
+    if (bytesRead == chargedBytes) return;
+    const double t = pricer.seconds(bytesRead - chargedBytes, /*isWrite=*/false,
+                                    survivors.clock().now());
+    survivors.clock().advanceBy(t);
+    chargedBytes = bytesRead;
+  };
+  auto isDead = [&](int world) {
+    return std::binary_search(ctx.deadRanks.begin(), ctx.deadRanks.end(), world);
+  };
+
+  RecoveryOutcome out;
+  out.stats.recovered = true;
+  out.stats.deadRanks = ctx.deadRanks.size();
+
+  // 1. Recovery point: the newest fully sealed epoch at or before the
+  // failure. Every survivor reads and validates the same blobs.
+  const std::uint64_t maxEpoch = ctx.failRound / ctx.checkpoint.everyRounds;
+  const std::optional<EpochSeal> seal =
+      findLastSealedEpoch(volume, ctx.checkpoint.dir, ctx.worldSize, maxEpoch, &bytesRead);
+  const std::uint64_t sealedRound = seal ? seal->roundsCompleted : 0;
+  out.stats.epochUsed = seal ? seal->epoch : 0;
+  std::vector<std::uint64_t> sealLoads = seal ? seal->cellLoads : std::vector<std::uint64_t>();
+  sealLoads.resize(cells, 0);
+
+  // 2. Re-home: survivors keep their round-robin cells, orphans are LPT
+  // re-assigned over the survivors seeded with the sealed loads.
+  out.cellOwner.resize(cells);
+  std::vector<char> orphan(cells, 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    out.cellOwner[c] = core::roundRobinOwner(static_cast<int>(c), ctx.worldSize);
+    orphan[c] = isDead(out.cellOwner[c]) ? 1 : 0;
+  }
+  // The pre-failure map — the stale-manifest reference for the delta
+  // shards — is exactly what cellOwner holds before re-homing mutates it.
+  const std::vector<int> sealOwner = out.cellOwner;
+  rehomeOrphans(out.cellOwner, orphan, sealLoads, ctx.survivorWorld);
+
+  if (seal) {
+    MVIO_CHECK(seal->cellOwner == sealOwner,
+               "recovery: sealed cell map does not match the exchange-round ownership");
+  }
+
+  // 3. Restore the dead ranks' sealed arrivals, keeping the orphaned
+  // cells this survivor now owns.
+  core::CellStore* stores[2] = {&ownedR, ownedS};
+  for (const int dead : ctx.deadRanks) {
+    for (std::uint64_t epoch = 1; seal && epoch <= seal->epoch; ++epoch) {
+      const std::optional<RankEpochManifest> manifest =
+          readRankManifest(volume, ctx.checkpoint.dir, dead, epoch, &bytesRead);
+      MVIO_CHECK(manifest.has_value(), "recovery: missing or corrupt epoch " +
+                                           std::to_string(epoch) + " manifest for dead rank " +
+                                           std::to_string(dead));
+      for (int layer = 0; layer < 2; ++layer) {
+        if (stores[layer] == nullptr || manifest->records[layer] == 0) continue;
+        geom::GeometryBatch delta;
+        loadEpochDelta(volume, ctx.checkpoint.dir, dead, *manifest, layer, sealOwner, delta,
+                       &bytesRead);
+        geom::GeometryBatch kept;
+        for (std::size_t i = 0; i < delta.size(); ++i) {
+          const int cell = delta.cell(i);
+          if (out.cellOwner[static_cast<std::size_t>(cell)] == myWorld) {
+            kept.appendRecordFrom(delta, i, cell);
+          }
+        }
+        out.stats.restoredRecords += kept.size();
+        stores[layer]->add(std::move(kept));
+      }
+    }
+  }
+  chargeReads();
+
+  // 4. Replay rounds sealedRound+1..total from the chunk log. Rounds the
+  // survivors lived through (≤ failRound) re-deliver only orphaned
+  // cells; rounds the failure pre-empted re-deliver everything. Each
+  // record is kept by exactly the survivor owning its cell, so the
+  // replay needs no communication.
+  const std::uint64_t totalRounds = ctx.roundsPerLayer[0] + ctx.roundsPerLayer[1];
+  MVIO_CHECK(ctx.failRound <= totalRounds && sealedRound <= ctx.failRound,
+             "recovery: round bookkeeping out of range");
+  std::vector<IngestLog> logs(static_cast<std::size_t>(ctx.worldSize));
+  if (sealedRound < totalRounds) {
+    for (int q = 0; q < ctx.worldSize; ++q) {
+      logs[static_cast<std::size_t>(q)] =
+          readIngestLog(volume, ctx.checkpoint.dir, q, &bytesRead);
+    }
+  }
+  for (std::uint64_t t = sealedRound + 1; t <= totalRounds; ++t) {
+    const int layer = t <= ctx.roundsPerLayer[0] ? 0 : 1;
+    const std::uint64_t chunk = layer == 0 ? t - 1 : t - ctx.roundsPerLayer[0] - 1;
+    const bool orphansOnly = t <= ctx.failRound;
+    if (stores[layer] == nullptr) continue;
+    geom::GeometryBatch kept;
+    for (int q = 0; q < ctx.worldSize; ++q) {
+      if (chunk >= logs[static_cast<std::size_t>(q)].chunks[layer]) continue;
+      geom::GeometryBatch raw;
+      loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
+      const geom::GeometryBatch projected =
+          core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
+      for (std::size_t i = 0; i < projected.size(); ++i) {
+        const int cell = projected.cell(i);
+        if (cell == geom::GeometryBatch::kNoCell) continue;
+        if (out.cellOwner[static_cast<std::size_t>(cell)] != myWorld) continue;
+        if (orphansOnly && !orphan[static_cast<std::size_t>(cell)]) continue;
+        kept.appendRecordFrom(projected, i, cell);
+      }
+    }
+    out.stats.replayedRecords += kept.size();
+    stores[layer]->add(std::move(kept));
+    chargeReads();
+  }
+
+  chargeReads();  // reads accumulated outside the per-round charging
+  cpu.stop();
+  phases->recovery += survivors.clock().now() - t0;
+  phases->recoveryBytes += bytesRead;
+  phases->recoveryRounds += totalRounds - sealedRound;
+  return out;
+}
+
+}  // namespace mvio::recovery

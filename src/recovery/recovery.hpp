@@ -1,0 +1,81 @@
+#pragma once
+// Failure recovery: shard re-homing onto survivors (DESIGN.md §9).
+//
+// When the kill point fires, every rank of the original communicator
+// takes part in one last detection collective (an allgather of alive
+// flags — the simulation's stand-in for a failure detector), the
+// communicator is shrunk to the survivors, and the dead ranks leave with
+// their volatile state. The survivors then rebuild the lost state from
+// the durable blobs the CheckpointCoordinator wrote:
+//
+//  1. Agree on the recovery point: scan epoch seals newest-first and
+//     adopt the newest *fully sealed* epoch E (torn or partial epochs
+//     are skipped). All survivors read the same blobs, so no extra
+//     agreement round is needed. E may be 0 — recovery then replays the
+//     whole round history from the chunk log.
+//
+//  2. Re-home orphaned cells: cells owned by dead ranks are reassigned
+//     with a greedy LPT pass over the survivors only, seeded with each
+//     survivor's sealed per-cell loads so the orphans land on the
+//     least-loaded survivors (deterministic: same inputs, same heap
+//     tie-breaks as lptAssignCells). Surviving ranks keep their own
+//     cells — their arrivals are already in their cell stores and are
+//     never moved or replayed.
+//
+//  3. Restore: each survivor reloads the dead ranks' epoch-delta shards
+//     for epochs 1..E (checksums re-validated against the per-rank
+//     manifests, ownership validated against the sealed cell map — the
+//     stale-manifest guard) and keeps exactly the records of orphaned
+//     cells it now owns.
+//
+//  4. Replay: rounds E_rounds+1..total are re-derived from the chunk
+//     log — every original rank's logged chunk for those rounds is
+//     re-projected (deterministic) and filtered: rounds the survivors
+//     already lived through contribute only orphaned-cell records
+//     (survivor-owned deliveries already arrived), later rounds
+//     contribute every record the survivor now owns. No communication:
+//     each record is kept by exactly the one survivor owning its cell.
+//
+// The refine phase then runs unchanged over the survivor communicator
+// and the recovered stores — join, index, and overlay results are
+// bit-identical to the failure-free run (tests/test_recovery.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_store.hpp"
+#include "core/framework.hpp"
+#include "recovery/checkpoint.hpp"
+
+namespace mvio::recovery {
+
+/// Everything the survivors need to rebuild the dead ranks' state.
+struct RecoveryContext {
+  CheckpointConfig checkpoint;       ///< where the durable blobs live
+  int worldSize = 0;                 ///< original communicator size
+  std::vector<int> deadRanks;        ///< world ranks lost at the kill point (sorted)
+  std::vector<int> survivorWorld;    ///< survivor-local rank -> world rank
+  std::uint64_t failRound = 0;       ///< data rounds completed when the failure struck
+  std::uint64_t roundsPerLayer[2] = {0, 0};  ///< original data-round schedule (R, S)
+  const core::GridSpec* grid = nullptr;
+  const core::CellLocator* locator = nullptr;  ///< null = arithmetic cell lookup
+};
+
+struct RecoveryOutcome {
+  /// Post-recovery cell→rank map in world ranks: survivors keep their
+  /// round-robin cells, orphaned cells are LPT re-homed. Identical on
+  /// every survivor.
+  std::vector<int> cellOwner;
+  core::RecoveryStats stats;
+};
+
+/// Run steps 1–4 above on the survivor communicator, appending restored
+/// and replayed records into the (not yet finalized) owned cell stores.
+/// `ownedS` may be null for single-layer runs. Collective over
+/// `survivors`; charges modelled read I/O and replay CPU to
+/// `phases->recovery` / recoveryBytes / recoveryRounds.
+RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
+                                   const RecoveryContext& ctx, core::CellStore& ownedR,
+                                   core::CellStore* ownedS, core::PhaseBreakdown* phases);
+
+}  // namespace mvio::recovery

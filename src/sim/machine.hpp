@@ -29,6 +29,21 @@ struct LinkModel {
   }
 };
 
+/// Fail-stop failure-injection kill point. The framework consults it at
+/// exchange-round boundaries: once `afterRound` data rounds have
+/// completed, the ranks named by FrameworkConfig::failRanks drop out of
+/// the job — their volatile state (staged chunks, owned cell stores,
+/// scratch spill blobs) is discarded, exactly as if the node had died.
+/// Only durable checkpoint state on the pfs::Volume survives them.
+/// `afterRound` 0 disables the kill point.
+struct KillPoint {
+  std::uint64_t afterRound = 0;
+
+  [[nodiscard]] bool fires(std::uint64_t completedDataRounds) const {
+    return afterRound != 0 && completedDataRounds == afterRound;
+  }
+};
+
 struct MachineModel {
   int nodes = 1;
   int ranksPerNode = 16;
