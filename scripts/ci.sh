@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 CI: configure, build, and run the full ctest suite under both
-# presets — the default RelWithDebInfo build and the ASan+UBSan build
-# (CMakePresets.json; the sanitizer preset compiles with
-# -fsanitize=address,undefined -fno-sanitize-recover=all, so any memory
-# or UB defect fails the run).
+# Tier-1 CI: configure, build, and run the ctest suite under three
+# presets — the default RelWithDebInfo build, the ASan+UBSan build, and
+# the TSan build (CMakePresets.json). The sanitizer presets compile with
+# -fno-sanitize-recover=all, so any memory/UB/data-race defect fails the
+# run; the tsan preset's test filter is the `threads` label — the
+# worker-pool and hybrid-pipeline coverage that actually runs multiple
+# threads per rank.
 #
-# Usage: scripts/ci.sh [preset...]   (default: "default asan")
-# Useful subsets once built: ctest -L recovery / -L mpi / -L unit.
+# Usage: scripts/ci.sh [preset...]   (default: "default asan tsan")
+# Useful subsets once built: ctest -L recovery / -L mpi / -L threads.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}" )
-if [[ $# -eq 0 ]]; then presets=(default asan); fi
+if [[ $# -eq 0 ]]; then presets=(default asan tsan); fi
 
 for preset in "${presets[@]}"; do
   echo "==> preset: ${preset}"

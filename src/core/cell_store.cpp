@@ -178,7 +178,9 @@ void CellStore::evictShards(int currentCell, std::uint64_t incomingBytes) {
     }
   }
   while (!loaded_.empty() &&
-         loadedBytes_ + scratch_.memoryBytes() + resident_.memoryBytes() + incomingBytes > budget_) {
+         loadedBytes_ + scratch_.memoryBytes() + resident_.memoryBytes() + externalBytes_ +
+                 incomingBytes >
+             budget_) {
     auto lru = loaded_.begin();
     for (auto it = loaded_.begin(); it != loaded_.end(); ++it) {
       if (it->second.lastUse < lru->second.lastUse) lru = it;
@@ -246,6 +248,19 @@ geom::GeometryBatch CellStore::takeCellBatch() {
   MVIO_CHECK(streaming(), "CellStore: takeCellBatch is a streaming-regime call");
   geom::GeometryBatch out = std::move(scratch_);
   scratch_ = geom::GeometryBatch();
+  return out;
+}
+
+geom::GeometryBatch CellStore::takeCellAssembled(int cell) {
+  MVIO_CHECK(finalized_, "CellStore: takeCellAssembled before finalize");
+  MVIO_CHECK(streaming(), "CellStore: takeCellAssembled is a streaming-regime call");
+  // Eviction is otherwise lazy (it runs when a shard load needs room); the
+  // group loader's pressure must take effect even when this cell assembles
+  // entirely from already-loaded shards, so shed passed/over-budget shards
+  // up front.
+  evictShards(cell, 0);
+  geom::GeometryBatch out;
+  assembleCell(cell, out, /*extract=*/false);
   return out;
 }
 

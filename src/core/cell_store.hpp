@@ -90,6 +90,17 @@ class CellStore {
   /// Streaming regime: hand over the scratch batch assembled by the last
   /// cellSpan() (the per-cell adoption unit).
   [[nodiscard]] geom::GeometryBatch takeCellBatch();
+  /// Streaming regime: assemble `cell`'s records straight into an owned,
+  /// self-contained batch — cellSpan() + takeCellBatch() without the
+  /// scratch index build. The parallel-refine group loader uses it to
+  /// stage a bounded group of cells that pool workers then refine while
+  /// the store (which is not thread-safe) stays untouched (DESIGN.md §10).
+  [[nodiscard]] geom::GeometryBatch takeCellAssembled(int cell);
+  /// Bytes the caller holds resident outside the store (the parallel
+  /// group loader's staged cell batches). Counted like the scratch batch
+  /// in the merge-window eviction budget, so the window shrinks as the
+  /// group grows and window + group stays within the memory bound.
+  void setRefinePressure(std::uint64_t bytes) { externalBytes_ = bytes; }
   /// Remove `cell` from the store and return its records (migration).
   /// Resident: the records are tombstoned with kNoCell in the owned batch
   /// so a later takeResidentBatch() cannot leak them to the task.
@@ -155,6 +166,7 @@ class CellStore {
   std::vector<std::vector<ShardRef>> segments_;
   std::unordered_map<std::uint64_t, LoadedShard> loaded_;  ///< key: seg<<32|idx
   std::uint64_t loadedBytes_ = 0;
+  std::uint64_t externalBytes_ = 0;  ///< caller-held bytes (setRefinePressure)
   std::uint64_t useClock_ = 0;
   geom::GeometryBatch scratch_;
   std::vector<std::uint32_t> scratchIdx_;

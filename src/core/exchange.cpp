@@ -55,7 +55,7 @@ void deserializeCellGeometries(std::string_view bytes, std::vector<CellGeometry>
 geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
                                    const CellOwnerFn& owner, int windowPhases, int totalCells,
                                    ExchangeStats* stats, const SerializationCostModel& costs,
-                                   bool lastRound) {
+                                   bool lastRound, ExchangeScratch* scratch) {
   MVIO_CHECK(windowPhases >= 1, "need at least one exchange phase");
   MVIO_CHECK(totalCells >= 1, "need at least one cell");
   const int p = comm.size();
@@ -91,15 +91,29 @@ geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoi
   }
   if (multiPhase) outgoing = geom::GeometryBatch();  // release the source arenas
 
-  std::vector<int> sendCounts(static_cast<std::size_t>(p));
-  std::vector<int> sendDispls(static_cast<std::size_t>(p));
-  std::vector<int> recvCounts(static_cast<std::size_t>(p));
-  std::vector<int> recvDispls(static_cast<std::size_t>(p));
-  std::vector<RoundHeader> sendHeaders(static_cast<std::size_t>(p));
-  std::vector<RoundHeader> recvHeaders(static_cast<std::size_t>(p));
-  std::vector<std::size_t> writeAt(static_cast<std::size_t>(p));
-  std::vector<char> sendBuf;  // reused across phases: resize keeps capacity
-  std::vector<char> recvBuf;
+  // Per-round working set: caller-provided scratch when multi-round
+  // streaming wants to reuse the capacity, a local set otherwise. Every
+  // entry is fully overwritten per phase, so a resize is all the reuse
+  // path needs (it keeps capacity; sendBuf/recvBuf likewise resize per
+  // phase below).
+  ExchangeScratch local;
+  ExchangeScratch& sx = scratch != nullptr ? *scratch : local;
+  sx.sendCounts.resize(static_cast<std::size_t>(p));
+  sx.sendDispls.resize(static_cast<std::size_t>(p));
+  sx.recvCounts.resize(static_cast<std::size_t>(p));
+  sx.recvDispls.resize(static_cast<std::size_t>(p));
+  sx.sendHeaders.resize(static_cast<std::size_t>(p));
+  sx.recvHeaders.resize(static_cast<std::size_t>(p));
+  sx.writeAt.resize(static_cast<std::size_t>(p));
+  std::vector<int>& sendCounts = sx.sendCounts;
+  std::vector<int>& sendDispls = sx.sendDispls;
+  std::vector<int>& recvCounts = sx.recvCounts;
+  std::vector<int>& recvDispls = sx.recvDispls;
+  std::vector<RoundHeader>& sendHeaders = sx.sendHeaders;
+  std::vector<RoundHeader>& recvHeaders = sx.recvHeaders;
+  std::vector<std::size_t>& writeAt = sx.writeAt;
+  std::vector<char>& sendBuf = sx.sendBuf;
+  std::vector<char>& recvBuf = sx.recvBuf;
   const auto headerType =
       mpi::Datatype::contiguous(static_cast<int>(sizeof(RoundHeader)), mpi::Datatype::byte());
 

@@ -83,6 +83,19 @@ struct RoundHeader {
 static_assert(sizeof(RoundHeader) == 16, "round header is 16 wire bytes");
 inline constexpr std::uint32_t kRoundLast = 1;
 
+/// Reusable per-round working set of exchangeByCell: the header /
+/// count / displacement vectors and the two payload buffers. A one-shot
+/// exchange allocates these on the stack; the streaming framework passes
+/// one instance across all of a run's rounds so every round after the
+/// first reuses the capacity instead of reallocating p-sized vectors and
+/// re-growing the payload buffers from zero.
+struct ExchangeScratch {
+  std::vector<int> sendCounts, sendDispls, recvCounts, recvDispls;
+  std::vector<RoundHeader> sendHeaders, recvHeaders;
+  std::vector<std::size_t> writeAt;
+  std::vector<char> sendBuf, recvBuf;
+};
+
 // ---- MPI shard transport (owned-cell rebalancing) ------------------------
 // After the exchange phase every cell's records sit on its round-robin
 // owner, which under spatial skew can leave one rank holding a multiple of
@@ -167,6 +180,7 @@ geom::GeometryBatch migrateShards(mpi::Comm& comm, std::vector<geom::GeometryBat
 geom::GeometryBatch exchangeByCell(mpi::Comm& comm, geom::GeometryBatch&& outgoing,
                                    const CellOwnerFn& owner, int windowPhases, int totalCells,
                                    ExchangeStats* stats = nullptr,
-                                   const SerializationCostModel& costs = {}, bool lastRound = true);
+                                   const SerializationCostModel& costs = {}, bool lastRound = true,
+                                   ExchangeScratch* scratch = nullptr);
 
 }  // namespace mvio::core

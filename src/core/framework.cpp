@@ -9,6 +9,7 @@
 #include "io/file.hpp"
 #include "recovery/recovery.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mvio::core {
 
@@ -17,6 +18,11 @@ void RefineTask::adoptBatches(geom::GeometryBatch&& /*r*/, geom::GeometryBatch&&
   // refineCellBatch (join counts, coverage sums) need nothing more; tasks
   // whose product outlives the pipeline (DistributedIndex) override this
   // and take the arenas wholesale.
+}
+
+void RefineTask::mergeWorker(RefineTask& /*worker*/) {
+  // Partner of the nullptr makeWorker default: a task that opts out of
+  // parallel refine never has workers to merge.
 }
 
 namespace {
@@ -37,9 +43,21 @@ struct Spiller {
   pfs::SpillStore* store;
   pfs::SpillPricer pricer;
   PhaseBreakdown* phases;
+  /// Round-overlap mode: when set, charge() banks the modelled seconds
+  /// here instead of advancing the clock — the round loop replays them
+  /// through the store-flush pipeline stage so round N−1's owned-store
+  /// flush hides under round N's exchange (DESIGN.md §10). The framework
+  /// toggles this only around CellStore::add during data rounds; the
+  /// BatchStager holds a defer-less copy, so staging spills always charge
+  /// synchronously.
+  double* defer = nullptr;
 
   void charge(std::uint64_t bytes, bool isWrite) const {
     const double t = pricer.seconds(bytes, isWrite, comm->clock().now());
+    if (defer != nullptr) {
+      *defer += t;
+      return;
+    }
     comm->clock().advanceBy(t);
     phases->spill += t;
   }
@@ -141,16 +159,32 @@ class BatchStager {
   std::size_t spillCursor_ = 0;  ///< first not-yet-spilled slot
 };
 
+/// One chunk's deferred prep charge under round overlap (DESIGN.md §10):
+/// the rank clock when its read completed and the parse critical path the
+/// round loop's pipeline recurrence still has to account for.
+struct ChunkPrep {
+  double readDoneAt = 0;
+  double prepSeconds = 0;
+};
+
 /// Phases 1+2 for one layer, chunk by chunk: partitioned read then parse
 /// straight into a per-chunk batch (no per-record Geometry objects),
 /// staged for the exchange rounds. Accumulates the layer's local MBR for
 /// grid construction along the way. With checkpointing enabled every
 /// parsed chunk is also written to the durable chunk log — the replay
 /// source recovery re-derives lost rounds from.
+///
+/// With a worker pool (threadsPerRank > 1) the chunk text is parsed in
+/// parallel record-boundary slices and the clock is charged the critical
+/// path — max worker CPU plus the serial splice — instead of the summed
+/// CPU. With `overlapPrep` set (round overlap) the parse charge is not
+/// applied here at all: it is recorded per chunk and replayed by the
+/// round loop's pipeline recurrence, where it can hide under exchanges.
 void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
                  const FrameworkConfig& cfg, BatchStager& stage, geom::Envelope& localBounds,
                  ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases,
-                 recovery::CheckpointCoordinator& ckpt, int layer) {
+                 recovery::CheckpointCoordinator& ckpt, int layer, util::ThreadPool* pool,
+                 std::deque<ChunkPrep>* overlapPrep) {
   MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
   io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
   PartitionReader reader(comm, file, ds.partition, cfg.stream.chunkBytes);
@@ -161,15 +195,28 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
     const bool more = reader.next(text);
     phases.read += comm.clock().now() - t0;
     if (!more) break;
+    const double readDoneAt = comm.clock().now();
 
     geom::GeometryBatch chunk;
-    {
-      mpi::CpuCharge charge(comm);
-      const ParseStats ps = ds.parser->parseAll(text, chunk);
-      parseStats.records += ps.records;
-      parseStats.badRecords += ps.badRecords;
-      parseStats.bytes += ps.bytes;
-      phases.parse += charge.stop();
+    ParseTiming pt;
+    ParseStats ps;
+    if (pool != nullptr && pool->threads() > 1) {
+      ps = ds.parser->parseAllParallel(text, chunk, *pool, &pt);
+      phases.workerCpu += pt.cpuSum;
+      phases.workerCritical += pt.critical;
+    } else {
+      sim::ThreadCpuTimer timer;
+      ps = ds.parser->parseAll(text, chunk);
+      pt.cpuSum = pt.critical = timer.elapsed();
+    }
+    parseStats.records += ps.records;
+    parseStats.badRecords += ps.badRecords;
+    parseStats.bytes += ps.bytes;
+    if (overlapPrep != nullptr) {
+      overlapPrep->push_back({readDoneAt, pt.critical});
+    } else {
+      comm.clock().advanceBy(pt.critical);
+      phases.parse += pt.critical;
     }
     localBounds.expandToInclude(chunk.bounds());
     ckpt.logChunk(layer, chunk);
@@ -246,12 +293,40 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     }
   }
 
+  // Per-rank worker pool (DESIGN.md §10). The rank thread keeps exclusive
+  // ownership of Comm and the sim clock; workers only ever run
+  // parse/refine bodies handed to them, and every pool region is charged
+  // to the clock afterwards by its critical path (max worker CPU).
+  MVIO_CHECK(cfg.threadsPerRank >= 1, "threadsPerRank must be at least 1");
+  std::optional<util::ThreadPool> pool;
+  if (cfg.threadsPerRank > 1) pool.emplace(cfg.threadsPerRank);
+
+  // Refine worker clones — one per pool thread. A task whose makeWorker
+  // returns nullptr opts out of parallel refine and keeps the serial loop.
+  std::vector<std::unique_ptr<RefineTask>> refineWorkers;
+  if (pool) {
+    for (int t = 0; t < cfg.threadsPerRank; ++t) {
+      std::unique_ptr<RefineTask> w = task.makeWorker();
+      if (w == nullptr) {
+        refineWorkers.clear();
+        break;
+      }
+      refineWorkers.push_back(std::move(w));
+    }
+  }
+  const bool parallelRefine = !refineWorkers.empty();
+
+  // Round overlap is defined on the chunked round schedule; a one-shot
+  // run (chunkBytes == 0) has a single round and nothing to pipeline.
+  const bool overlap = sc.overlapRounds && sc.chunkBytes > 0;
+  std::deque<ChunkPrep> prepR, prepS;
+
   // Rank-local scratch for spilled shards; blobs are dropped on exit.
   pfs::SpillStore spill(volume, sc.spillDir + "/rank" + std::to_string(comm.worldRank()));
   const pfs::SpillPricer pricer = sc.spillOnPfs
                                       ? pfs::SpillPricer::onVolume(volume, comm.nodeId())
                                       : pfs::SpillPricer::flatRate(sc.spillBytesPerSecond);
-  const Spiller spiller{&comm, &spill, pricer, &stats.phases};
+  Spiller spiller{&comm, &spill, pricer, &stats.phases};
 
   // 1+2: read and parse both layers, chunk by chunk, staging the parsed
   // batches (under the memory budget) for the exchange rounds.
@@ -259,10 +334,10 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   BatchStager stageS(spiller, "pend_s", budget);
   geom::Envelope localBounds;
   ingestLayer(comm, volume, r, cfg, stageR, localBounds, stats.parseR, stats.ioR, stats.phases,
-              ckpt, 0);
+              ckpt, 0, pool ? &*pool : nullptr, overlap ? &prepR : nullptr);
   if (s != nullptr) {
     ingestLayer(comm, volume, *s, cfg, stageS, localBounds, stats.parseS, stats.ioS, stats.phases,
-                ckpt, 1);
+                ckpt, 1, pool ? &*pool : nullptr, overlap ? &prepS : nullptr);
   }
   ckpt.sealIngest();
 
@@ -291,10 +366,18 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     spiller.charge(bytes, isWrite);
   };
   // Two-layer runs split the refine budget between the layer stores so
-  // the reported peak (their sum) stays within the configured bound.
+  // the reported peak (their sum) stays within the configured bound. A
+  // parallel streaming refine additionally reserves a group share out of
+  // the same budget for the per-dispatch staged cell batches, keeping the
+  // bound (plus the usual one-cell slack) intact.
+  std::uint64_t refineGroupBytes = 0;
+  std::uint64_t storePool = sc.memoryBudget;
+  if (sc.memoryBudget > 0 && parallelRefine) {
+    refineGroupBytes = std::max<std::uint64_t>(sc.memoryBudget / 4, 1);
+    storePool = std::max<std::uint64_t>(sc.memoryBudget - refineGroupBytes, 1);
+  }
   const std::uint64_t storeBudget =
-      (s != nullptr && sc.memoryBudget > 0) ? std::max<std::uint64_t>(sc.memoryBudget / 2, 1)
-                                            : sc.memoryBudget;
+      (s != nullptr && storePool > 0) ? std::max<std::uint64_t>(storePool / 2, 1) : storePool;
   CellStore ownedR(&spill, "own_r", storeBudget, 0, spillCharge);
   CellStore ownedS(&spill, "own_s", storeBudget, 0, spillCharge);
 
@@ -314,6 +397,21 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   bool recovered = false;
   std::uint64_t globalRound = 0;
 
+  // Reused across every exchange round so the p-sized header/count
+  // vectors and the payload buffers keep their capacity between rounds.
+  ExchangeScratch xscratch;
+
+  // Round-overlap pipeline state (DESIGN.md §10), shared across layers.
+  // prepDoneAt models the prep stage (deferred parse + projection,
+  // double-buffered two rounds deep against the exchange), storeDoneAt
+  // the store-flush stage replaying deferred owned-store spill charges,
+  // commDonePrev* the last two rounds' exchange completion times.
+  double prepDoneAt = 0;
+  double commDonePrev1 = 0;
+  double commDonePrev2 = 0;
+  double storeDoneAt = 0;
+  double spillBanked = 0;
+
   // One layer's rounds. Returns false when the schedule was cut short —
   // this rank died, or a recovery re-derived every remaining round from
   // the durable log (no further exchanges happen either way).
@@ -322,20 +420,69 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     const bool streaming = sc.chunkBytes > 0;
     for (std::uint64_t round = 0; round < rounds; ++round) {
       geom::GeometryBatch chunk;
-      stage.pop(chunk);  // false → empty round for this rank
+      const bool hadChunk = stage.pop(chunk);  // false → empty round for this rank
+      double projectSeconds = 0;
       {
-        mpi::CpuCharge charge(comm);
+        sim::ThreadCpuTimer timer;
         chunk = projectToCells(grid, locator ? &*locator : nullptr, std::move(chunk));
-        stats.phases.partition += charge.stop();
+        projectSeconds = timer.elapsed();
+      }
+      if (overlap) {
+        // Pipeline recurrence: the chunk's prep (deferred parse +
+        // projection) starts once the prep stage is free, its read has
+        // landed, and the depth-2 buffer has room — i.e. the exchange two
+        // rounds back has completed. Only the part of the prep that
+        // outlasts "now" stalls the rank; the rest already hid under
+        // earlier exchanges and is credited to `overlapped`.
+        double parseSeconds = 0;
+        double readDoneAt = 0;
+        std::deque<ChunkPrep>& prep = layer == 0 ? prepR : prepS;
+        if (hadChunk && !prep.empty()) {
+          parseSeconds = prep.front().prepSeconds;
+          readDoneAt = prep.front().readDoneAt;
+          prep.pop_front();
+        }
+        const double now0 = comm.clock().now();
+        prepDoneAt = std::max({prepDoneAt, readDoneAt, commDonePrev2}) + parseSeconds +
+                     projectSeconds;
+        const double exposed = std::max(0.0, prepDoneAt - now0);
+        comm.clock().advanceTo(prepDoneAt);
+        const double prepTotal = parseSeconds + projectSeconds;
+        if (prepTotal > 0) {
+          stats.phases.parse += exposed * (parseSeconds / prepTotal);
+          stats.phases.partition += exposed * (projectSeconds / prepTotal);
+          stats.phases.overlapped += prepTotal - exposed;
+        }
+      } else {
+        comm.clock().advanceBy(projectSeconds);
+        stats.phases.partition += projectSeconds;
       }
       const bool last = !streaming && round + 1 == rounds;
       const double t0 = comm.clock().now();
-      geom::GeometryBatch got = exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases,
-                                               grid.cellCount(), &stats.exchange, {}, last);
+      geom::GeometryBatch got =
+          exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases, grid.cellCount(),
+                         &stats.exchange, {}, last, &xscratch);
       stats.phases.comm += comm.clock().now() - t0;
       stats.phases.rounds += 1;
+      if (overlap) {
+        commDonePrev2 = commDonePrev1;
+        commDonePrev1 = comm.clock().now();
+      }
       ckpt.noteRound(layer, got);
-      owned.add(std::move(got));
+      if (overlap) {
+        // Store-flush stage: the owned store's segment flushes for round
+        // N−1 run while round N's exchange is on the wire; the deferred
+        // charges queue on storeDoneAt and the residue is settled before
+        // finalize.
+        double banked = 0;
+        spiller.defer = &banked;
+        owned.add(std::move(got));
+        spiller.defer = nullptr;
+        storeDoneAt = std::max(storeDoneAt, comm.clock().now()) + banked;
+        spillBanked += banked;
+      } else {
+        owned.add(std::move(got));
+      }
       globalRound += 1;
       ckpt.maybeCheckpoint(globalRound, rrOwner);
 
@@ -383,7 +530,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       const double t0 = comm.clock().now();
       geom::GeometryBatch got =
           exchangeByCell(comm, geom::GeometryBatch(), owner, cfg.windowPhases, grid.cellCount(),
-                         &stats.exchange, {}, /*lastRound=*/true);
+                         &stats.exchange, {}, /*lastRound=*/true, &xscratch);
       stats.phases.comm += comm.clock().now() - t0;
       stats.phases.rounds += 1;
       owned.add(std::move(got));
@@ -410,6 +557,21 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     stageR.discard();
     stageS.discard();
     stats.activeComm = active;
+  }
+  if (overlap) {
+    // Prep entries never reached by the round loop (a recovery cut the
+    // schedule short) were still real parse CPU; account them as hidden.
+    for (const ChunkPrep& cp : prepR) stats.phases.overlapped += cp.prepSeconds;
+    for (const ChunkPrep& cp : prepS) stats.phases.overlapped += cp.prepSeconds;
+    prepR.clear();
+    prepS.clear();
+    // Settle the store-flush stage: whatever deferred spill time outlasts
+    // the final exchange is a real stall before refine; the rest hid.
+    const double now = comm.clock().now();
+    const double exposed = std::min(spillBanked, std::max(0.0, storeDoneAt - now));
+    stats.phases.spill += exposed;
+    stats.phases.overlapped += spillBanked - exposed;
+    comm.clock().advanceTo(storeDoneAt);
   }
 
   ownedR.finalize();
@@ -510,28 +672,136 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   // regime, where the task also adopts the records cell by cell.
   const std::uint64_t reloadBase = ownedR.reloadBytes() + ownedS.reloadBytes();
   {
-    mpi::CpuCharge charge(comm);
+    // Main-thread CPU (loop bookkeeping, group assembly, merges,
+    // adoption) is measured by mainTimer; each worker dispatch charges
+    // its critical path (max worker CPU) on top.
+    sim::ThreadCpuTimer mainTimer;
+    double workerSeconds = 0;
     const bool streamingRefine = ownedR.streaming();
     const std::vector<int> cells = mergeCellLists(ownedR.cells(), ownedS.cells());
     stats.cellsOwned = cells.size();
-    for (const int cell : cells) {
-      const geom::BatchSpan spanR = ownedR.cellSpan(cell);
-      const geom::BatchSpan spanS = ownedS.cellSpan(cell);
-      task.refineCellBatch(grid, cell, spanR, spanS);
-      stats.refinePeakBytes =
-          std::max(stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes());
-      if (streamingRefine) {
-        // Per-cell adoption: the scratch batches the spans were built over
-        // move to the task, so indices it captured stay valid.
-        task.adoptBatches(ownedR.takeCellBatch(), ownedS.takeCellBatch());
+
+    if (!parallelRefine) {
+      for (const int cell : cells) {
+        const geom::BatchSpan spanR = ownedR.cellSpan(cell);
+        const geom::BatchSpan spanS = ownedS.cellSpan(cell);
+        task.refineCellBatch(grid, cell, spanR, spanS);
+        stats.refinePeakBytes =
+            std::max(stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes());
+        if (streamingRefine) {
+          // Per-cell adoption: the scratch batches the spans were built
+          // over move to the task, so indices it captured stay valid.
+          task.adoptBatches(ownedR.takeCellBatch(), ownedS.takeCellBatch());
+        }
+      }
+      if (!streamingRefine) {
+        // Whole-run adoption, as in the one-shot pipeline (records
+        // migrated away by rebalancing are kNoCell-tombstoned).
+        task.adoptBatches(ownedR.takeResidentBatch(), ownedS.takeResidentBatch());
+      }
+    } else {
+      // Fanned-out refine (DESIGN.md §10). Cells are staged into bounded
+      // groups; each group is cut into contiguous ascending-cell blocks,
+      // one per worker, proportional to record weight. Because the blocks
+      // are contiguous and the workers are merged back in worker order
+      // after every group, the fold into the main task replays the exact
+      // serial ascending-cell order — results are bit-identical at any
+      // thread count. The stores (not thread-safe) are only touched here
+      // on the main thread; workers read staged batches (streaming) or
+      // read-only resident spans.
+      const int nw = static_cast<int>(refineWorkers.size());
+      struct CellWork {
+        int cell = 0;
+        geom::GeometryBatch r, s;  // staged owned batches (streaming)
+        std::vector<std::uint32_t> idxR, idxS;
+        geom::BatchSpan spanR, spanS;
+      };
+      std::vector<CellWork> group;
+      std::uint64_t groupBytes = 0;
+
+      const auto sealGroupSpans = [&group] {
+        // Spans are built only once the group stops growing: vector
+        // growth moves the CellWork structs (batch arenas stay put, but
+        // the idx vectors' addresses must be final).
+        for (CellWork& w : group) {
+          w.spanR = geom::BatchSpan(&w.r, w.idxR.data(), w.idxR.size());
+          w.spanS = geom::BatchSpan(&w.s, w.idxS.data(), w.idxS.size());
+        }
+      };
+      const auto dispatchGroup = [&] {
+        if (group.empty()) return;
+        std::uint64_t totalWeight = 0;
+        for (const CellWork& w : group) totalWeight += w.spanR.size() + w.spanS.size() + 1;
+        // Deterministic proportional cuts over the weighted prefix.
+        std::vector<std::size_t> cut(static_cast<std::size_t>(nw) + 1, group.size());
+        cut[0] = 0;
+        std::uint64_t prefix = 0;
+        std::size_t i = 0;
+        for (int t = 0; t + 1 < nw; ++t) {
+          const std::uint64_t target =
+              totalWeight * static_cast<std::uint64_t>(t + 1) / static_cast<std::uint64_t>(nw);
+          while (i < group.size() && prefix < target) {
+            prefix += group[i].spanR.size() + group[i].spanS.size() + 1;
+            ++i;
+          }
+          cut[static_cast<std::size_t>(t) + 1] = i;
+        }
+        const util::PoolTiming pt = pool->runOnWorkers([&](int t) {
+          RefineTask& worker = *refineWorkers[static_cast<std::size_t>(t)];
+          for (std::size_t k = cut[static_cast<std::size_t>(t)];
+               k < cut[static_cast<std::size_t>(t) + 1]; ++k) {
+            worker.refineCellBatch(grid, group[k].cell, group[k].spanR, group[k].spanS);
+          }
+        });
+        workerSeconds += pt.cpuMax;
+        stats.phases.workerCpu += pt.cpuSum;
+        stats.phases.workerCritical += pt.cpuMax;
+        for (int t = 0; t < nw; ++t) task.mergeWorker(*refineWorkers[static_cast<std::size_t>(t)]);
+        if (streamingRefine) {
+          // Per-cell adoption in ascending order, after the merge so the
+          // task sees results before their backing arenas move.
+          for (CellWork& w : group) task.adoptBatches(std::move(w.r), std::move(w.s));
+        }
+        group.clear();
+        groupBytes = 0;
+      };
+
+      for (const int cell : cells) {
+        CellWork work;
+        work.cell = cell;
+        if (streamingRefine) {
+          // The staged group squeezes both stores' merge windows so
+          // window + group stays inside the configured budget.
+          ownedR.setRefinePressure(groupBytes);
+          ownedS.setRefinePressure(groupBytes);
+          work.r = ownedR.takeCellAssembled(cell);
+          work.s = ownedS.takeCellAssembled(cell);
+          groupBytes += work.r.memoryBytes() + work.s.memoryBytes();
+          work.idxR.resize(work.r.size());
+          std::iota(work.idxR.begin(), work.idxR.end(), std::uint32_t{0});
+          work.idxS.resize(work.s.size());
+          std::iota(work.idxS.begin(), work.idxS.end(), std::uint32_t{0});
+        } else {
+          work.spanR = ownedR.cellSpan(cell);
+          work.spanS = ownedS.cellSpan(cell);
+        }
+        group.push_back(std::move(work));
+        stats.refinePeakBytes = std::max(
+            stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes() + groupBytes);
+        if (streamingRefine && groupBytes >= refineGroupBytes) {
+          sealGroupSpans();
+          dispatchGroup();
+        }
+      }
+      if (streamingRefine) sealGroupSpans();
+      dispatchGroup();
+      if (!streamingRefine) {
+        task.adoptBatches(ownedR.takeResidentBatch(), ownedS.takeResidentBatch());
       }
     }
-    if (!streamingRefine) {
-      // Whole-run adoption, as in the one-shot pipeline (records migrated
-      // away by rebalancing are kNoCell-tombstoned in the batch).
-      task.adoptBatches(ownedR.takeResidentBatch(), ownedS.takeResidentBatch());
-    }
-    stats.phases.compute += charge.stop();
+    const double mainSeconds = mainTimer.elapsed();
+    comm.clock().advanceBy(mainSeconds + workerSeconds);
+    stats.phases.compute += mainSeconds + workerSeconds;
   }
   stats.refinePeakBytes = std::max({stats.refinePeakBytes, ownedR.peakBytes(), ownedS.peakBytes()});
   // Only the refine loop's reloads; migration-extraction reloads are

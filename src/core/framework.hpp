@@ -101,11 +101,31 @@ struct StreamConfig {
   /// truncated, as if the writer died mid-write. Recovery must reject it
   /// and fall back to the previous sealed epoch. 0 = off.
   std::uint64_t tearEpochSeal = 0;
+
+  // ---- Round overlap (DESIGN.md §10) ----------------------------------
+  /// Double-buffered streaming: round N's exchange overlaps round N+1's
+  /// parse + grid projection and the owned-store flush of round N−1's
+  /// arrivals. Execution order — and therefore every result bit — is
+  /// unchanged; the overlap is applied in the sim-clock accounting, which
+  /// replays each chunk's deferred prep time through a two-deep pipeline
+  /// recurrence and charges only the *exposed* remainder to its phase
+  /// (the hidden seconds land in PhaseBreakdown::overlapped). Requires
+  /// chunkBytes > 0; ignored in one-shot runs, which have no rounds to
+  /// overlap.
+  bool overlapRounds = false;
 };
 
 struct FrameworkConfig {
   int gridCells = 1024;       ///< target number of grid cells (unit tasks)
   int windowPhases = 1;       ///< sliding-window exchange phases
+  /// Per-rank worker-pool size (util/thread_pool.hpp): chunk parsing and
+  /// the cell-major refine loop fan out over this many threads, with the
+  /// rank clock charged by each region's critical path. 1 = the classic
+  /// serial rank (no pool is created). Results are bit-identical at any
+  /// value — parallel parse splices slice batches back in slice order and
+  /// parallel refine visits ascending contiguous cell blocks merged in
+  /// worker order (DESIGN.md §10).
+  int threadsPerRank = 1;
   bool rtreeCellLocator = true;  ///< cell lookup via R-tree (paper) vs arithmetic
   io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
   StreamConfig stream;        ///< chunked-round + spill controls
@@ -169,6 +189,25 @@ class RefineTask {
   /// than replace it. The default discards the batches, which is correct
   /// for tasks that fully reduce in refine.
   virtual void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& s);
+
+  // ---- Parallel refine (FrameworkConfig::threadsPerRank > 1) ----------
+  // The framework fans the cell-major loop out by cloning one *worker*
+  // task per pool thread and running refineCellBatch on the clones over
+  // disjoint, contiguous, ascending cell blocks. After each block group
+  // it folds every worker back with mergeWorker() in worker order — which
+  // is ascending cell order — so the main task accumulates exactly the
+  // state the serial visit would have produced. Workers only ever see
+  // refineCellBatch (adoption always happens on the main task), and a
+  // merge must drain the worker so it can be reused for the next group.
+
+  /// A fresh worker clone with private scratch, or nullptr (the default)
+  /// to opt out — the framework then refines serially regardless of
+  /// threadsPerRank.
+  [[nodiscard]] virtual std::unique_ptr<RefineTask> makeWorker() { return nullptr; }
+  /// Fold `worker`'s accumulated per-cell results into this task and
+  /// reset the worker for reuse. Called in worker order after every block
+  /// group; `worker` is always an object this task's makeWorker returned.
+  virtual void mergeWorker(RefineTask& worker);
 };
 
 /// What the skew-aware rebalancing pass did for this rank (all zero when

@@ -1,5 +1,7 @@
 #include "core/indexing.hpp"
 
+#include <memory>
+
 #include "geom/batch_shard.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -174,6 +176,17 @@ DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, con
     void adoptBatches(geom::GeometryBatch&& r, geom::GeometryBatch&& /*s*/) override {
       index->addBatch(std::move(r));
     }
+
+    std::unique_ptr<RefineTask> makeWorker() override {
+      // Refine is a no-op for index building (grouping happens at
+      // adoption, which stays on the main task), so workers are stateless
+      // shells that keep the threaded pipeline uniform.
+      auto w = std::make_unique<BuildTask>();
+      w->index = nullptr;
+      return w;
+    }
+
+    void mergeWorker(RefineTask& /*worker*/) override {}
   };
 
   BuildTask task;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "geom/clip.hpp"
 #include "io/file.hpp"
@@ -41,6 +42,21 @@ struct CoverageTask final : RefineTask {
     CellCoverage& cov = cells[cell];
     cov.measureR += orderInsensitiveSum(r, box);
     cov.measureS += orderInsensitiveSum(s, box);
+  }
+
+  std::unique_ptr<RefineTask> makeWorker() override { return std::make_unique<CoverageTask>(); }
+
+  void mergeWorker(RefineTask& worker) override {
+    // Each cell is refined exactly once per run, so folding a worker's
+    // entries adds each sorted-sum to a zero-initialized slot — the merge
+    // is bit-identical to the serial accumulation.
+    auto& w = static_cast<CoverageTask&>(worker);
+    for (auto& [cell, cov] : w.cells) {
+      CellCoverage& mine = cells[cell];
+      mine.measureR += cov.measureR;
+      mine.measureS += cov.measureS;
+    }
+    w.cells.clear();
   }
 };
 

@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <functional>
 #include <string_view>
+#include <vector>
 
 #include "geom/geometry.hpp"
 #include "geom/geometry_batch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mvio::core {
 
@@ -25,6 +27,23 @@ struct ParseStats {
   std::uint64_t badRecords = 0;  ///< malformed records skipped
   std::uint64_t bytes = 0;       ///< input bytes consumed
 };
+
+/// CPU accounting of one parseAllParallel call. `critical` is the time a
+/// rank with a real `slices`-wide pool would block for — the slowest
+/// worker plus the serial splice-back — and is what the framework charges
+/// to the rank clock; `cpuSum` is the total CPU all workers burned.
+struct ParseTiming {
+  double cpuSum = 0;
+  double critical = 0;
+};
+
+/// Cut `text` into at most `slices` contiguous ranges that tile it
+/// exactly, moving each interior cut forward to one past the next
+/// `delim` so no record straddles a slice: a record crossing a raw cut
+/// point belongs wholly to the slice where it starts. Trailing slices
+/// may be empty (short texts); concatenating the result in order always
+/// reproduces `text` byte for byte. Exposed for the slice-boundary tests.
+std::vector<std::string_view> sliceRecords(std::string_view text, char delim, int slices);
 
 class Parser {
  public:
@@ -53,6 +72,18 @@ class Parser {
   /// record into `out` via parseRecordInto(). This is the pipeline's hot
   /// path — no per-record Geometry objects are created.
   ParseStats parseAll(std::string_view text, geom::GeometryBatch& out) const;
+
+  /// Parallel bulk parse (DESIGN.md §10): sliceRecords() cuts `text` at
+  /// record boundaries, each pool worker parses its slice into a private
+  /// arena-backed batch, and the slice batches splice back into `out` in
+  /// slice order — records, arena bytes, and the summed ParseStats are
+  /// identical to the serial parseAll. The caller's clock is NOT charged;
+  /// `timing` (optional) reports the region's critical path and total CPU
+  /// for the caller to charge. Thread-safe per the Parser contract:
+  /// parseRecordInto must be const and touch no shared mutable state
+  /// (true of the shipped parsers).
+  ParseStats parseAllParallel(std::string_view text, geom::GeometryBatch& out,
+                              util::ThreadPool& pool, ParseTiming* timing = nullptr) const;
 };
 
 /// WKT records: "<wkt>" or "<wkt>\t<attributes...>". Attributes are stored

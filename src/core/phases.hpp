@@ -30,6 +30,21 @@ struct PhaseBreakdown {
   double migrate = 0;    ///< owned-cell shard migration (rebalancing)
   double checkpoint = 0;  ///< durable chunk-log + epoch-checkpoint writes (modelled)
   double recovery = 0;    ///< failure recovery: restore + replay (modelled + CPU)
+  /// Seconds of prep (parse + projection) and store-flush work hidden
+  /// under exchange rounds by StreamConfig::overlapRounds. Concurrent
+  /// with `comm` on the modelled timeline, so excluded from total() —
+  /// the split of each phase that stayed *exposed* is what the phase
+  /// fields above carry in overlap mode.
+  double overlapped = 0;
+  /// Worker-pool accounting (FrameworkConfig::threadsPerRank > 1):
+  /// workerCpu is the total CPU spent inside parallel regions across all
+  /// workers; workerCritical is what those regions charged to the clock
+  /// (the per-region max over workers, summed). Their ratio over
+  /// threadsPerRank is the pool's parallel efficiency. Both are
+  /// alternative views of time already counted in parse/compute, so they
+  /// do not contribute to total().
+  double workerCpu = 0;
+  double workerCritical = 0;
   std::uint64_t rounds = 0;  ///< exchange rounds executed (1 per layer one-shot)
   /// Shard bytes reloaded by the cell-major refine merge (the refine
   /// phase's share of the scratch traffic; writes land in
@@ -49,9 +64,10 @@ struct PhaseBreakdown {
   /// Field-wise max across all ranks (collective).
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
     PhaseBreakdown out;
-    double mine[9] = {read, parse, partition, comm, compute, spill, migrate, checkpoint, recovery};
-    double reduced[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 9, mpi::Datatype::float64(), mpi::Op::max());
+    double mine[12] = {read,       parse,    partition, comm,       compute,   spill,
+                       migrate,    checkpoint, recovery, overlapped, workerCpu, workerCritical};
+    double reduced[12] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 12, mpi::Datatype::float64(), mpi::Op::max());
     out.read = reduced[0];
     out.parse = reduced[1];
     out.partition = reduced[2];
@@ -61,6 +77,9 @@ struct PhaseBreakdown {
     out.migrate = reduced[6];
     out.checkpoint = reduced[7];
     out.recovery = reduced[8];
+    out.overlapped = reduced[9];
+    out.workerCpu = reduced[10];
+    out.workerCritical = reduced[11];
     std::uint64_t counts[8] = {rounds,          refineSpillBytes, migrateBytes,  migrateRounds,
                                checkpointBytes, checkpointEpochs, recoveryBytes, recoveryRounds};
     std::uint64_t countsOut[8] = {0, 0, 0, 0, 0, 0, 0, 0};

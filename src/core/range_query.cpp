@@ -1,6 +1,7 @@
 #include "core/range_query.hpp"
 
 #include <charconv>
+#include <memory>
 
 #include "geom/rtree.hpp"
 #include "util/error.hpp"
@@ -40,8 +41,24 @@ struct QueryTask final : RefineTask {
     }
   }
 
+  std::unique_ptr<RefineTask> makeWorker() override {
+    auto w = std::make_unique<QueryTask>(nullptr, fanout_);
+    w->ownCounts_.assign(counts_->size(), 0);
+    w->counts_ = &w->ownCounts_;
+    return w;
+  }
+
+  void mergeWorker(RefineTask& worker) override {
+    auto& w = static_cast<QueryTask&>(worker);
+    for (std::size_t i = 0; i < counts_->size(); ++i) {
+      (*counts_)[i] += w.ownCounts_[i];
+      w.ownCounts_[i] = 0;
+    }
+  }
+
   std::vector<std::uint64_t>* counts_;
   std::size_t fanout_;
+  std::vector<std::uint64_t> ownCounts_;  ///< worker-local hit counts
 };
 
 /// In-memory "parser" is not applicable for the query layer, so the batch

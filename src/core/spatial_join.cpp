@@ -1,6 +1,7 @@
 #include "core/spatial_join.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "geom/rtree.hpp"
@@ -88,9 +89,33 @@ class JoinTask final : public RefineTask {
   [[nodiscard]] std::uint64_t pairs() const { return pairs_; }
   [[nodiscard]] std::uint64_t candidates() const { return candidates_; }
 
+  std::unique_ptr<RefineTask> makeWorker() override {
+    auto w = std::make_unique<JoinTask>(cfg_, nullptr);
+    if (results_ != nullptr) {
+      w->ownResults_ = std::make_unique<std::vector<JoinPair>>();
+      w->results_ = w->ownResults_.get();
+    }
+    return w;
+  }
+
+  void mergeWorker(RefineTask& worker) override {
+    auto& w = static_cast<JoinTask&>(worker);
+    pairs_ += w.pairs_;
+    candidates_ += w.candidates_;
+    w.pairs_ = 0;
+    w.candidates_ = 0;
+    if (results_ != nullptr && w.ownResults_ != nullptr) {
+      results_->insert(results_->end(), w.ownResults_->begin(), w.ownResults_->end());
+      w.ownResults_->clear();
+    }
+  }
+
  private:
   const JoinConfig& cfg_;
   std::vector<JoinPair>* results_;
+  /// Worker clones stage pairs here; mergeWorker appends them to the main
+  /// task's results in worker (= ascending cell) order.
+  std::unique_ptr<std::vector<JoinPair>> ownResults_;
   std::string scratch_;  ///< reused WKB staging buffer for batch-native keys
   std::uint64_t pairs_ = 0;
   std::uint64_t candidates_ = 0;

@@ -1,0 +1,67 @@
+#pragma once
+// Per-rank worker pool (DESIGN.md §10).
+//
+// The MPI runtime gives every rank one thread; the pool gives a rank
+// intra-node parallelism on top — chunk parsing and cell-major refine fan
+// out over `threads` workers while the rank thread blocks. Workers never
+// touch the rank's Comm or sim::Clock (both are single-owner): a region
+// returns its per-worker CPU accounting instead, and the *rank* thread
+// charges the region's critical path (max over workers) to its clock.
+// That is what makes threaded runs faster in virtual time while staying
+// bit-identical in results — the work is really split, the clock charges
+// the longest worker, and nothing about execution order that affects
+// output changes.
+//
+// A pool with threads() == 1 runs every region inline on the caller (no
+// threads are ever spawned), so the serial pipeline is byte-for-byte the
+// classic single-threaded path.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mvio::util {
+
+/// CPU accounting for one parallel region (sim::ThreadCpuTimer per
+/// worker, so host oversubscription cannot inflate it).
+struct PoolTiming {
+  double cpuSum = 0;  ///< Σ per-worker CPU seconds (total work done)
+  double cpuMax = 0;  ///< max per-worker CPU seconds — the critical path
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` persistent workers (none when threads == 1 —
+  /// regions then run inline on the caller).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Run body(worker) once per worker id in [0, threads()). Blocks until
+  /// every worker finished, then rethrows the first worker exception (all
+  /// workers still complete their call first, so the pool stays usable).
+  PoolTiming runOnWorkers(const std::function<void(int)>& body);
+
+  /// Dynamic fan-out: workers claim indices [0, tasks) from a shared
+  /// atomic cursor and invoke body(worker, index). Claim order is
+  /// nondeterministic — callers needing deterministic output must make
+  /// body(w, i) depend only on i, or use runOnWorkers with a
+  /// deterministic block partition.
+  PoolTiming parallelFor(std::size_t tasks, const std::function<void(int, std::size_t)>& body);
+
+ private:
+  struct Shared;
+
+  void workerMain(int id);
+
+  int threads_;
+  std::unique_ptr<Shared> sh_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mvio::util
