@@ -11,6 +11,13 @@
 // chunk log; a kill right after a seal replays the least. Join results
 // must be identical to the failure-free baseline in every row — the
 // bit-identity the recovery tests assert, priced here.
+//
+// Table 3 — elasticity (DESIGN.md §11): the same kill schedule under the
+// PR-5 recovery path (full replay, no GC), sharded replay alone, and
+// sharded replay + checkpoint GC/epoch compaction. Sharding divides the
+// aggregate chunk-log reads across the survivors; compaction folds the
+// delta tail into one base and reclaims durable bytes — recovery bytes
+// must drop strictly, pairs must not change.
 
 #include <mutex>
 
@@ -43,14 +50,19 @@ int main() {
   struct Outcome {
     std::uint64_t pairs = 0;
     std::uint64_t ckptBytes = 0, ckptEpochs = 0, recBytes = 0, recRounds = 0, epochUsed = 0;
+    std::uint64_t compactBytes = 0, reclaimedBytes = 0;
     double ckptSeconds = 0, recSeconds = 0, totalSeconds = 0;
     std::uint64_t rounds = 0;
   };
+  struct Knobs {
+    std::uint64_t compactEvery = 0;  ///< CompactionPolicy::everyEpochs
+    bool sharded = true;             ///< StreamConfig::shardedReplay
+  };
   auto runJoin = [&](std::uint64_t every, const std::string& dir, std::vector<int> failRanks,
-                     std::uint64_t killRound) {
+                     std::uint64_t killRound, Knobs knobs = {}) {
     Outcome out;
     std::atomic<std::uint64_t> pairs{0}, ckptBytes{0}, ckptEpochs{0}, recBytes{0}, recRounds{0},
-        epochUsed{0}, rounds{0};
+        epochUsed{0}, rounds{0}, compactBytes{0}, reclaimedBytes{0};
     std::mutex mu;
     mpi::Runtime::run(kProcs, sim::MachineModel::comet(kProcs / 4), [&](mpi::Comm& comm) {
       core::JoinConfig cfg;
@@ -58,6 +70,8 @@ int main() {
       cfg.framework.stream.chunkBytes = kChunk;
       cfg.framework.stream.checkpointEveryRounds = every;
       cfg.framework.stream.checkpointDir = dir;
+      cfg.framework.stream.compaction.everyEpochs = knobs.compactEvery;
+      cfg.framework.stream.shardedReplay = knobs.sharded;
       cfg.framework.failRanks = failRanks;  // copy: every rank thread reads it
       cfg.framework.killPoint.afterRound = killRound;
       core::DatasetHandle r{"r.wkt", &parser, {}};
@@ -66,6 +80,8 @@ int main() {
       pairs += stats.localPairs;
       ckptBytes += stats.phases.checkpointBytes;
       recBytes += stats.phases.recoveryBytes;
+      compactBytes += stats.phases.compactionBytes;
+      reclaimedBytes += stats.phases.reclaimedBytes;
       std::lock_guard<std::mutex> lock(mu);
       ckptEpochs = std::max(ckptEpochs.load(), stats.phases.checkpointEpochs);
       recRounds = std::max(recRounds.load(), stats.phases.recoveryRounds);
@@ -82,6 +98,8 @@ int main() {
     out.recRounds = recRounds.load();
     out.epochUsed = epochUsed.load();
     out.rounds = rounds.load();
+    out.compactBytes = compactBytes.load();
+    out.reclaimedBytes = reclaimedBytes.load();
     return out;
   };
 
@@ -114,8 +132,29 @@ int main() {
                   util::formatSeconds(o.recSeconds), std::to_string(o.pairs), "yes"});
   }
   std::printf("%s\n", recov.str().c_str());
-  std::printf("note: pairs must be identical on every row of both tables. Durable checkpoint\n"
-              "bytes grow as the epoch interval shrinks; replayed rounds shrink as the kill\n"
-              "point moves past more sealed epochs.\n");
+
+  // ---- Table 3: sharded replay + compaction vs the PR-5 path -------------
+  util::TextTable elastic({"config", "rec bytes", "replayed", "compact bytes", "reclaimed",
+                           "rec t", "pairs", "identical"});
+  const std::uint64_t elasticKill = std::min<std::uint64_t>(5, dataRounds);
+  const auto elasticRow = [&](const char* name, const std::string& dir, Knobs knobs) {
+    const Outcome o = runJoin(2, dir, {kProcs - 1, kProcs / 2}, elasticKill, knobs);
+    MVIO_CHECK(o.pairs == baseline.pairs, "elasticity config changed the join result");
+    elastic.addRow({name, util::formatBytes(o.recBytes), std::to_string(o.recRounds),
+                    util::formatBytes(o.compactBytes), util::formatBytes(o.reclaimedBytes),
+                    util::formatSeconds(o.recSeconds), std::to_string(o.pairs), "yes"});
+    return o;
+  };
+  const Outcome full = elasticRow("full replay (PR-5)", "__el_full", {0, false});
+  const Outcome shard = elasticRow("sharded replay", "__el_shard", {0, true});
+  const Outcome gc = elasticRow("sharded + compaction", "__el_gc", {2, true});
+  MVIO_CHECK(shard.recBytes < full.recBytes, "sharded replay must shrink recovery reads");
+  MVIO_CHECK(gc.recBytes < full.recBytes, "compaction must not undo the sharded-replay win");
+  MVIO_CHECK(gc.reclaimedBytes > 0, "compaction must reclaim durable bytes");
+  std::printf("%s\n", elastic.str().c_str());
+  std::printf("note: pairs must be identical on every row of all three tables. Durable\n"
+              "checkpoint bytes grow as the epoch interval shrinks; replayed rounds shrink as\n"
+              "the kill point moves past more sealed epochs; sharding divides replay reads\n"
+              "across survivors and compaction reclaims the folded delta + chunk history.\n");
   return 0;
 }

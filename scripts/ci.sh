@@ -7,8 +7,15 @@
 # worker-pool and hybrid-pipeline coverage that actually runs multiple
 # threads per rank.
 #
+# After the preset loop a bounded soak lane re-runs the `soak`-labeled
+# tests (randomized fault schedules, tests/test_fault_soak.cpp) with a
+# wider draw than the in-suite default — MVIO_SOAK_SCHEDULES/MVIO_SOAK_SEED
+# override the width and the generator seed. The asan preset runs the
+# unit-labeled durable-codec fuzz tests (tests/test_codec_fuzz.cpp) as
+# part of its full suite.
+#
 # Usage: scripts/ci.sh [preset...]   (default: "default asan tsan")
-# Useful subsets once built: ctest -L recovery / -L mpi / -L threads.
+# Useful subsets once built: ctest -L recovery / -L mpi / -L threads / -L soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +28,13 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
+done
+
+for preset in "${presets[@]}"; do
+  if [[ "${preset}" == "default" ]]; then
+    echo "==> soak lane: randomized fault schedules (preset: default)"
+    MVIO_SOAK_SCHEDULES="${MVIO_SOAK_SCHEDULES:-16}" \
+      ctest --preset default -L soak --output-on-failure
+  fi
 done
 echo "==> tier-1 green under: ${presets[*]}"

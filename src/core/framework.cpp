@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <tuple>
 
 #include "core/cell_store.hpp"
 #include "geom/batch_shard.hpp"
@@ -271,27 +272,63 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   ckptCfg.everyRounds = sc.checkpointEveryRounds;
   ckptCfg.dir = sc.checkpointDir;
   ckptCfg.tearEpochSeal = sc.tearEpochSeal;
+  ckptCfg.compactEveryEpochs = sc.compaction.everyEpochs;
+  ckptCfg.compactKeepEpochs = sc.compaction.keepEpochs;
   recovery::CheckpointCoordinator ckpt(comm, volume, ckptCfg, &stats.phases);
   if (ckpt.enabled()) {
     MVIO_CHECK(comm.rank() == comm.worldRank(),
                "checkpointing requires the world communicator (blob names are world-rank keyed)");
   }
-  std::vector<int> failRanks = cfg.failRanks;
-  std::sort(failRanks.begin(), failRanks.end());
-  failRanks.erase(std::unique(failRanks.begin(), failRanks.end()), failRanks.end());
-  const bool injecting = !failRanks.empty();
-  MVIO_CHECK(cfg.killPoint.afterRound == 0 || injecting,
+
+  // Unified fault schedule: explicit cascading events plus the legacy
+  // failRanks/killPoint single-wave form (which maps to pass-0 events).
+  std::vector<sim::FailureEvent> schedule = cfg.failSchedule;
+  MVIO_CHECK(cfg.killPoint.afterRound == 0 || !cfg.failRanks.empty(),
              "killPoint set without failRanks — the kill would silently never fire");
+  MVIO_CHECK(cfg.failRanks.empty() || cfg.killPoint.afterRound != 0,
+             "failRanks set without a kill point");
+  for (const int dead : cfg.failRanks) {
+    schedule.push_back({dead, cfg.killPoint.afterRound, 0});
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const sim::FailureEvent& a, const sim::FailureEvent& b) {
+              return std::tie(a.afterRound, a.duringRecoveryPass, a.rank) <
+                     std::tie(b.afterRound, b.duringRecoveryPass, b.rank);
+            });
+  const bool injecting = !schedule.empty();
   if (injecting) {
-    MVIO_CHECK(cfg.killPoint.afterRound != 0, "failRanks set without a kill point");
     MVIO_CHECK(ckpt.enabled(),
                "failure injection requires StreamConfig::checkpointEveryRounds > 0");
-    MVIO_CHECK(static_cast<int>(failRanks.size()) < p,
+    MVIO_CHECK(static_cast<int>(schedule.size()) < p,
                "failure injection must leave at least one survivor");
-    for (const int dead : failRanks) {
-      MVIO_CHECK(dead >= 0 && dead < p, "failRanks entry outside the communicator");
+    std::vector<int> dying;
+    for (const sim::FailureEvent& ev : schedule) {
+      MVIO_CHECK(ev.rank >= 0 && ev.rank < p, "fault schedule names a rank outside the communicator");
+      MVIO_CHECK(ev.afterRound != 0, "fault schedule event without a kill round");
+      MVIO_CHECK(ev.duringRecoveryPass >= 0, "fault schedule event with a negative recovery pass");
+      dying.push_back(ev.rank);
     }
+    std::sort(dying.begin(), dying.end());
+    MVIO_CHECK(std::adjacent_find(dying.begin(), dying.end()) == dying.end(),
+               "fault schedule kills the same rank twice");
+    MVIO_CHECK(schedule.front().duringRecoveryPass == 0,
+               "the first failure wave must strike at a round boundary, not during recovery");
   }
+  // Group the schedule into waves: events sharing (afterRound, pass) die
+  // together; each later group is detected by the survivors' next
+  // detection allgather and triggers another recovery pass.
+  std::vector<std::vector<int>> failWaves;
+  for (std::size_t i = 0; i < schedule.size();) {
+    std::size_t j = i;
+    failWaves.emplace_back();
+    while (j < schedule.size() && schedule[j].afterRound == schedule[i].afterRound &&
+           schedule[j].duringRecoveryPass == schedule[i].duringRecoveryPass) {
+      failWaves.back().push_back(schedule[j].rank);
+      ++j;
+    }
+    i = j;
+  }
+  const std::uint64_t firstKillRound = injecting ? schedule.front().afterRound : 0;
 
   // Per-rank worker pool (DESIGN.md §10). The rank thread keeps exclusive
   // ownership of Comm and the sim clock; workers only ever run
@@ -387,8 +424,10 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   // then layer S's — and recovery replays against the same schedule.
   const std::uint64_t roundsR = allreduceMaxU64(comm, stageR.pending());
   const std::uint64_t roundsS = s != nullptr ? allreduceMaxU64(comm, stageS.pending()) : 0;
+  // The agreed schedule lets compaction map GC'd rounds to chunk blobs.
+  ckpt.setRoundSchedule(roundsR, roundsS);
   if (injecting) {
-    MVIO_CHECK(cfg.killPoint.afterRound <= roundsR + roundsS,
+    MVIO_CHECK(schedule.back().afterRound <= roundsR + roundsS,
                "kill point lies beyond the data-round schedule");
   }
 
@@ -486,39 +525,77 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       globalRound += 1;
       ckpt.maybeCheckpoint(globalRound, rrOwner);
 
-      if (injecting && cfg.killPoint.fires(globalRound)) {
-        // Failure detection: one last collective every original rank
-        // takes part in (the simulation's failure detector), then the
-        // communicator shrinks to the survivors and the dead ranks leave
-        // with their volatile state.
-        const bool alive =
-            std::find(failRanks.begin(), failRanks.end(), comm.worldRank()) == failRanks.end();
-        const std::int32_t mine = alive ? comm.worldRank() : ~comm.worldRank();
-        std::vector<std::int32_t> flags(static_cast<std::size_t>(p), 0);
-        comm.allgather(&mine, 1, mpi::Datatype::int32(), flags.data());
-        mpi::Comm shrunk = comm.split(alive ? 1 : 0, comm.rank());
-        if (!alive) {
-          stats.recovery.died = true;
-          return false;
+      if (injecting && globalRound == firstKillRound) {
+        // Failure detection + cascading recovery. Each iteration is one
+        // detection allgather over the current communicator (the
+        // simulation's failure detector): newly dead ranks leave with
+        // their volatile state, the survivors shrink the communicator
+        // and run a recovery pass. Ranks scheduled to die *during* that
+        // pass (or at a later round — everything past the first kill is
+        // recovery territory) are caught by the next iteration, and the
+        // loop only exits on an allgather that reports a stable survivor
+        // set. The seal-scan cache makes the repeated recovery-point
+        // scans free; seeded LPT re-homing composes across the shrinks.
+        recovery::SealScanCache sealCache;
+        std::vector<int> cumulativeDead;
+        std::vector<int> priorOwner;
+        bool alive = true;
+        std::size_t wave = 0;
+        while (true) {
+          if (wave < failWaves.size() &&
+              std::find(failWaves[wave].begin(), failWaves[wave].end(), comm.worldRank()) !=
+                  failWaves[wave].end()) {
+            alive = false;
+          }
+          const std::int32_t mine = alive ? comm.worldRank() : ~comm.worldRank();
+          std::vector<std::int32_t> flags(static_cast<std::size_t>(active.size()), 0);
+          active.allgather(&mine, 1, mpi::Datatype::int32(), flags.data());
+          std::vector<int> survivors;
+          std::vector<int> newlyDead;
+          for (const std::int32_t f : flags) {
+            (f >= 0 ? survivors : newlyDead).push_back(f >= 0 ? f : ~f);
+          }
+          if (newlyDead.empty()) break;  // stable survivor set
+          mpi::Comm shrunk = active.split(alive ? 1 : 0, active.rank());
+          if (!alive) {
+            stats.recovery.died = true;
+            return false;
+          }
+          active = shrunk;
+          std::sort(newlyDead.begin(), newlyDead.end());
+          cumulativeDead.insert(cumulativeDead.end(), newlyDead.begin(), newlyDead.end());
+          std::sort(cumulativeDead.begin(), cumulativeDead.end());
+
+          recovery::RecoveryContext ctx;
+          ctx.checkpoint = ckptCfg;
+          ctx.worldSize = p;
+          ctx.deadRanks = cumulativeDead;
+          ctx.newlyDead = newlyDead;
+          ctx.survivorWorld = survivors;
+          ctx.priorOwner = priorOwner;
+          ctx.failRound = firstKillRound;
+          // The first pass replays every round past the boundary, so for
+          // cascading passes the survivors already hold all rounds.
+          ctx.deliveredRound = priorOwner.empty() ? firstKillRound : roundsR + roundsS;
+          ctx.roundsPerLayer[0] = roundsR;
+          ctx.roundsPerLayer[1] = roundsS;
+          ctx.grid = &grid;
+          ctx.locator = locator ? &*locator : nullptr;
+          ctx.shardedReplay = sc.shardedReplay;
+          ctx.sealCache = &sealCache;
+          recovery::RecoveryOutcome outcome = recovery::recoverFromFailure(
+              active, volume, ctx, ownedR, s != nullptr ? &ownedS : nullptr, &stats.phases);
+          priorOwner = std::move(outcome.cellOwner);
+          stats.recovery.recovered = true;
+          stats.recovery.deadRanks = cumulativeDead.size();
+          stats.recovery.epochUsed = outcome.stats.epochUsed;
+          stats.recovery.restoredRecords += outcome.stats.restoredRecords;
+          stats.recovery.replayedRecords += outcome.stats.replayedRecords;
+          stats.recovery.recoveryPasses += 1;
+          activeWorld = std::move(survivors);
+          wave += 1;
         }
-        active = shrunk;
-        recovery::RecoveryContext ctx;
-        ctx.checkpoint = ckptCfg;
-        ctx.worldSize = p;
-        for (const std::int32_t f : flags) {
-          (f >= 0 ? ctx.survivorWorld : ctx.deadRanks).push_back(f >= 0 ? f : ~f);
-        }
-        std::sort(ctx.deadRanks.begin(), ctx.deadRanks.end());
-        ctx.failRound = globalRound;
-        ctx.roundsPerLayer[0] = roundsR;
-        ctx.roundsPerLayer[1] = roundsS;
-        ctx.grid = &grid;
-        ctx.locator = locator ? &*locator : nullptr;
-        recovery::RecoveryOutcome outcome = recovery::recoverFromFailure(
-            active, volume, ctx, ownedR, s != nullptr ? &ownedS : nullptr, &stats.phases);
-        stats.recovery = outcome.stats;
-        stats.cellOwner = std::move(outcome.cellOwner);
-        activeWorld = std::move(ctx.survivorWorld);
+        stats.cellOwner = std::move(priorOwner);
         recovered = true;
         return false;
       }
@@ -642,16 +719,39 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       }
       stats.cellOwner = std::move(newWorld);
 
+      // Budget-bounded migration: leaving cells are extracted (ascending
+      // cell order) and shipped in passes of at most one store-budget
+      // share of staged outgoing records — one whole cell of slack for a
+      // cell larger than the share — so the transfer respects
+      // StreamConfig::memoryBudget like every other phase. The passes
+      // terminate collectively (a rank with nothing left still joins its
+      // peers' remaining rounds). Every cell moves wholly within one
+      // pass, so per-cell record order — all any consumer depends on —
+      // is identical to the single-pass transfer.
       const auto migrateLayer = [&](CellStore& store) {
-        std::vector<geom::GeometryBatch> outgoing(static_cast<std::size_t>(ap));
+        std::vector<int> leaving;
         for (const int cell : store.cells()) {
-          const int dst = newLocal[static_cast<std::size_t>(cell)];
-          if (dst == active.rank()) continue;
-          outgoing[static_cast<std::size_t>(dst)].splice(store.extractCell(cell));
+          if (newLocal[static_cast<std::size_t>(cell)] != active.rank()) leaving.push_back(cell);
         }
-        geom::GeometryBatch got = migrateShards(active, std::move(outgoing),
-                                                cfg.migrationBlobBytes, &stats.balance.transport);
-        store.addMigrated(std::move(got));
+        const std::uint64_t passBudget = storeBudget == 0 ? UINT64_MAX : storeBudget;
+        std::size_t next = 0;
+        while (true) {
+          std::vector<geom::GeometryBatch> outgoing(static_cast<std::size_t>(ap));
+          std::uint64_t staged = 0;
+          while (next < leaving.size() && staged < passBudget) {
+            const int cell = leaving[next++];
+            geom::GeometryBatch extracted = store.extractCell(cell);
+            staged += extracted.memoryBytes();
+            outgoing[static_cast<std::size_t>(newLocal[static_cast<std::size_t>(cell)])].splice(
+                std::move(extracted));
+          }
+          const std::uint64_t more = allreduceMaxU64(active, next < leaving.size() ? 1 : 0);
+          geom::GeometryBatch got = migrateShards(active, std::move(outgoing),
+                                                  cfg.migrationBlobBytes, &stats.balance.transport);
+          store.addMigrated(std::move(got));
+          stats.balance.migrationPasses += 1;
+          if (more == 0) break;
+        }
       };
       migrateLayer(ownedR);
       if (s != nullptr) migrateLayer(ownedS);

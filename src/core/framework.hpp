@@ -55,6 +55,27 @@ struct DatasetHandle {
   PartitionConfig partition;
 };
 
+/// Checkpoint GC + epoch compaction (DESIGN.md §11). When enabled, after
+/// every `everyEpochs`-th *valid* (untorn) seal each rank folds its delta
+/// shards for epochs `oldBase+1 .. E - keepEpochs` — plus any previous
+/// base — into one checksummed base checkpoint, commits it by writing a
+/// `base.manifest`, and then garbage-collects the folded delta shards,
+/// the superseded base, and the ingest chunk blobs for every round the
+/// new base covers. Recovery loads one base + the bounded delta tail
+/// instead of scanning the full epoch history; the per-rank epoch
+/// manifests and global seals are kept (they are tiny and the seal scan
+/// validates against them). Bytes written by the fold land in
+/// PhaseBreakdown::{compaction, compactionBytes}; bytes deleted land in
+/// PhaseBreakdown::reclaimedBytes.
+struct CompactionPolicy {
+  /// Fold every N valid sealed epochs (0 = compaction disabled).
+  std::uint64_t everyEpochs = 0;
+  /// Epochs kept as deltas behind the newest seal. keepEpochs = 1 at
+  /// seal E folds up to E-1 so a torn seal E still has a delta tail to
+  /// fall back through.
+  std::uint64_t keepEpochs = 1;
+};
+
 /// Streaming-round controls (DESIGN.md §7). The defaults reproduce the
 /// one-shot pipeline: a single round over the whole partition, nothing
 /// ever spilled.
@@ -101,6 +122,16 @@ struct StreamConfig {
   /// truncated, as if the writer died mid-write. Recovery must reject it
   /// and fall back to the previous sealed epoch. 0 = off.
   std::uint64_t tearEpochSeal = 0;
+  /// Checkpoint GC + epoch compaction policy (DESIGN.md §11). Disabled by
+  /// default: every sealed epoch stays on the volume forever.
+  CompactionPolicy compaction;
+  /// Replay strategy after a failure: when true (default) the survivors
+  /// split the unsealed chunk log by source rank and exchange re-projected
+  /// records (replay read volume O(log) in aggregate); when false every
+  /// survivor reads all ranks' logs and filters locally (the PR-5
+  /// communication-free path, O(ranks·log) reads — kept as the
+  /// equivalence reference). Results are bit-identical either way.
+  bool shardedReplay = true;
 
   // ---- Round overlap (DESIGN.md §10) ----------------------------------
   /// Double-buffered streaming: round N's exchange overlaps round N+1's
@@ -136,10 +167,10 @@ struct FrameworkConfig {
   /// and FrameworkStats::cellOwner then follow the new map. Default off:
   /// ownership stays round-robin, nothing moves.
   ///
-  /// Memory caveat: the migration pass itself is not budget-bounded — a
-  /// rank transiently holds its leaving (and then its arriving) records
-  /// resident while they are in flight, outside refinePeakBytes.
-  /// Budget-bounded migration rounds are a ROADMAP item.
+  /// The migration respects StreamConfig::memoryBudget: leaving cells are
+  /// extracted and shipped in bounded passes, so a rank stages at most
+  /// roughly one budget share of outgoing records (plus one cell of
+  /// slack for a cell larger than the budget) at a time.
   bool rebalanceCells = false;
   /// Largest encoded migration blob (migrateShards bound).
   std::uint64_t migrationBlobBytes = 1ull << 20;
@@ -152,10 +183,21 @@ struct FrameworkConfig {
   double rebalanceThreshold = 1.0;
   /// Failure injection: world ranks that die at the kill point (fail-stop;
   /// requires StreamConfig::checkpointEveryRounds > 0 so survivors can
-  /// recover). Empty = no injection.
+  /// recover). Empty = no injection. Legacy single-wave form: every rank
+  /// listed here dies together after killPoint.afterRound rounds —
+  /// equivalent to a failSchedule entry with duringRecoveryPass 0.
   std::vector<int> failRanks;
   /// When the named ranks die: after this many exchange data rounds.
   sim::KillPoint killPoint;
+  /// General fault schedule: each event names a rank, the data-round
+  /// boundary it dies at, and (for cascading failures) which recovery
+  /// pass it dies during. Events sharing a boundary/pass die together;
+  /// events at later boundaries or passes are detected by the survivors'
+  /// next detection allgather and trigger another recovery pass over the
+  /// shrunken communicator. May be combined with failRanks/killPoint
+  /// (which contribute pass-0 events). A rank may die at most once and
+  /// at least one rank must survive the whole schedule.
+  std::vector<sim::FailureEvent> failSchedule;
 };
 
 /// Refine callback: receives the two record collections of one cell as
@@ -224,6 +266,10 @@ struct RebalanceStats {
   /// True when the measured imbalance stayed below
   /// FrameworkConfig::rebalanceThreshold and the migration was skipped.
   bool skipped = false;
+  /// Bounded migration passes executed, summed over both layers (one per
+  /// layer when each leaving set fit one StreamConfig::memoryBudget
+  /// share, or when no budget is set).
+  std::uint64_t migrationPasses = 0;
 };
 
 /// What the checkpoint/recovery subsystem did for this rank (all zero
@@ -237,10 +283,13 @@ struct RecoveryStats {
   bool died = false;
   /// A failure struck and this rank ran the recovery protocol.
   bool recovered = false;
-  std::uint64_t deadRanks = 0;        ///< ranks lost at the kill point
+  std::uint64_t deadRanks = 0;        ///< ranks lost across all waves (cumulative)
   std::uint64_t epochUsed = 0;        ///< sealed epoch restored from (0 = none valid)
   std::uint64_t restoredRecords = 0;  ///< records this rank reloaded from dead ranks' epochs
   std::uint64_t replayedRecords = 0;  ///< records this rank re-derived from the chunk log
+  /// Recovery passes this rank ran (1 for a single failure wave; each
+  /// cascading death detected mid-recovery adds another pass).
+  std::uint64_t recoveryPasses = 0;
 };
 
 struct FrameworkStats {

@@ -30,6 +30,7 @@ struct PhaseBreakdown {
   double migrate = 0;    ///< owned-cell shard migration (rebalancing)
   double checkpoint = 0;  ///< durable chunk-log + epoch-checkpoint writes (modelled)
   double recovery = 0;    ///< failure recovery: restore + replay (modelled + CPU)
+  double compaction = 0;  ///< epoch compaction: base fold read/write I/O (modelled)
   /// Seconds of prep (parse + projection) and store-flush work hidden
   /// under exchange rounds by StreamConfig::overlapRounds. Concurrent
   /// with `comm` on the modelled timeline, so excluded from total() —
@@ -56,18 +57,22 @@ struct PhaseBreakdown {
   std::uint64_t checkpointEpochs = 0;  ///< epochs this rank sealed
   std::uint64_t recoveryBytes = 0;     ///< durable bytes this rank read back recovering
   std::uint64_t recoveryRounds = 0;    ///< data rounds replayed from the chunk log
+  std::uint64_t compactionBytes = 0;   ///< durable bytes written folding epochs into the base
+  std::uint64_t reclaimedBytes = 0;    ///< durable bytes deleted by checkpoint GC
 
   [[nodiscard]] double total() const {
-    return read + parse + partition + comm + compute + spill + migrate + checkpoint + recovery;
+    return read + parse + partition + comm + compute + spill + migrate + checkpoint + recovery +
+           compaction;
   }
 
   /// Field-wise max across all ranks (collective).
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
     PhaseBreakdown out;
-    double mine[12] = {read,       parse,    partition, comm,       compute,   spill,
-                       migrate,    checkpoint, recovery, overlapped, workerCpu, workerCritical};
-    double reduced[12] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 12, mpi::Datatype::float64(), mpi::Op::max());
+    double mine[13] = {read,       parse,      partition, comm,       compute,
+                       spill,      migrate,    checkpoint, recovery,  overlapped,
+                       workerCpu,  workerCritical, compaction};
+    double reduced[13] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(mine, reduced, 13, mpi::Datatype::float64(), mpi::Op::max());
     out.read = reduced[0];
     out.parse = reduced[1];
     out.partition = reduced[2];
@@ -80,10 +85,12 @@ struct PhaseBreakdown {
     out.overlapped = reduced[9];
     out.workerCpu = reduced[10];
     out.workerCritical = reduced[11];
-    std::uint64_t counts[8] = {rounds,          refineSpillBytes, migrateBytes,  migrateRounds,
-                               checkpointBytes, checkpointEpochs, recoveryBytes, recoveryRounds};
-    std::uint64_t countsOut[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(counts, countsOut, 8, mpi::Datatype::uint64(), mpi::Op::max());
+    out.compaction = reduced[12];
+    std::uint64_t counts[10] = {rounds,          refineSpillBytes, migrateBytes,  migrateRounds,
+                                checkpointBytes, checkpointEpochs, recoveryBytes, recoveryRounds,
+                                compactionBytes, reclaimedBytes};
+    std::uint64_t countsOut[10] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    comm_.allreduce(counts, countsOut, 10, mpi::Datatype::uint64(), mpi::Op::max());
     out.rounds = countsOut[0];
     out.refineSpillBytes = countsOut[1];
     out.migrateBytes = countsOut[2];
@@ -92,6 +99,8 @@ struct PhaseBreakdown {
     out.checkpointEpochs = countsOut[5];
     out.recoveryBytes = countsOut[6];
     out.recoveryRounds = countsOut[7];
+    out.compactionBytes = countsOut[8];
+    out.reclaimedBytes = countsOut[9];
     return out;
   }
 };

@@ -18,11 +18,14 @@ using util::readScalar;
 constexpr std::uint32_t kSealMagic = 0x4743564Du;      // "MVCG" little-endian
 constexpr std::uint32_t kManifestMagic = 0x5243564Du;  // "MVCR"
 constexpr std::uint32_t kIngestMagic = 0x4943564Du;    // "MVCI"
+constexpr std::uint32_t kBaseMagic = 0x4243564Du;      // "MVCB"
 constexpr std::uint32_t kVersion = 1;
 
 std::string chunkName(int layer, std::uint64_t chunk) {
   return std::string("ing.") + layerTag(layer) + "." + std::to_string(chunk);
 }
+
+std::string baseManifestName() { return "base.manifest"; }
 
 std::string deltaName(std::uint64_t epoch, int layer, std::uint64_t shard) {
   return "ep" + std::to_string(epoch) + "." + layerTag(layer) + "." + std::to_string(shard);
@@ -67,6 +70,71 @@ std::string rankPrefix(const std::string& dir, int worldRank) {
 
 std::string globalPrefix(const std::string& dir) { return dir + "/global"; }
 
+std::string baseShardName(std::uint64_t baseEpoch, int layer, std::uint64_t shard) {
+  return "base" + std::to_string(baseEpoch) + "." + layerTag(layer) + "." + std::to_string(shard);
+}
+
+std::string encodeIngestManifest(const IngestLog& log) {
+  std::string m;
+  putScalar<std::uint32_t>(m, kIngestMagic);
+  putScalar<std::uint32_t>(m, kVersion);
+  putScalar<std::uint64_t>(m, log.chunks[0]);
+  putScalar<std::uint64_t>(m, log.chunks[1]);
+  putScalar<std::uint64_t>(m, fnv1a(m.data(), m.size()));
+  return m;
+}
+
+std::string encodeRankManifest(const RankEpochManifest& manifest) {
+  std::string m;
+  putScalar<std::uint32_t>(m, kManifestMagic);
+  putScalar<std::uint32_t>(m, kVersion);
+  putScalar<std::uint64_t>(m, manifest.epoch);
+  putScalar<std::uint64_t>(m, manifest.globalRound);
+  for (int layer = 0; layer < 2; ++layer) {
+    putScalar<std::uint64_t>(m, manifest.records[layer]);
+    putScalar<std::uint64_t>(m, manifest.shards[layer].size());
+    for (const auto& s : manifest.shards[layer]) {
+      putScalar<std::uint64_t>(m, s.bytes);
+      putScalar<std::uint64_t>(m, s.checksum);
+    }
+  }
+  putScalar<std::uint64_t>(m, fnv1a(m.data(), m.size()));
+  return m;
+}
+
+std::string encodeEpochSeal(const EpochSeal& seal) {
+  std::string s;
+  putScalar<std::uint32_t>(s, kSealMagic);
+  putScalar<std::uint32_t>(s, kVersion);
+  putScalar<std::uint64_t>(s, seal.epoch);
+  putScalar<std::uint64_t>(s, seal.roundsCompleted);
+  putScalar<std::uint32_t>(s, static_cast<std::uint32_t>(seal.worldSize));
+  putScalar<std::uint32_t>(s, static_cast<std::uint32_t>(seal.cellOwner.size()));
+  for (const int owner : seal.cellOwner) putScalar<std::int32_t>(s, owner);
+  for (const std::uint64_t load : seal.cellLoads) putScalar<std::uint64_t>(s, load);
+  for (const std::uint64_t c : seal.rankManifestChecksums) putScalar<std::uint64_t>(s, c);
+  putScalar<std::uint64_t>(s, fnv1a(s.data(), s.size()));
+  return s;
+}
+
+std::string encodeBaseManifest(const BaseManifest& base) {
+  std::string m;
+  putScalar<std::uint32_t>(m, kBaseMagic);
+  putScalar<std::uint32_t>(m, kVersion);
+  putScalar<std::uint64_t>(m, base.baseEpoch);
+  putScalar<std::uint64_t>(m, base.roundsCovered);
+  for (int layer = 0; layer < 2; ++layer) {
+    putScalar<std::uint64_t>(m, base.records[layer]);
+    putScalar<std::uint64_t>(m, base.shards[layer].size());
+    for (const auto& s : base.shards[layer]) {
+      putScalar<std::uint64_t>(m, s.bytes);
+      putScalar<std::uint64_t>(m, s.checksum);
+    }
+  }
+  putScalar<std::uint64_t>(m, fnv1a(m.data(), m.size()));
+  return m;
+}
+
 CheckpointCoordinator::CheckpointCoordinator(mpi::Comm& comm, pfs::Volume& volume,
                                              CheckpointConfig cfg, core::PhaseBreakdown* phases)
     : comm_(&comm),
@@ -88,24 +156,35 @@ void CheckpointCoordinator::put(const std::string& name, std::string bytes) {
   rankStore_.put(name, std::move(bytes));
 }
 
+void CheckpointCoordinator::chargeCompact(std::uint64_t bytes, bool isWrite) {
+  const double t = pricer_.seconds(bytes, isWrite, comm_->clock().now());
+  comm_->clock().advanceBy(t);
+  phases_->compaction += t;
+  if (isWrite) phases_->compactionBytes += bytes;
+}
+
+void CheckpointCoordinator::setRoundSchedule(std::uint64_t roundsR, std::uint64_t roundsS) {
+  roundsR_ = roundsR;
+  roundsS_ = roundsS;
+  scheduleKnown_ = true;
+}
+
 void CheckpointCoordinator::logChunk(int layer, const geom::GeometryBatch& chunk) {
   if (!enabled()) return;
   std::string blob;
   blob.reserve(geom::shardEncodedSize(chunk, 0, chunk.size()));
   geom::encodeShard(chunk, blob);
+  chunkBytes_[layer].push_back(blob.size());
   put(chunkName(layer, chunks_[layer]), std::move(blob));
   chunks_[layer] += 1;
 }
 
 void CheckpointCoordinator::sealIngest() {
   if (!enabled()) return;
-  std::string m;
-  putScalar<std::uint32_t>(m, kIngestMagic);
-  putScalar<std::uint32_t>(m, kVersion);
-  putScalar<std::uint64_t>(m, chunks_[0]);
-  putScalar<std::uint64_t>(m, chunks_[1]);
-  putScalar<std::uint64_t>(m, fnv1a(m.data(), m.size()));
-  put("ing.manifest", std::move(m));
+  IngestLog log;
+  log.chunks[0] = chunks_[0];
+  log.chunks[1] = chunks_[1];
+  put("ing.manifest", encodeIngestManifest(log));
 }
 
 void CheckpointCoordinator::noteRound(int layer, const geom::GeometryBatch& delivered) {
@@ -138,21 +217,8 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
                       });
     delta_[layer] = geom::GeometryBatch();
   }
-  std::string m;
-  putScalar<std::uint32_t>(m, kManifestMagic);
-  putScalar<std::uint32_t>(m, kVersion);
-  putScalar<std::uint64_t>(m, manifest.epoch);
-  putScalar<std::uint64_t>(m, manifest.globalRound);
-  for (int layer = 0; layer < 2; ++layer) {
-    putScalar<std::uint64_t>(m, manifest.records[layer]);
-    putScalar<std::uint64_t>(m, manifest.shards[layer].size());
-    for (const auto& s : manifest.shards[layer]) {
-      putScalar<std::uint64_t>(m, s.bytes);
-      putScalar<std::uint64_t>(m, s.checksum);
-    }
-  }
-  const std::uint64_t manifestChecksum = fnv1a(m.data(), m.size());
-  putScalar<std::uint64_t>(m, manifestChecksum);
+  std::string m = encodeRankManifest(manifest);
+  const std::uint64_t manifestChecksum = fnv1a(m.data(), m.size() - 8);
   put(manifestName(epoch_), std::move(m));
 
   // 2. Collective seal: global cumulative loads, every rank's manifest
@@ -169,17 +235,14 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
   comm_->gather(&manifestChecksum, 1, mpi::Datatype::uint64(), checksums.data(), 0);
 
   if (comm_->rank() == 0) {
-    std::string seal;
-    putScalar<std::uint32_t>(seal, kSealMagic);
-    putScalar<std::uint32_t>(seal, kVersion);
-    putScalar<std::uint64_t>(seal, epoch_);
-    putScalar<std::uint64_t>(seal, globalRound);
-    putScalar<std::uint32_t>(seal, static_cast<std::uint32_t>(comm_->size()));
-    putScalar<std::uint32_t>(seal, static_cast<std::uint32_t>(cells));
-    for (const int owner : cellOwner) putScalar<std::int32_t>(seal, owner);
-    for (const std::uint64_t load : globalLoads) putScalar<std::uint64_t>(seal, load);
-    for (const std::uint64_t c : checksums) putScalar<std::uint64_t>(seal, c);
-    putScalar<std::uint64_t>(seal, fnv1a(seal.data(), seal.size()));
+    EpochSeal sealData;
+    sealData.epoch = epoch_;
+    sealData.roundsCompleted = globalRound;
+    sealData.worldSize = comm_->size();
+    sealData.cellOwner = cellOwner;
+    sealData.cellLoads = std::move(globalLoads);
+    sealData.rankManifestChecksums = checksums;
+    std::string seal = encodeEpochSeal(sealData);
     if (cfg_.tearEpochSeal == epoch_) {
       // Torn-write injection: the writer "died" mid-seal. Recovery must
       // treat this epoch as never committed.
@@ -197,7 +260,119 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
   // epoch is either fully visible to recovery or not attempted.
   comm_->barrier();
   phases_->checkpointEpochs += 1;
+  maybeCompact();
   return true;
+}
+
+void CheckpointCoordinator::maybeCompact() {
+  if (cfg_.compactEveryEpochs == 0 || epoch_ % cfg_.compactEveryEpochs != 0) return;
+  // A torn seal means this epoch never committed; folding up to it would
+  // leave recovery with a base newer than the newest *valid* seal.
+  if (cfg_.tearEpochSeal == epoch_) return;
+  const std::uint64_t target =
+      epoch_ > cfg_.compactKeepEpochs ? epoch_ - cfg_.compactKeepEpochs : 0;
+  if (target == 0 || target <= baseEpoch_) return;
+
+  const int me = comm_->worldRank();
+  std::uint64_t readBytes = 0;
+
+  // 1. Splice the current base (if any) and the folding epochs' deltas
+  // back together, in epoch order — the same arrival-ordered
+  // concatenation recovery would have produced.
+  geom::GeometryBatch folded[2];
+  std::optional<BaseManifest> oldBase;
+  if (baseEpoch_ != 0) {
+    oldBase = readBaseManifest(*volume_, cfg_.dir, me, &readBytes);
+    MVIO_CHECK(oldBase.has_value() && oldBase->baseEpoch == baseEpoch_,
+               "compaction: base manifest missing or stale");
+    for (int layer = 0; layer < 2; ++layer) {
+      for (std::size_t k = 0; k < oldBase->shards[layer].size(); ++k) {
+        const std::string name = baseShardName(baseEpoch_, layer, k);
+        MVIO_CHECK(rankStore_.contains(name), "compaction: missing base shard " + name);
+        const std::string blob = rankStore_.fetch(name);
+        readBytes += blob.size();
+        geom::decodeShard(blob, folded[layer]);
+      }
+    }
+  }
+  std::vector<RankEpochManifest> foldedManifests;
+  for (std::uint64_t e = baseEpoch_ + 1; e <= target; ++e) {
+    std::optional<RankEpochManifest> man = readRankManifest(*volume_, cfg_.dir, me, e, &readBytes);
+    MVIO_CHECK(man.has_value(), "compaction: epoch manifest " + std::to_string(e) + " unreadable");
+    for (int layer = 0; layer < 2; ++layer) {
+      for (std::size_t k = 0; k < man->shards[layer].size(); ++k) {
+        const std::string name = deltaName(e, layer, k);
+        MVIO_CHECK(rankStore_.contains(name), "compaction: missing delta shard " + name);
+        const std::string blob = rankStore_.fetch(name);
+        readBytes += blob.size();
+        geom::decodeShard(blob, folded[layer]);
+      }
+    }
+    foldedManifests.push_back(std::move(*man));
+  }
+  chargeCompact(readBytes, /*isWrite=*/false);
+
+  // 2. Write the new base shards, then commit with the base manifest.
+  BaseManifest next;
+  next.baseEpoch = target;
+  next.roundsCovered = target * cfg_.everyRounds;
+  for (int layer = 0; layer < 2; ++layer) {
+    next.records[layer] = folded[layer].size();
+    encodeDeltaShards(folded[layer], cfg_.maxShardBytes, next.shards[layer],
+                      [&](std::uint64_t k, std::string blob) {
+                        chargeCompact(blob.size(), /*isWrite=*/true);
+                        rankStore_.put(baseShardName(target, layer, k), std::move(blob));
+                      });
+  }
+  std::string m = encodeBaseManifest(next);
+  chargeCompact(m.size(), /*isWrite=*/true);
+  rankStore_.put(baseManifestName(), std::move(m));
+
+  // 3. GC everything the new base supersedes: the old base, the folded
+  // delta shards (their manifests stay — the seal scan validates against
+  // them), and the chunk-log rounds the base covers. Deletes are metadata
+  // operations: no time is charged, only the reclaimed volume counted.
+  std::uint64_t reclaimed = 0;
+  if (oldBase.has_value()) {
+    for (int layer = 0; layer < 2; ++layer) {
+      for (std::size_t k = 0; k < oldBase->shards[layer].size(); ++k) {
+        const std::string name = baseShardName(oldBase->baseEpoch, layer, k);
+        if (rankStore_.contains(name)) {
+          reclaimed += oldBase->shards[layer][k].bytes;
+          rankStore_.remove(name);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < foldedManifests.size(); ++i) {
+    const RankEpochManifest& man = foldedManifests[i];
+    for (int layer = 0; layer < 2; ++layer) {
+      for (std::size_t k = 0; k < man.shards[layer].size(); ++k) {
+        const std::string name = deltaName(man.epoch, layer, k);
+        if (rankStore_.contains(name)) {
+          reclaimed += man.shards[layer][k].bytes;
+          rankStore_.remove(name);
+        }
+      }
+    }
+  }
+  if (scheduleKnown_) {
+    const std::uint64_t coveredRounds =
+        std::min(next.roundsCovered, roundsR_ + roundsS_);
+    for (std::uint64_t t = truncatedRounds_ + 1; t <= coveredRounds; ++t) {
+      const int layer = t <= roundsR_ ? 0 : 1;
+      const std::uint64_t idx = layer == 0 ? t - 1 : t - roundsR_ - 1;
+      if (idx >= chunkBytes_[layer].size()) continue;  // this rank logged fewer chunks
+      const std::string name = chunkName(layer, idx);
+      if (rankStore_.contains(name)) {
+        reclaimed += chunkBytes_[layer][idx];
+        rankStore_.remove(name);
+      }
+    }
+    truncatedRounds_ = std::max(truncatedRounds_, coveredRounds);
+  }
+  phases_->reclaimedBytes += reclaimed;
+  baseEpoch_ = target;
 }
 
 std::optional<EpochSeal> readEpochSeal(pfs::Volume& volume, const std::string& dir,
@@ -276,11 +451,19 @@ std::optional<RankEpochManifest> readRankManifest(pfs::Volume& volume, const std
 
 std::optional<EpochSeal> findLastSealedEpoch(pfs::Volume& volume, const std::string& dir,
                                              int worldSize, std::uint64_t maxEpoch,
-                                             std::uint64_t* bytesRead) {
+                                             std::uint64_t* bytesRead, SealScanCache* cache) {
   for (std::uint64_t epoch = maxEpoch; epoch >= 1; --epoch) {
+    if (cache != nullptr) {
+      // Memoized verdicts: a fully validated seal is final (the blobs are
+      // immutable once sealed), and a rejected epoch stays rejected.
+      if (cache->validated && cache->validated->epoch == epoch) return cache->validated;
+      if (std::find(cache->rejected.begin(), cache->rejected.end(), epoch) !=
+          cache->rejected.end()) {
+        continue;
+      }
+    }
     std::optional<EpochSeal> seal = readEpochSeal(volume, dir, epoch, bytesRead);
-    if (!seal || seal->worldSize != worldSize) continue;
-    bool complete = true;
+    bool complete = seal.has_value() && seal->worldSize == worldSize;
     for (int r = 0; r < worldSize && complete; ++r) {
       // The manifest must exist, re-checksum to the value the seal
       // recorded, and name this epoch — otherwise the epoch is partial.
@@ -292,9 +475,73 @@ std::optional<EpochSeal> findLastSealedEpoch(pfs::Volume& volume, const std::str
         complete = false;
       }
     }
-    if (complete) return seal;
+    if (complete) {
+      if (cache != nullptr) cache->validated = seal;
+      return seal;
+    }
+    if (cache != nullptr) cache->rejected.push_back(epoch);
   }
   return std::nullopt;
+}
+
+std::optional<BaseManifest> readBaseManifest(pfs::Volume& volume, const std::string& dir,
+                                             int worldRank, std::uint64_t* bytesRead) {
+  std::string blob;
+  if (!fetchIfPresent(volume, rankPrefix(dir, worldRank), baseManifestName(), blob, bytesRead)) {
+    return std::nullopt;
+  }
+  if (blob.size() < 4 + 4 + 8 + 8 + 8) return std::nullopt;
+  if (fnv1a(blob.data(), blob.size() - 8) !=
+      readScalar<std::uint64_t>(blob.data() + blob.size() - 8)) {
+    return std::nullopt;
+  }
+  if (readScalar<std::uint32_t>(blob.data()) != kBaseMagic) return std::nullopt;
+  if (readScalar<std::uint32_t>(blob.data() + 4) != kVersion) return std::nullopt;
+  BaseManifest base;
+  base.baseEpoch = readScalar<std::uint64_t>(blob.data() + 8);
+  base.roundsCovered = readScalar<std::uint64_t>(blob.data() + 16);
+  const char* p = blob.data() + 24;
+  const char* end = blob.data() + blob.size() - 8;
+  for (int layer = 0; layer < 2; ++layer) {
+    if (p + 16 > end) return std::nullopt;
+    base.records[layer] = readScalar<std::uint64_t>(p);
+    const auto shards = readScalar<std::uint64_t>(p + 8);
+    p += 16;
+    if (static_cast<std::uint64_t>(end - p) < shards * 16) return std::nullopt;
+    base.shards[layer].resize(static_cast<std::size_t>(shards));
+    for (auto& s : base.shards[layer]) {
+      s.bytes = readScalar<std::uint64_t>(p);
+      s.checksum = readScalar<std::uint64_t>(p + 8);
+      p += 16;
+    }
+  }
+  if (p != end || base.baseEpoch == 0) return std::nullopt;
+  return base;
+}
+
+std::uint64_t loadBaseCheckpoint(pfs::Volume& volume, const std::string& dir, int worldRank,
+                                 const BaseManifest& base, int layer,
+                                 const std::vector<int>& sealOwner, geom::GeometryBatch& out,
+                                 std::uint64_t* bytesRead) {
+  const std::size_t before = out.size();
+  pfs::SpillStore store(volume, rankPrefix(dir, worldRank));
+  for (std::size_t k = 0; k < base.shards[layer].size(); ++k) {
+    const std::string name = baseShardName(base.baseEpoch, layer, k);
+    MVIO_CHECK(store.contains(name), "recovery: missing base checkpoint shard " + name);
+    const std::string blob = store.fetch(name);
+    if (bytesRead != nullptr) *bytesRead += blob.size();
+    const RankEpochManifest::Shard& ref = base.shards[layer][k];
+    MVIO_CHECK(blob.size() == ref.bytes && fnv1a(blob.data(), blob.size()) == ref.checksum,
+               "recovery: base checkpoint shard " + name + " does not match its manifest");
+    geom::GeometryBatch piece;
+    geom::decodeShard(blob, piece);
+    core::validateCellOwnership(piece, sealOwner, worldRank, "recovery base checkpoint");
+    out.splice(std::move(piece));
+  }
+  const std::uint64_t appended = out.size() - before;
+  MVIO_CHECK(appended == base.records[layer],
+             "recovery: base checkpoint record count does not match its manifest");
+  return appended;
 }
 
 std::uint64_t loadEpochDelta(pfs::Volume& volume, const std::string& dir, int worldRank,

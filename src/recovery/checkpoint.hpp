@@ -60,6 +60,13 @@ struct CheckpointConfig {
   /// Encoded-size bound for one epoch delta shard (a delta larger than
   /// this splits into several blobs).
   std::uint64_t maxShardBytes = 1ull << 20;
+  /// Epoch compaction + GC (core::CompactionPolicy semantics): after
+  /// every compactEveryEpochs-th valid seal E, fold epochs up to
+  /// E - compactKeepEpochs into the base checkpoint and delete the folded
+  /// delta shards, the superseded base, and the chunk-log blobs the base
+  /// covers. 0 = never compact.
+  std::uint64_t compactEveryEpochs = 0;
+  std::uint64_t compactKeepEpochs = 1;
 };
 
 /// Layer index used in blob names: 0 = R, 1 = S.
@@ -98,11 +105,22 @@ class CheckpointCoordinator {
   /// (loads allreduce + manifest-checksum gather + rank 0's seal write).
   /// `cellOwner` is the active cell→rank map in world ranks. Returns
   /// true when an epoch was sealed (collective call on those rounds).
+  /// When the compaction policy fires on this seal, each rank then folds
+  /// its old epochs into the base checkpoint and garbage-collects
+  /// (rank-local, after the seal barrier).
   bool maybeCheckpoint(std::uint64_t globalRound, const std::vector<int>& cellOwner);
+
+  /// Tell the coordinator the agreed data-round schedule (allreduced
+  /// chunk counts per layer) so chunk-log GC can map covered rounds back
+  /// to blob names. Without it compaction still folds epochs but leaves
+  /// the chunk log alone.
+  void setRoundSchedule(std::uint64_t roundsR, std::uint64_t roundsS);
 
  private:
   void charge(std::uint64_t bytes, bool isWrite);
+  void chargeCompact(std::uint64_t bytes, bool isWrite);
   void put(const std::string& name, std::string bytes);
+  void maybeCompact();
 
   mpi::Comm* comm_;
   pfs::Volume* volume_;
@@ -114,7 +132,12 @@ class CheckpointCoordinator {
   geom::GeometryBatch delta_[2];          ///< arrivals since the last epoch, per layer
   std::vector<std::uint64_t> cellLoads_;  ///< cumulative per-cell arrival counts
   std::uint64_t chunks_[2] = {0, 0};
+  std::vector<std::uint64_t> chunkBytes_[2];  ///< encoded size of each logged chunk (GC accounting)
   std::uint64_t epoch_ = 0;
+  std::uint64_t baseEpoch_ = 0;           ///< newest committed base (0 = none)
+  std::uint64_t truncatedRounds_ = 0;     ///< chunk-log rounds already GC'd
+  std::uint64_t roundsR_ = 0, roundsS_ = 0;
+  bool scheduleKnown_ = false;
 };
 
 // ---- Reader side (recovery + crash-consistency tests) --------------------
@@ -141,6 +164,34 @@ struct EpochSeal {
   std::vector<std::uint64_t> rankManifestChecksums;  ///< one per world rank
 };
 
+/// Base checkpoint manifest: epochs 1..baseEpoch folded into one set of
+/// checksummed shards per layer. Written (and overwritten) by compaction;
+/// the manifest write is the fold's commit point.
+struct BaseManifest {
+  std::uint64_t baseEpoch = 0;      ///< newest epoch the base covers
+  std::uint64_t roundsCovered = 0;  ///< data rounds covered by epochs 1..baseEpoch
+  std::uint64_t records[2] = {0, 0};
+  std::vector<RankEpochManifest::Shard> shards[2];
+};
+
+/// Per-rank chunk counts from the ingest manifest (see readIngestLog).
+struct IngestLog {
+  std::uint64_t chunks[2] = {0, 0};
+};
+
+// ---- Durable codec encoders -----------------------------------------------
+// The exact byte layouts the readers below validate, exposed so
+// crash-consistency and fuzz tests can build well-formed blobs and then
+// corrupt them. Every encoding ends with a trailing fnv1a checksum of all
+// preceding bytes.
+std::string encodeIngestManifest(const IngestLog& log);
+std::string encodeRankManifest(const RankEpochManifest& manifest);
+std::string encodeEpochSeal(const EpochSeal& seal);
+std::string encodeBaseManifest(const BaseManifest& base);
+
+/// Blob name of one base-checkpoint shard under the owning rank's prefix.
+std::string baseShardName(std::uint64_t baseEpoch, int layer, std::uint64_t shard);
+
 /// Decode + checksum-validate one epoch seal. nullopt when the blob is
 /// missing, truncated, torn, or fails its checksum.
 std::optional<EpochSeal> readEpochSeal(pfs::Volume& volume, const std::string& dir,
@@ -151,14 +202,32 @@ std::optional<RankEpochManifest> readRankManifest(pfs::Volume& volume, const std
                                                   int worldRank, std::uint64_t epoch,
                                                   std::uint64_t* bytesRead = nullptr);
 
+/// Decode + checksum-validate one rank's base-checkpoint manifest.
+/// nullopt when the rank has no base (never compacted) or the blob is
+/// corrupt.
+std::optional<BaseManifest> readBaseManifest(pfs::Volume& volume, const std::string& dir,
+                                             int worldRank, std::uint64_t* bytesRead = nullptr);
+
+/// Memo for findLastSealedEpoch across cascading recovery passes: the
+/// newest fully validated seal and the epochs already rejected. A second
+/// scan over the same history answers from the cache without re-reading
+/// (or re-checksumming) any seal or rank manifest.
+struct SealScanCache {
+  std::optional<EpochSeal> validated;
+  std::vector<std::uint64_t> rejected;
+};
+
 /// Newest epoch ≤ maxEpoch that is *fully* sealed: its seal decodes and
 /// every rank's manifest exists, matches the seal's recorded checksum,
 /// and names the same epoch. Torn or partial epochs are skipped — the
 /// scan falls back toward older epochs and returns nullopt when none
-/// survives validation (recovery then replays from round 0).
+/// survives validation (recovery then replays from round 0). `cache`,
+/// when given, memoizes per-epoch verdicts so repeated scans (cascading
+/// recoveries) cost zero reads.
 std::optional<EpochSeal> findLastSealedEpoch(pfs::Volume& volume, const std::string& dir,
                                              int worldSize, std::uint64_t maxEpoch,
-                                             std::uint64_t* bytesRead = nullptr);
+                                             std::uint64_t* bytesRead = nullptr,
+                                             SealScanCache* cache = nullptr);
 
 /// Reload one rank's epoch delta for `layer`, appending to `out`:
 /// validates each blob against the manifest's per-shard checksum, decodes
@@ -170,12 +239,17 @@ std::uint64_t loadEpochDelta(pfs::Volume& volume, const std::string& dir, int wo
                              const std::vector<int>& sealOwner,
                              geom::GeometryBatch& out, std::uint64_t* bytesRead = nullptr);
 
+/// Reload one rank's base checkpoint for `layer`, appending to `out`,
+/// with the same per-shard checksum + ownership + record-count validation
+/// as loadEpochDelta. Returns the records appended.
+std::uint64_t loadBaseCheckpoint(pfs::Volume& volume, const std::string& dir, int worldRank,
+                                 const BaseManifest& base, int layer,
+                                 const std::vector<int>& sealOwner, geom::GeometryBatch& out,
+                                 std::uint64_t* bytesRead = nullptr);
+
 /// Per-rank chunk counts from the ingest manifest. Throws util::Error
 /// when the manifest is missing or corrupt (the chunk log is the replay
 /// source of truth; without it recovery is impossible).
-struct IngestLog {
-  std::uint64_t chunks[2] = {0, 0};
-};
 IngestLog readIngestLog(pfs::Volume& volume, const std::string& dir, int worldRank,
                         std::uint64_t* bytesRead = nullptr);
 

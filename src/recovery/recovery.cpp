@@ -4,6 +4,7 @@
 
 #include "core/exchange.hpp"
 #include "core/grid.hpp"
+#include "sim/clock.hpp"
 #include "util/error.hpp"
 
 namespace mvio::recovery {
@@ -43,6 +44,7 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
                                    core::CellStore* ownedS, core::PhaseBreakdown* phases) {
   MVIO_CHECK(ctx.grid != nullptr && ctx.worldSize >= 2, "recovery: malformed context");
   const int myWorld = survivors.worldRank();
+  const int nSurv = survivors.size();
   const std::size_t cells = static_cast<std::size_t>(ctx.grid->cellCount());
   const double t0 = survivors.clock().now();
   // Decode + re-projection CPU is charged alongside the modelled reads.
@@ -62,32 +64,44 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
   auto isDead = [&](int world) {
     return std::binary_search(ctx.deadRanks.begin(), ctx.deadRanks.end(), world);
   };
+  const std::vector<int>& newlyDead = ctx.newlyDead.empty() ? ctx.deadRanks : ctx.newlyDead;
+  auto isNewlyDead = [&](int world) {
+    return std::binary_search(newlyDead.begin(), newlyDead.end(), world);
+  };
 
   RecoveryOutcome out;
   out.stats.recovered = true;
   out.stats.deadRanks = ctx.deadRanks.size();
+  out.stats.recoveryPasses = 1;
 
   // 1. Recovery point: the newest fully sealed epoch at or before the
-  // failure. Every survivor reads and validates the same blobs.
+  // failure. Every survivor reads and validates the same blobs; the
+  // cross-pass cache answers repeated (cascading) scans without reads.
   const std::uint64_t maxEpoch = ctx.failRound / ctx.checkpoint.everyRounds;
-  const std::optional<EpochSeal> seal =
-      findLastSealedEpoch(volume, ctx.checkpoint.dir, ctx.worldSize, maxEpoch, &bytesRead);
+  const std::optional<EpochSeal> seal = findLastSealedEpoch(
+      volume, ctx.checkpoint.dir, ctx.worldSize, maxEpoch, &bytesRead, ctx.sealCache);
   const std::uint64_t sealedRound = seal ? seal->roundsCompleted : 0;
   out.stats.epochUsed = seal ? seal->epoch : 0;
   std::vector<std::uint64_t> sealLoads = seal ? seal->cellLoads : std::vector<std::uint64_t>();
   sealLoads.resize(cells, 0);
 
-  // 2. Re-home: survivors keep their round-robin cells, orphans are LPT
-  // re-assigned over the survivors seeded with the sealed loads.
-  out.cellOwner.resize(cells);
+  // 2. Re-home: survivors keep the cells they held before this wave,
+  // cells of the newly dead are LPT re-assigned over the survivors
+  // seeded with the sealed loads. `sealOwner` — the stale-manifest
+  // reference for every durable shard — is always the round-robin map
+  // the checkpoints were written under, regardless of how many times
+  // ownership was re-homed since.
+  std::vector<int> sealOwner(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    sealOwner[c] = core::roundRobinOwner(static_cast<int>(c), ctx.worldSize);
+  }
+  MVIO_CHECK(ctx.priorOwner.empty() || ctx.priorOwner.size() == cells,
+             "recovery: prior owner map size mismatch");
+  out.cellOwner = ctx.priorOwner.empty() ? sealOwner : ctx.priorOwner;
   std::vector<char> orphan(cells, 0);
   for (std::size_t c = 0; c < cells; ++c) {
-    out.cellOwner[c] = core::roundRobinOwner(static_cast<int>(c), ctx.worldSize);
-    orphan[c] = isDead(out.cellOwner[c]) ? 1 : 0;
+    orphan[c] = isNewlyDead(out.cellOwner[c]) ? 1 : 0;
   }
-  // The pre-failure map — the stale-manifest reference for the delta
-  // shards — is exactly what cellOwner holds before re-homing mutates it.
-  const std::vector<int> sealOwner = out.cellOwner;
   rehomeOrphans(out.cellOwner, orphan, sealLoads, ctx.survivorWorld);
 
   if (seal) {
@@ -95,11 +109,50 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
                "recovery: sealed cell map does not match the exchange-round ownership");
   }
 
-  // 3. Restore the dead ranks' sealed arrivals, keeping the orphaned
-  // cells this survivor now owns.
+  // 3. Restore the sealed arrivals of the orphaned cells. An orphaned
+  // cell's durable shards live under its *round-robin* owner — which is
+  // always one of the cumulative dead ranks (a survivor's own cells are
+  // never orphaned: it still holds their records). Per source rank the
+  // base checkpoint (when compaction folded one) covers epochs
+  // 1..baseEpoch; the delta tail covers the rest up to the seal.
   core::CellStore* stores[2] = {&ownedR, ownedS};
+  std::vector<char> srcNeeded(static_cast<std::size_t>(ctx.worldSize), 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (!orphan[c]) continue;
+    MVIO_CHECK(isDead(sealOwner[c]),
+               "recovery: orphaned cell's checkpoint source is not a dead rank");
+    srcNeeded[static_cast<std::size_t>(sealOwner[c])] = 1;
+  }
+  auto keepRestored = [&](const geom::GeometryBatch& batch, geom::GeometryBatch& kept) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const int cell = batch.cell(i);
+      if (orphan[static_cast<std::size_t>(cell)] &&
+          out.cellOwner[static_cast<std::size_t>(cell)] == myWorld) {
+        kept.appendRecordFrom(batch, i, cell);
+      }
+    }
+  };
   for (const int dead : ctx.deadRanks) {
-    for (std::uint64_t epoch = 1; seal && epoch <= seal->epoch; ++epoch) {
+    if (!srcNeeded[static_cast<std::size_t>(dead)] || !seal) continue;
+    std::uint64_t firstDelta = 1;
+    const std::optional<BaseManifest> base =
+        readBaseManifest(volume, ctx.checkpoint.dir, dead, &bytesRead);
+    if (base) {
+      MVIO_CHECK(base->baseEpoch <= seal->epoch,
+                 "recovery: base checkpoint newer than the recovery point");
+      firstDelta = base->baseEpoch + 1;
+      for (int layer = 0; layer < 2; ++layer) {
+        if (stores[layer] == nullptr || base->records[layer] == 0) continue;
+        geom::GeometryBatch restored;
+        loadBaseCheckpoint(volume, ctx.checkpoint.dir, dead, *base, layer, sealOwner, restored,
+                           &bytesRead);
+        geom::GeometryBatch kept;
+        keepRestored(restored, kept);
+        out.stats.restoredRecords += kept.size();
+        stores[layer]->add(std::move(kept));
+      }
+    }
+    for (std::uint64_t epoch = firstDelta; epoch <= seal->epoch; ++epoch) {
       const std::optional<RankEpochManifest> manifest =
           readRankManifest(volume, ctx.checkpoint.dir, dead, epoch, &bytesRead);
       MVIO_CHECK(manifest.has_value(), "recovery: missing or corrupt epoch " +
@@ -111,12 +164,7 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
         loadEpochDelta(volume, ctx.checkpoint.dir, dead, *manifest, layer, sealOwner, delta,
                        &bytesRead);
         geom::GeometryBatch kept;
-        for (std::size_t i = 0; i < delta.size(); ++i) {
-          const int cell = delta.cell(i);
-          if (out.cellOwner[static_cast<std::size_t>(cell)] == myWorld) {
-            kept.appendRecordFrom(delta, i, cell);
-          }
-        }
+        keepRestored(delta, kept);
         out.stats.restoredRecords += kept.size();
         stores[layer]->add(std::move(kept));
       }
@@ -125,43 +173,95 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
   chargeReads();
 
   // 4. Replay rounds sealedRound+1..total from the chunk log. Rounds the
-  // survivors lived through (≤ failRound) re-deliver only orphaned
-  // cells; rounds the failure pre-empted re-deliver everything. Each
-  // record is kept by exactly the survivor owning its cell, so the
-  // replay needs no communication.
+  // survivors already hold (≤ deliveredRound) re-deliver only orphaned
+  // cells; rounds the failure pre-empted re-deliver everything.
   const std::uint64_t totalRounds = ctx.roundsPerLayer[0] + ctx.roundsPerLayer[1];
-  MVIO_CHECK(ctx.failRound <= totalRounds && sealedRound <= ctx.failRound,
+  const std::uint64_t delivered = std::max(ctx.deliveredRound, ctx.failRound);
+  MVIO_CHECK(ctx.failRound <= totalRounds && delivered <= totalRounds &&
+                 sealedRound <= ctx.failRound,
              "recovery: round bookkeeping out of range");
+  auto keepReplayed = [&](int cell, std::uint64_t round) {
+    return round > delivered || orphan[static_cast<std::size_t>(cell)];
+  };
+  const bool sharded = ctx.shardedReplay && nSurv >= 2;
+  if (sharded) cpu.stop();  // the sharded loop charges its CPU per region
+
+  // Source-rank block of this survivor under sharded replay: contiguous
+  // ascending blocks, so the exchange's source-rank-major output order
+  // equals the ascending source order the full replay produces — that
+  // equality is what keeps FP-sum consumers bit-identical across paths.
+  auto srcSurvivor = [&](int q) {
+    return static_cast<int>((static_cast<std::int64_t>(q) * nSurv) / ctx.worldSize);
+  };
+  std::vector<std::size_t> worldToSurvivor(static_cast<std::size_t>(ctx.worldSize), SIZE_MAX);
+  for (std::size_t s = 0; s < ctx.survivorWorld.size(); ++s) {
+    worldToSurvivor[static_cast<std::size_t>(ctx.survivorWorld[s])] = s;
+  }
+  const core::CellOwnerFn ownerFn = [&](int cell) {
+    return static_cast<int>(worldToSurvivor[static_cast<std::size_t>(
+        out.cellOwner[static_cast<std::size_t>(cell)])]);
+  };
+
   std::vector<IngestLog> logs(static_cast<std::size_t>(ctx.worldSize));
   if (sealedRound < totalRounds) {
     for (int q = 0; q < ctx.worldSize; ++q) {
-      logs[static_cast<std::size_t>(q)] =
-          readIngestLog(volume, ctx.checkpoint.dir, q, &bytesRead);
+      if (sharded && srcSurvivor(q) != survivors.rank()) continue;
+      logs[static_cast<std::size_t>(q)] = readIngestLog(volume, ctx.checkpoint.dir, q, &bytesRead);
     }
   }
+  core::ExchangeScratch scratch;
   for (std::uint64_t t = sealedRound + 1; t <= totalRounds; ++t) {
     const int layer = t <= ctx.roundsPerLayer[0] ? 0 : 1;
     const std::uint64_t chunk = layer == 0 ? t - 1 : t - ctx.roundsPerLayer[0] - 1;
-    const bool orphansOnly = t <= ctx.failRound;
     if (stores[layer] == nullptr) continue;
-    geom::GeometryBatch kept;
-    for (int q = 0; q < ctx.worldSize; ++q) {
-      if (chunk >= logs[static_cast<std::size_t>(q)].chunks[layer]) continue;
-      geom::GeometryBatch raw;
-      loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
-      const geom::GeometryBatch projected =
-          core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
-      for (std::size_t i = 0; i < projected.size(); ++i) {
-        const int cell = projected.cell(i);
-        if (cell == geom::GeometryBatch::kNoCell) continue;
-        if (out.cellOwner[static_cast<std::size_t>(cell)] != myWorld) continue;
-        if (orphansOnly && !orphan[static_cast<std::size_t>(cell)]) continue;
-        kept.appendRecordFrom(projected, i, cell);
+    if (sharded) {
+      // Each survivor reads + re-projects only its own source block and
+      // ships every kept record to the cell's owner.
+      sim::ThreadCpuTimer localCpu;
+      geom::GeometryBatch ship;
+      for (int q = 0; q < ctx.worldSize; ++q) {
+        if (srcSurvivor(q) != survivors.rank()) continue;
+        if (chunk >= logs[static_cast<std::size_t>(q)].chunks[layer]) continue;
+        geom::GeometryBatch raw;
+        loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
+        const geom::GeometryBatch projected =
+            core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
+        for (std::size_t i = 0; i < projected.size(); ++i) {
+          const int cell = projected.cell(i);
+          if (cell == geom::GeometryBatch::kNoCell) continue;
+          if (!keepReplayed(cell, t)) continue;
+          ship.appendRecordFrom(projected, i, cell);
+        }
       }
+      survivors.clock().advanceBy(localCpu.elapsed());
+      chargeReads();
+      geom::GeometryBatch got =
+          core::exchangeByCell(survivors, std::move(ship), ownerFn, /*windowPhases=*/1,
+                               ctx.grid->cellCount(), nullptr, {}, /*lastRound=*/true, &scratch);
+      sim::ThreadCpuTimer storeCpu;
+      out.stats.replayedRecords += got.size();
+      stores[layer]->add(std::move(got));
+      survivors.clock().advanceBy(storeCpu.elapsed());
+    } else {
+      geom::GeometryBatch kept;
+      for (int q = 0; q < ctx.worldSize; ++q) {
+        if (chunk >= logs[static_cast<std::size_t>(q)].chunks[layer]) continue;
+        geom::GeometryBatch raw;
+        loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
+        const geom::GeometryBatch projected =
+            core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
+        for (std::size_t i = 0; i < projected.size(); ++i) {
+          const int cell = projected.cell(i);
+          if (cell == geom::GeometryBatch::kNoCell) continue;
+          if (out.cellOwner[static_cast<std::size_t>(cell)] != myWorld) continue;
+          if (!keepReplayed(cell, t)) continue;
+          kept.appendRecordFrom(projected, i, cell);
+        }
+      }
+      out.stats.replayedRecords += kept.size();
+      stores[layer]->add(std::move(kept));
+      chargeReads();
     }
-    out.stats.replayedRecords += kept.size();
-    stores[layer]->add(std::move(kept));
-    chargeReads();
   }
 
   chargeReads();  // reads accumulated outside the per-round charging

@@ -22,23 +22,37 @@
 //     cells — their arrivals are already in their cell stores and are
 //     never moved or replayed.
 //
-//  3. Restore: each survivor reloads the dead ranks' epoch-delta shards
-//     for epochs 1..E (checksums re-validated against the per-rank
-//     manifests, ownership validated against the sealed cell map — the
-//     stale-manifest guard) and keeps exactly the records of orphaned
-//     cells it now owns.
+//  3. Restore: each survivor reloads the dead ranks' base checkpoint
+//     (when compaction folded one) plus the epoch-delta tail up to E
+//     (checksums re-validated against the per-rank manifests, ownership
+//     validated against the sealed cell map — the stale-manifest guard)
+//     and keeps exactly the records of orphaned cells it now owns.
 //
 //  4. Replay: rounds E_rounds+1..total are re-derived from the chunk
-//     log — every original rank's logged chunk for those rounds is
-//     re-projected (deterministic) and filtered: rounds the survivors
-//     already lived through contribute only orphaned-cell records
-//     (survivor-owned deliveries already arrived), later rounds
-//     contribute every record the survivor now owns. No communication:
-//     each record is kept by exactly the one survivor owning its cell.
+//     log. In the default *sharded* replay the survivors split the
+//     logged chunks by source rank (contiguous blocks, so concatenating
+//     ascending survivors preserves the source order), each re-projects
+//     only its block, and one exchangeByCell per round routes the
+//     records to their owners — aggregate replay reads are O(log), not
+//     O(survivors·log). The full-replay fallback (shardedReplay false)
+//     keeps the PR-5 communication-free path: every survivor reads all
+//     logs and filters locally. Either way, rounds already delivered
+//     (≤ deliveredRound) contribute only orphaned-cell records; rounds
+//     the failure pre-empted contribute everything the survivor owns.
+//
+// The function is re-entrant for cascading failures: a wave of deaths
+// detected *during* recovery runs it again on the further-shrunken
+// communicator, with `priorOwner` naming the map the previous pass
+// produced and `newlyDead` the ranks lost since. Only cells orphaned by
+// the new wave are restored/replayed (records already recovered by the
+// survivors stay put), and the seeded LPT re-homing composes across
+// passes. A SealScanCache carried across passes makes the repeated
+// recovery-point scan free.
 //
 // The refine phase then runs unchanged over the survivor communicator
 // and the recovered stores — join, index, and overlay results are
-// bit-identical to the failure-free run (tests/test_recovery.cpp).
+// bit-identical to the failure-free run (tests/test_recovery.cpp,
+// tests/test_fault_soak.cpp).
 
 #include <cstdint>
 #include <vector>
@@ -53,18 +67,29 @@ namespace mvio::recovery {
 struct RecoveryContext {
   CheckpointConfig checkpoint;       ///< where the durable blobs live
   int worldSize = 0;                 ///< original communicator size
-  std::vector<int> deadRanks;        ///< world ranks lost at the kill point (sorted)
+  std::vector<int> deadRanks;        ///< all world ranks lost so far (sorted, cumulative)
+  std::vector<int> newlyDead;        ///< ranks lost in *this* wave (sorted ⊆ deadRanks)
   std::vector<int> survivorWorld;    ///< survivor-local rank -> world rank
-  std::uint64_t failRound = 0;       ///< data rounds completed when the failure struck
+  /// Cell→world-rank map before this wave struck: empty for the first
+  /// pass (ownership was round-robin), the previous pass's recovered map
+  /// for cascading passes.
+  std::vector<int> priorOwner;
+  std::uint64_t failRound = 0;       ///< data rounds completed when the first failure struck
+  /// Rounds whose deliveries the survivors already hold for their
+  /// non-orphaned cells: failRound on the first pass, the full round
+  /// count on cascading passes (the first pass replayed to the end).
+  std::uint64_t deliveredRound = 0;
   std::uint64_t roundsPerLayer[2] = {0, 0};  ///< original data-round schedule (R, S)
   const core::GridSpec* grid = nullptr;
   const core::CellLocator* locator = nullptr;  ///< null = arithmetic cell lookup
+  bool shardedReplay = true;          ///< split the chunk log by source + exchange
+  SealScanCache* sealCache = nullptr; ///< optional cross-pass seal-scan memo
 };
 
 struct RecoveryOutcome {
-  /// Post-recovery cell→rank map in world ranks: survivors keep their
-  /// round-robin cells, orphaned cells are LPT re-homed. Identical on
-  /// every survivor.
+  /// Post-recovery cell→rank map in world ranks: survivors keep the
+  /// cells they held before the wave, orphaned cells are LPT re-homed.
+  /// Identical on every survivor.
   std::vector<int> cellOwner;
   core::RecoveryStats stats;
 };

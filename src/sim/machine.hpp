@@ -44,6 +44,18 @@ struct KillPoint {
   }
 };
 
+/// One injected rank death in a fault schedule. `afterRound` is the data
+/// round after which the rank drops (as in KillPoint). `duringRecoveryPass`
+/// refines the timing for cascading failures: 0 means the rank dies at the
+/// round boundary itself; k >= 1 means it dies while the k-th recovery pass
+/// triggered at that boundary is running, so the survivors of pass k detect
+/// it afterwards and run pass k+1. Several events may share a boundary.
+struct FailureEvent {
+  int rank = -1;
+  std::uint64_t afterRound = 0;
+  int duringRecoveryPass = 0;
+};
+
 struct MachineModel {
   int nodes = 1;
   int ranksPerNode = 16;

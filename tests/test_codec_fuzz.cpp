@@ -1,0 +1,212 @@
+// Durable-codec fuzz (DESIGN.md §11): every checkpoint artifact the
+// recovery path trusts — batch shards, per-rank epoch manifests, base
+// manifests, ingest manifests, and epoch seals — must reject *every*
+// single-bit flip and *every* truncation of a well-formed blob: a
+// corrupted artifact may never crash the reader and may never silently
+// load. The trailing FNV-1a checksums make this exhaustive check cheap:
+// each per-byte step of FNV-1a is a bijection on the 64-bit state, so a
+// one-byte change always changes the checksum.
+//
+// Deliberately runtime-free (no simulated communicator): pure unit
+// coverage that the ASan preset exercises on every CI run.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/batch_shard.hpp"
+#include "geom/wkt.hpp"
+#include "pfs/lustre.hpp"
+#include "pfs/spill_store.hpp"
+#include "recovery/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace mg = mvio::geom;
+namespace mp = mvio::pfs;
+namespace mr = mvio::recovery;
+
+namespace {
+
+std::shared_ptr<mp::Volume> smallVolume() {
+  mp::LustreParams params;
+  params.nodes = 2;
+  return std::make_shared<mp::Volume>(std::make_shared<mp::LustreModel>(params));
+}
+
+/// All seven OGC types with userData, so the shard payload exercises
+/// every column and both arenas.
+mg::GeometryBatch mixedBatch() {
+  const char* wkts[] = {
+      "POINT (3 3)",
+      "LINESTRING (0 0, 10 10, 12 4)",
+      "POLYGON ((1 1, 9 1, 9 9, 1 9, 1 1))",
+      "MULTIPOINT ((1 1), (11 11), (-3 4))",
+      "MULTILINESTRING ((0 0, 4 0), (6 6, 6 14, 14 14))",
+      "MULTIPOLYGON (((0 0, 3 0, 3 3, 0 3, 0 0)), ((10 10, 14 10, 14 14, 10 14, 10 10)))",
+      "GEOMETRYCOLLECTION (POINT (2 8), LINESTRING (8 2, 12 2), "
+      "POLYGON ((4 4, 7 4, 7 7, 4 7, 4 4)))",
+  };
+  mg::GeometryBatch batch;
+  int cell = 0;
+  for (const char* w : wkts) {
+    mg::Geometry g = mg::readWkt(w);
+    g.userData = std::string("attr-") + std::to_string(cell);
+    batch.append(g, cell);
+    ++cell;
+  }
+  return batch;
+}
+
+/// Drive `tryLoad` with the pristine blob (must load), then with every
+/// single-bit flip and every truncation (must all reject — return false
+/// or throw util::Error, never crash, never load garbage).
+void fuzzBlob(const std::string& good, const std::function<bool(const std::string&)>& tryLoad,
+              const char* what) {
+  ASSERT_TRUE(tryLoad(good)) << what << ": the pristine blob must load";
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string mutated = good;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1u << (i % 8)));
+    EXPECT_FALSE(tryLoad(mutated)) << what << ": accepted a bit flip at byte " << i;
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(tryLoad(good.substr(0, len))) << what << ": accepted truncation to " << len
+                                               << " of " << good.size() << " bytes";
+  }
+}
+
+/// Wrap a thrower: rejection-by-util::Error counts as a clean reject.
+bool noThrow(const std::function<void()>& body) {
+  try {
+    body();
+    return true;
+  } catch (const mvio::util::Error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+TEST(CodecFuzz, BatchShardRejectsCorruption) {
+  const mg::GeometryBatch batch = mixedBatch();
+  std::string good;
+  mg::encodeShard(batch, good);
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             mg::GeometryBatch out;
+             return noThrow([&] { mg::decodeShard(blob, out); }) && out.size() == batch.size();
+           },
+           "BatchShard");
+}
+
+TEST(CodecFuzz, EpochSealRejectsCorruption) {
+  mr::EpochSeal seal;
+  seal.epoch = 3;
+  seal.roundsCompleted = 6;
+  seal.worldSize = 2;
+  seal.cellOwner = {0, 1, 0, 1, 0, 1, 0, 1};
+  seal.cellLoads = {5, 0, 7, 1, 0, 0, 9, 2};
+  seal.rankManifestChecksums = {0x1111111111111111ull, 0x2222222222222222ull};
+  const std::string good = mr::encodeEpochSeal(seal);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_seal";
+  mp::SpillStore store(*volume, mr::globalPrefix(dir));
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             store.put("ep3.seal", std::string(blob));
+             const auto got = mr::readEpochSeal(*volume, dir, 3);
+             return got.has_value() && got->epoch == 3 && got->cellOwner == seal.cellOwner;
+           },
+           "EpochSeal");
+}
+
+TEST(CodecFuzz, RankManifestRejectsCorruption) {
+  mr::RankEpochManifest manifest;
+  manifest.epoch = 1;
+  manifest.globalRound = 2;
+  manifest.records[0] = 7;
+  manifest.records[1] = 3;
+  manifest.shards[0] = {{128, 0xabcdefull}, {64, 0x123456ull}};
+  manifest.shards[1] = {{32, 0x777777ull}};
+  const std::string good = mr::encodeRankManifest(manifest);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_manifest";
+  mp::SpillStore store(*volume, mr::rankPrefix(dir, 0));
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             store.put("ep1.manifest", std::string(blob));
+             const auto got = mr::readRankManifest(*volume, dir, 0, 1);
+             return got.has_value() && got->records[0] == 7 && got->shards[0].size() == 2;
+           },
+           "RankEpochManifest");
+}
+
+TEST(CodecFuzz, BaseManifestRejectsCorruption) {
+  mr::BaseManifest base;
+  base.baseEpoch = 2;
+  base.roundsCovered = 4;
+  base.records[0] = 21;
+  base.records[1] = 9;
+  base.shards[0] = {{256, 0xfeedull}};
+  base.shards[1] = {{96, 0xbeefull}, {48, 0xcafeull}};
+  const std::string good = mr::encodeBaseManifest(base);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_base";
+  mp::SpillStore store(*volume, mr::rankPrefix(dir, 0));
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             store.put("base.manifest", std::string(blob));
+             const auto got = mr::readBaseManifest(*volume, dir, 0);
+             return got.has_value() && got->baseEpoch == 2 && got->shards[1].size() == 2;
+           },
+           "BaseManifest");
+}
+
+TEST(CodecFuzz, IngestManifestRejectsCorruption) {
+  mr::IngestLog log;
+  log.chunks[0] = 3;
+  log.chunks[1] = 2;
+  const std::string good = mr::encodeIngestManifest(log);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_ingest";
+  mp::SpillStore store(*volume, mr::rankPrefix(dir, 0));
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             store.put("ing.manifest", std::string(blob));
+             mr::IngestLog got;
+             return noThrow([&] { got = mr::readIngestLog(*volume, dir, 0); }) &&
+                    got.chunks[0] == 3 && got.chunks[1] == 2;
+           },
+           "IngestManifest");
+}
+
+TEST(CodecFuzz, TornSealTailsAlwaysReject) {
+  // The exact failure mode tearEpochSeal injects: a seal prefix of any
+  // length — including zero — must never validate.
+  mr::EpochSeal seal;
+  seal.epoch = 2;
+  seal.roundsCompleted = 4;
+  seal.worldSize = 1;
+  seal.cellOwner = {0, 0, 0, 0};
+  seal.cellLoads = {1, 2, 3, 4};
+  seal.rankManifestChecksums = {0x42ull};
+  const std::string good = mr::encodeEpochSeal(seal);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_torn";
+  mp::SpillStore store(*volume, mr::globalPrefix(dir));
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    store.put("ep2.seal", good.substr(0, len));
+    EXPECT_FALSE(mr::readEpochSeal(*volume, dir, 2).has_value())
+        << "a torn ep2.seal of " << len << " bytes validated";
+    // And the full scan must agree the epoch is unusable.
+    EXPECT_FALSE(mr::findLastSealedEpoch(*volume, dir, 1, 2).has_value());
+  }
+}

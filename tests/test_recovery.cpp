@@ -290,6 +290,10 @@ struct JoinRun {
   int died = 0, recovered = 0;
   std::uint64_t checkpointBytes = 0, recoveryBytes = 0, recoveryRounds = 0;
   std::uint64_t epochUsed = 0;
+  std::uint64_t recoveryPasses = 0;   ///< max across survivors
+  std::uint64_t deadRanksSeen = 0;    ///< max RecoveryStats::deadRanks (cumulative)
+  std::uint64_t compactionBytes = 0, reclaimedBytes = 0;  ///< summed across ranks
+  std::uint64_t migrationPasses = 0;  ///< max across ranks, both layers
 };
 
 JoinRun runJoin(RecoveryFixture& fx, const std::function<void(mc::JoinConfig&)>& tweak) {
@@ -307,13 +311,21 @@ JoinRun runJoin(RecoveryFixture& fx, const std::function<void(mc::JoinConfig&)>&
     run.pairs.insert(run.pairs.end(), local.begin(), local.end());
     run.dataRounds = std::max(run.dataRounds, stats.phases.rounds);
     run.checkpointBytes += stats.phases.checkpointBytes;
+    run.compactionBytes += stats.phases.compactionBytes;
+    run.reclaimedBytes += stats.phases.reclaimedBytes;
+    run.migrationPasses = std::max(run.migrationPasses, stats.balance.migrationPasses);
+    // A rank killed *during* recovery carries both bits: it recovered in
+    // an earlier pass, then died. Count it as a death only — recovered
+    // tallies the ranks that finished the job.
     if (stats.recovery.died) run.died += 1;
-    if (stats.recovery.recovered) {
+    if (!stats.recovery.died && stats.recovery.recovered) {
       run.recovered += 1;
       run.globalPairs = stats.globalPairs;
       run.recoveryBytes += stats.phases.recoveryBytes;
       run.recoveryRounds = std::max(run.recoveryRounds, stats.phases.recoveryRounds);
       run.epochUsed = stats.recovery.epochUsed;
+      run.recoveryPasses = std::max(run.recoveryPasses, stats.recovery.recoveryPasses);
+      run.deadRanksSeen = std::max(run.deadRanksSeen, stats.recovery.deadRanks);
     } else if (!stats.recovery.died) {
       run.globalPairs = stats.globalPairs;
     }
@@ -463,4 +475,254 @@ TEST(FailureRecovery, SingleLayerIndexMatchesAfterKill) {
   }
   EXPECT_EQ(counts[0], counts[1]) << "index query counts must survive the kill";
   EXPECT_GT(counts[0][1], 0u);
+}
+
+// ---- Cascading failures + compaction + sharded replay (DESIGN.md §11) ----
+
+TEST(CascadingFailure, SecondKillDuringRecoveryBitIdenticalWithCompaction) {
+  RecoveryFixture fx;
+  const JoinRun base = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__cas_base");
+  });
+  ASSERT_FALSE(base.pairs.empty());
+
+  // The uncompacted PR-5 reference: full replay (every survivor reads
+  // every chunk log), no GC, same two-kill schedule — rank 2 dies at the
+  // round-5 boundary and rank 1 dies *during* the recovery pass.
+  const JoinRun full = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__cas_full");
+    cfg.framework.stream.shardedReplay = false;
+    cfg.framework.failSchedule = {{2, 5, 0}, {1, 5, 1}};
+  });
+  EXPECT_EQ(full.died, 2);
+  EXPECT_EQ(full.recovered, 2);
+  EXPECT_EQ(full.pairs, base.pairs) << "full-replay cascade must stay bit-identical";
+
+  // The elastic path: sharded replay plus checkpoint GC + compaction.
+  const JoinRun cascaded = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__cas_new");
+    cfg.framework.stream.compaction.everyEpochs = 2;
+    cfg.framework.failSchedule = {{2, 5, 0}, {1, 5, 1}};
+  });
+  EXPECT_EQ(cascaded.died, 2);
+  EXPECT_EQ(cascaded.recovered, 2);
+  EXPECT_EQ(cascaded.recoveryPasses, 2u) << "the mid-recovery death must trigger a second pass";
+  EXPECT_EQ(cascaded.deadRanksSeen, 2u);
+  EXPECT_EQ(cascaded.epochUsed, 2u) << "epoch 2 (sealed at round 4) is the recovery point";
+  EXPECT_EQ(cascaded.pairs, base.pairs)
+      << "join results must survive a cascading two-kill schedule";
+  EXPECT_EQ(cascaded.globalPairs, base.globalPairs);
+  EXPECT_GT(cascaded.compactionBytes, 0u) << "the round-4 seal must have folded a base";
+  EXPECT_GT(cascaded.reclaimedBytes, 0u) << "GC must delete folded deltas and covered chunks";
+  EXPECT_LT(cascaded.recoveryBytes, full.recoveryBytes)
+      << "compaction + sharded replay must read strictly fewer recovery bytes than the "
+         "uncompacted full-replay path on the same schedule";
+}
+
+TEST(CascadingFailure, ShardedReplayEquivalentToFullReplay) {
+  RecoveryFixture fx;
+  const JoinRun base = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__eq_base");
+  });
+
+  // Same two-kill cascade, compaction off in both runs: the only variable
+  // is how the survivors split the chunk-log replay.
+  const JoinRun sharded = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__eq_shard");
+    cfg.framework.failSchedule = {{1, 3, 0}, {3, 3, 1}};
+  });
+  const JoinRun full = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__eq_full");
+    cfg.framework.stream.shardedReplay = false;
+    cfg.framework.failSchedule = {{1, 3, 0}, {3, 3, 1}};
+  });
+  EXPECT_EQ(sharded.died, 2);
+  EXPECT_EQ(sharded.recoveryPasses, 2u);
+  EXPECT_EQ(sharded.pairs, full.pairs) << "sharded and full replay must agree record-for-record";
+  EXPECT_EQ(sharded.pairs, base.pairs);
+  EXPECT_EQ(sharded.globalPairs, full.globalPairs);
+  EXPECT_LT(sharded.recoveryBytes, full.recoveryBytes)
+      << "splitting the chunk log by source rank must shrink aggregate replay reads";
+}
+
+TEST(CascadingFailure, LaterRoundWaveComposesWithRebalance) {
+  RecoveryFixture fx;
+  const JoinRun base = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__lw_base");
+  });
+
+  // A second wave scheduled at a *later* round boundary: everything past
+  // the first kill is recovery territory, so the survivors detect it on
+  // their next allgather and run another pass — composed with skew-aware
+  // rebalancing on the doubly-shrunk communicator.
+  const JoinRun waves = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.stream = RecoveryFixture::streamedConfig(2, "__lw_run");
+    cfg.framework.stream.compaction.everyEpochs = 1;
+    cfg.framework.failSchedule = {{0, 3, 0}, {2, 5, 0}};
+    cfg.framework.rebalanceCells = true;
+  });
+  EXPECT_EQ(waves.died, 2);
+  EXPECT_EQ(waves.recovered, 2);
+  EXPECT_EQ(waves.recoveryPasses, 2u);
+  EXPECT_EQ(waves.pairs, base.pairs);
+}
+
+// ---- Budget-bounded migration --------------------------------------------
+
+TEST(AdaptiveRebalance, BudgetBoundedMigrationKeepsResults) {
+  RecoveryFixture fx;
+  const JoinRun unbounded = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.rebalanceCells = true;
+  });
+  ASSERT_FALSE(unbounded.pairs.empty());
+  EXPECT_EQ(unbounded.migrationPasses, 2u) << "no budget: one pass per layer";
+
+  // A tiny memory budget forces the leaving cells through several staged
+  // passes; each cell still moves wholly in one pass, so per-cell record
+  // order — and every refine result — is unchanged.
+  const JoinRun bounded = runJoin(fx, [](mc::JoinConfig& cfg) {
+    cfg.framework.rebalanceCells = true;
+    cfg.framework.stream.chunkBytes = 4 << 10;
+    cfg.framework.stream.memoryBudget = 8 << 10;
+  });
+  EXPECT_GT(bounded.migrationPasses, 2u)
+      << "a budget smaller than the leaving sets must stage the migration";
+  EXPECT_EQ(bounded.pairs, unbounded.pairs);
+  EXPECT_EQ(bounded.globalPairs, unbounded.globalPairs);
+}
+
+// ---- Checkpoint GC + epoch compaction ------------------------------------
+
+TEST(Checkpoint, CompactionFoldsAndReclaims) {
+  auto volume = lustreVolume(2);
+  const mg::GeometryBatch batch = mixedBatch();
+
+  mm::Runtime::run(1, [&](mm::Comm& comm) {
+    mc::PhaseBreakdown phases;
+    mr::CheckpointConfig cfg;
+    cfg.everyRounds = 1;
+    cfg.dir = "__ck_gc";
+    cfg.compactEveryEpochs = 2;
+    cfg.compactKeepEpochs = 1;
+    mr::CheckpointCoordinator ckpt(comm, *volume, cfg, &phases);
+    ckpt.setRoundSchedule(4, 0);
+    for (int i = 0; i < 4; ++i) ckpt.logChunk(0, batch);
+    ckpt.sealIngest();
+    const std::vector<int> owner(8, 0);
+    for (std::uint64_t e = 1; e <= 4; ++e) {
+      ckpt.noteRound(0, batch);
+      ASSERT_TRUE(ckpt.maybeCheckpoint(e, owner));
+    }
+
+    // Epoch 4's seal triggered the second fold: base 3 supersedes base 1.
+    const auto baseM = mr::readBaseManifest(*volume, cfg.dir, 0);
+    ASSERT_TRUE(baseM.has_value());
+    EXPECT_EQ(baseM->baseEpoch, 3u);
+    EXPECT_EQ(baseM->roundsCovered, 3u);
+    EXPECT_EQ(baseM->records[0], 3 * batch.size());
+    mg::GeometryBatch restored;
+    EXPECT_EQ(mr::loadBaseCheckpoint(*volume, cfg.dir, 0, *baseM, 0, owner, restored),
+              3 * batch.size());
+
+    // The seal scan still validates after GC: manifests and seals are
+    // kept even for folded epochs.
+    const auto seal = mr::findLastSealedEpoch(*volume, cfg.dir, 1, 4);
+    ASSERT_TRUE(seal.has_value());
+    EXPECT_EQ(seal->epoch, 4u);
+
+    // Folded delta shards are gone (their manifest survives as metadata).
+    const auto m1 = mr::readRankManifest(*volume, cfg.dir, 0, 1);
+    ASSERT_TRUE(m1.has_value());
+    mg::GeometryBatch dropped;
+    EXPECT_THROW(mr::loadEpochDelta(*volume, cfg.dir, 0, *m1, 0, owner, dropped),
+                 mvio::util::Error);
+    // Epoch 4 is outside the base: its delta must still load.
+    const auto m4 = mr::readRankManifest(*volume, cfg.dir, 0, 4);
+    ASSERT_TRUE(m4.has_value());
+    mg::GeometryBatch tail;
+    EXPECT_EQ(mr::loadEpochDelta(*volume, cfg.dir, 0, *m4, 0, owner, tail), batch.size());
+
+    // Chunk-log truncation: rounds the base covers are deleted, the
+    // unsealed tail stays replayable.
+    mg::GeometryBatch chunk;
+    EXPECT_THROW(mr::loadLoggedChunk(*volume, cfg.dir, 0, 0, 0, chunk), mvio::util::Error);
+    EXPECT_THROW(mr::loadLoggedChunk(*volume, cfg.dir, 0, 0, 2, chunk), mvio::util::Error);
+    chunk = mg::GeometryBatch();
+    EXPECT_EQ(mr::loadLoggedChunk(*volume, cfg.dir, 0, 0, 3, chunk), batch.size());
+
+    // The superseded base-1 shards were reclaimed too.
+    mp::SpillStore rankStore(*volume, mr::rankPrefix(cfg.dir, 0));
+    EXPECT_FALSE(rankStore.contains(mr::baseShardName(1, 0, 0)));
+    EXPECT_TRUE(rankStore.contains(mr::baseShardName(3, 0, 0)));
+
+    EXPECT_GT(phases.compactionBytes, 0u);
+    EXPECT_GT(phases.reclaimedBytes, 0u);
+    EXPECT_GT(phases.compaction, 0.0) << "fold I/O must be charged to the compaction phase";
+  });
+}
+
+TEST(Checkpoint, CompactionSkipsTornSeal) {
+  auto volume = lustreVolume(2);
+  const mg::GeometryBatch batch = mixedBatch();
+
+  mm::Runtime::run(1, [&](mm::Comm& comm) {
+    mc::PhaseBreakdown phases;
+    mr::CheckpointConfig cfg;
+    cfg.everyRounds = 1;
+    cfg.dir = "__ck_gc_torn";
+    cfg.compactEveryEpochs = 2;
+    cfg.tearEpochSeal = 2;  // the epoch that would trigger the fold
+    mr::CheckpointCoordinator ckpt(comm, *volume, cfg, &phases);
+    ckpt.setRoundSchedule(2, 0);
+    for (int i = 0; i < 2; ++i) ckpt.logChunk(0, batch);
+    ckpt.sealIngest();
+    const std::vector<int> owner(8, 0);
+    ckpt.noteRound(0, batch);
+    ASSERT_TRUE(ckpt.maybeCheckpoint(1, owner));
+    ckpt.noteRound(0, batch);
+    ASSERT_TRUE(ckpt.maybeCheckpoint(2, owner));
+
+    // A torn seal must not anchor a fold: compaction would GC chunks that
+    // the fallback recovery (epoch 1) still needs.
+    EXPECT_FALSE(mr::readBaseManifest(*volume, cfg.dir, 0).has_value());
+    EXPECT_EQ(phases.compactionBytes, 0u);
+    EXPECT_EQ(phases.reclaimedBytes, 0u);
+    mg::GeometryBatch chunk;
+    EXPECT_EQ(mr::loadLoggedChunk(*volume, cfg.dir, 0, 0, 0, chunk), batch.size());
+  });
+}
+
+TEST(Checkpoint, SealScanCacheSkipsRevalidation) {
+  auto volume = lustreVolume(2);
+  const mg::GeometryBatch batch = mixedBatch();
+
+  mm::Runtime::run(1, [&](mm::Comm& comm) {
+    mc::PhaseBreakdown phases;
+    mr::CheckpointConfig cfg;
+    cfg.everyRounds = 1;
+    cfg.dir = "__ck_cache";
+    cfg.tearEpochSeal = 3;  // the newest epoch is rejected on every scan
+    mr::CheckpointCoordinator ckpt(comm, *volume, cfg, &phases);
+    const std::vector<int> owner(8, 0);
+    for (std::uint64_t e = 1; e <= 3; ++e) {
+      ckpt.noteRound(0, batch);
+      ASSERT_TRUE(ckpt.maybeCheckpoint(e, owner));
+    }
+
+    mr::SealScanCache cache;
+    std::uint64_t firstBytes = 0, secondBytes = 0;
+    const auto first = mr::findLastSealedEpoch(*volume, cfg.dir, 1, 3, &firstBytes, &cache);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->epoch, 2u);
+    EXPECT_GT(firstBytes, 0u);
+    ASSERT_TRUE(cache.validated.has_value());
+    EXPECT_EQ(cache.rejected, std::vector<std::uint64_t>{3});
+
+    // A cascading pass re-runs the scan: the cache answers both the
+    // rejected epoch 3 and the validated epoch 2 with zero reads.
+    const auto second = mr::findLastSealedEpoch(*volume, cfg.dir, 1, 3, &secondBytes, &cache);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->epoch, 2u);
+    EXPECT_EQ(secondBytes, 0u) << "cached scan must not re-read any seal or manifest";
+  });
 }
