@@ -12,7 +12,10 @@
 # wider draw than the in-suite default — MVIO_SOAK_SCHEDULES/MVIO_SOAK_SEED
 # override the width and the generator seed. The asan preset runs the
 # unit-labeled durable-codec fuzz tests (tests/test_codec_fuzz.cpp) as
-# part of its full suite.
+# part of its full suite — including the WKB ingest record-stream lane
+# (exhaustive single-bit flips + truncations over the framed stream).
+# The bench-smoke label covers bench_ingest_formats, which hard-fails
+# if the binary fast path loses its >= 2x parse-CPU edge over WKT.
 #
 # Usage: scripts/ci.sh [preset...]   (default: "default asan tsan")
 # Useful subsets once built: ctest -L recovery / -L mpi / -L threads / -L soak.

@@ -19,15 +19,17 @@ using util::readScalar;
 void serializeCellGeometry(const CellGeometry& cg, std::string& out) {
   MVIO_CHECK(cg.cell >= 0, "negative cell id");
   const std::size_t start = out.size();
+  // Stage the geometry in a batch so the exact WKB size is known up front
+  // and the encode runs through the one shared arena serializer — no
+  // placeholder-and-patch-back framing (geom::appendWkb(batch, i, out)).
+  thread_local geom::GeometryBatch staged;
+  staged.clear();
+  staged.append(cg.geometry, cg.cell);
   putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(cg.cell));
   putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(cg.geometry.userData.size()));
-  const std::size_t lenPos = out.size();
-  putScalar<std::uint32_t>(out, 0);  // wkb length patched below
+  putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(staged.wkbSize(0)));
   out.append(cg.geometry.userData);
-  const std::size_t wkbStart = out.size();
-  geom::appendWkb(cg.geometry, out);
-  const auto wkbLen = static_cast<std::uint32_t>(out.size() - wkbStart);
-  std::memcpy(out.data() + lenPos, &wkbLen, 4);
+  geom::appendWkb(staged, 0, out);
   util::perf::addBytesCopied(out.size() - start);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/format.hpp"
 #include "util/error.hpp"
 
 namespace mvio::core {
@@ -47,8 +48,8 @@ int readerCount(std::uint64_t globalOffset, std::uint64_t fileSize, std::uint64_
 }  // namespace
 
 PartitionReader::PartitionReader(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
-                                 std::uint64_t chunkBytes)
-    : comm_(&comm), file_(&file), cfg_(cfg), streaming_(chunkBytes > 0) {
+                                 std::uint64_t chunkBytes, const FormatReader* format)
+    : comm_(&comm), file_(&file), cfg_(cfg), fmt_(format), streaming_(chunkBytes > 0) {
   fileSize_ = file.size();
   MVIO_CHECK(fileSize_ > 0, "cannot partition an empty file");
 
@@ -107,9 +108,7 @@ bool PartitionReader::stepMessage(std::string& out) {
   }
 
   const bool tailHolder = lastIteration && rank == k - 1;  // holds the EOF tail
-
-  // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
-  const std::int64_t lastDelimPos = findLastDelim(buf_.data(), myLen, delim);
+  const bool framed = fmt_ != nullptr && fmt_->framing() == Framing::kFramed;
 
   std::string_view keep;
   std::string_view fragment;
@@ -117,7 +116,23 @@ bool PartitionReader::stepMessage(std::string& out) {
     // Everything up to EOF is mine; a missing trailing delimiter just
     // means the final record is EOF-terminated.
     keep = std::string_view(buf_.data(), static_cast<std::size_t>(myLen));
+  } else if (framed) {
+    // Walk the record length headers for the last boundary in the block
+    // (no scan touches record payloads). The dangling partial record past
+    // it rings to the successor exactly like a text fragment; a plausible
+    // header bounds it by maxGeometryBytes, so it always fits recvBuf_.
+    const std::int64_t cut =
+        fmt_->splitBoundary(std::string_view(buf_.data(), static_cast<std::size_t>(myLen)),
+                            cfg_.maxGeometryBytes);
+    MVIO_CHECK(cut >= 0,
+               "no record boundary inside a file block: block size is smaller than a record; "
+               "increase blockSize or maxGeometryBytes");
+    keep = std::string_view(buf_.data(), static_cast<std::size_t>(cut));
+    fragment = std::string_view(buf_.data() + cut, static_cast<std::size_t>(myLen) -
+                                                       static_cast<std::size_t>(cut));
   } else {
+    // Backward scan for the last delimiter (Algorithm 1 lines 9-11).
+    const std::int64_t lastDelimPos = findLastDelim(buf_.data(), myLen, delim);
     MVIO_CHECK(lastDelimPos >= 0,
                "no record delimiter inside a file block: block size is smaller than a record; "
                "increase blockSize or maxGeometryBytes");
@@ -201,11 +216,20 @@ bool PartitionReader::stepOverlap(std::string& out) {
   if (myLen == 0) return true;
 
   const std::uint64_t blockEnd = start + myLen;  // absolute file offset
+  const bool framed = fmt_ != nullptr && fmt_->framing() == Framing::kFramed;
+  const std::string_view window(buf_.data(), static_cast<std::size_t>(readLen));
 
   // First record starting inside [start, blockEnd).
   std::uint64_t firstStart;  // absolute
   if (start == 0) {
     firstStart = 0;
+  } else if (framed) {
+    // First header whose record chain validates at an absolute offset
+    // >= start (the look-back byte at start-1 belongs to the predecessor).
+    const std::uint64_t b = fmt_->firstBoundary(window, start - readStart, cfg_.maxGeometryBytes);
+    if (b == FormatReader::npos) return true;  // no record begins in this block
+    firstStart = readStart + b;
+    if (firstStart >= blockEnd) return true;  // boundary record belongs to successor
   } else {
     const std::uint64_t d = findDelimFrom(buf_.data(), readLen, 0, delim);
     if (d == readLen) return true;  // no record begins in this block
@@ -213,16 +237,28 @@ bool PartitionReader::stepOverlap(std::string& out) {
     if (firstStart >= blockEnd) return true;  // boundary record belongs to successor
   }
 
-  // End of the record containing byte blockEnd-1: first delimiter at an
-  // absolute offset >= blockEnd-1 (or EOF for a final unterminated record).
-  const std::uint64_t e = findDelimFrom(buf_.data(), readLen, blockEnd - 1 - readStart, delim);
+  // End of the record containing byte blockEnd-1: first boundary at an
+  // absolute offset >= blockEnd (or EOF for a final unterminated record).
   std::uint64_t keepEndExclusive;  // absolute
-  if (e < readLen) {
-    keepEndExclusive = readStart + e + 1;  // include the delimiter
+  if (framed) {
+    const std::uint64_t e = fmt_->nextBoundary(window, firstStart - readStart,
+                                               blockEnd - readStart, cfg_.maxGeometryBytes);
+    if (e != FormatReader::npos) {
+      keepEndExclusive = readStart + e;
+    } else {
+      MVIO_CHECK(readEnd == fileSize_,
+                 "record extends past the halo region: maxGeometryBytes is smaller than a record");
+      keepEndExclusive = fileSize_;
+    }
   } else {
-    MVIO_CHECK(readEnd == fileSize_,
-               "record extends past the halo region: maxGeometryBytes is smaller than a record");
-    keepEndExclusive = fileSize_;
+    const std::uint64_t e = findDelimFrom(buf_.data(), readLen, blockEnd - 1 - readStart, delim);
+    if (e < readLen) {
+      keepEndExclusive = readStart + e + 1;  // include the delimiter
+    } else {
+      MVIO_CHECK(readEnd == fileSize_,
+                 "record extends past the halo region: maxGeometryBytes is smaller than a record");
+      keepEndExclusive = fileSize_;
+    }
   }
 
   out.append(buf_.data() + (firstStart - readStart),

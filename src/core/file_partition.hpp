@@ -29,6 +29,8 @@
 
 namespace mvio::core {
 
+class FormatReader;
+
 enum class BoundaryStrategy {
   kMessage,  ///< Algorithm 1: ring send/recv of dangling fragments
   kOverlap,  ///< halo reads with ownership by record start
@@ -44,6 +46,9 @@ struct PartitionConfig {
   BoundaryStrategy strategy = BoundaryStrategy::kMessage;
   /// Level 1 (collective read_at_all) instead of Level 0 (independent).
   bool collectiveRead = false;
+  /// Record delimiter — used by the default text formats. Binary formats
+  /// (FormatReader::framing() == kFramed) resolve boundaries by walking
+  /// record length headers instead and never consult this byte.
   char delimiter = '\n';
 };
 
@@ -79,8 +84,13 @@ struct PartitionResult {
 /// simply yield empty text.
 class PartitionReader {
  public:
+  /// `format` (optional, non-owning) supplies record boundary resolution.
+  /// Null or a delimited format keeps the classic delimiter scans; a
+  /// framed format (length-prefixed WKB records) resolves boundaries by
+  /// walking record headers — under both strategies and in streaming
+  /// chunk rounds alike.
   PartitionReader(mpi::Comm& comm, io::File& file, const PartitionConfig& cfg,
-                  std::uint64_t chunkBytes = 0);
+                  std::uint64_t chunkBytes = 0, const FormatReader* format = nullptr);
 
   /// Fill `text` with the next chunk's records (cleared first). Returns
   /// false once the stream is exhausted — on the same call on every rank.
@@ -99,6 +109,7 @@ class PartitionReader {
   mpi::Comm* comm_;
   io::File* file_;
   PartitionConfig cfg_;
+  const FormatReader* fmt_ = nullptr;  ///< null → delimiter-scan boundaries
   bool streaming_ = false;
   std::uint64_t blockSize_ = 0;
   std::uint64_t fileSize_ = 0;

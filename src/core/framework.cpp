@@ -186,9 +186,20 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
                  ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases,
                  recovery::CheckpointCoordinator& ckpt, int layer, util::ThreadPool* pool,
                  std::deque<ChunkPrep>* overlapPrep) {
-  MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser");
+  // Resolve the layer's ingest format: an explicit FormatReader wins; a
+  // bare Parser is wrapped in a TextFormatReader shim (byte-identical to
+  // the classic text path).
+  const FormatReader* fmt = ds.format;
+  std::optional<TextFormatReader> textShim;
+  if (fmt == nullptr) {
+    MVIO_CHECK(ds.parser != nullptr, "dataset needs a parser or format");
+    textShim.emplace(ds.parser);
+    fmt = &*textShim;
+  } else {
+    MVIO_CHECK(ds.parser == nullptr, "dataset has both a parser and a format; set exactly one");
+  }
   io::File file = io::File::open(comm, volume, ds.path, cfg.ioHints);
-  PartitionReader reader(comm, file, ds.partition, cfg.stream.chunkBytes);
+  PartitionReader reader(comm, file, ds.partition, cfg.stream.chunkBytes, fmt);
 
   std::string text;
   while (true) {
@@ -202,13 +213,11 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
     ParseTiming pt;
     ParseStats ps;
     if (pool != nullptr && pool->threads() > 1) {
-      ps = ds.parser->parseAllParallel(text, chunk, *pool, &pt);
+      ps = fmt->parseChunk(text, chunk, pool, &pt);
       phases.workerCpu += pt.cpuSum;
       phases.workerCritical += pt.critical;
     } else {
-      sim::ThreadCpuTimer timer;
-      ps = ds.parser->parseAll(text, chunk);
-      pt.cpuSum = pt.critical = timer.elapsed();
+      ps = fmt->parseChunk(text, chunk, nullptr, &pt);
     }
     parseStats.records += ps.records;
     parseStats.badRecords += ps.badRecords;

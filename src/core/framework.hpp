@@ -40,6 +40,7 @@
 
 #include "core/exchange.hpp"
 #include "core/file_partition.hpp"
+#include "core/format.hpp"
 #include "core/grid.hpp"
 #include "core/parser.hpp"
 #include "core/phases.hpp"
@@ -49,10 +50,17 @@
 namespace mvio::core {
 
 /// One input layer: a file on a volume plus how to partition and parse it.
+/// Exactly one of `parser` / `format` must be set. `parser` is the classic
+/// delimited-text entry point (WKT/CSV/user parsers, wrapped internally in
+/// a TextFormatReader); `format` selects any registered FormatReader —
+/// including the framed binary WKB fast path, whose boundary resolution
+/// walks record length headers and whose parseChunk decodes straight into
+/// the batch arenas (DESIGN.md §12).
 struct DatasetHandle {
   std::string path;
   const Parser* parser = nullptr;
   PartitionConfig partition;
+  const FormatReader* format = nullptr;
 };
 
 /// Checkpoint GC + epoch compaction (DESIGN.md §11). When enabled, after

@@ -126,10 +126,8 @@ class JoinTask final : public RefineTask {
 std::uint64_t geometryKey(const geom::Geometry& g) { return fnv1a(geom::writeWkb(g)); }
 
 std::uint64_t geometryKey(const geom::GeometryBatch& b, std::size_t i, std::string& scratch) {
-  scratch.resize(b.wkbSize(i));
-  char* end = b.writeWkbTo(i, scratch.data());
-  MVIO_CHECK(static_cast<std::size_t>(end - scratch.data()) == scratch.size(),
-             "batch WKB size mismatch");
+  scratch.clear();
+  geom::appendWkb(b, i, scratch);
   return fnv1a(scratch);
 }
 

@@ -149,6 +149,15 @@ void appendWkb(const Geometry& g, std::string& out) {
   }
 }
 
+void appendWkb(const GeometryBatch& b, std::size_t i, std::string& out) {
+  const std::size_t need = b.wkbSize(i);
+  const std::size_t start = out.size();
+  out.resize(start + need);
+  char* end = b.writeWkbTo(i, out.data() + start);
+  MVIO_CHECK(static_cast<std::size_t>(end - (out.data() + start)) == need,
+             "batch WKB size mismatch");
+}
+
 std::string writeWkb(const Geometry& g) {
   std::string out;
   out.reserve(16 + g.numVertices() * 16);

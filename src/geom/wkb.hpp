@@ -21,6 +21,12 @@ std::string writeWkb(const Geometry& g);
 /// Append WKB bytes to an existing buffer (bulk serialization path).
 void appendWkb(const Geometry& g, std::string& out);
 
+/// Append record `i` of `b` as WKB bytes, straight off the batch arenas —
+/// the one encode helper every framing consumer (exchange wire records,
+/// join dedupe keys, the binary file writer) shares. Grows `out` by
+/// exactly GeometryBatch::wkbSize(i).
+void appendWkb(const GeometryBatch& b, std::size_t i, std::string& out);
+
 /// Parse one WKB geometry from the start of `bytes`; `consumed` (if
 /// non-null) receives the number of bytes read. Throws util::Error on
 /// malformed input.

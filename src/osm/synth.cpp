@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/format.hpp"
 #include "geom/wkt.hpp"
 #include "util/error.hpp"
 
@@ -136,6 +137,27 @@ std::string generateWktText(const RecordGenerator& gen, std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) {
     out += gen.record(i);
     out += '\n';
+  }
+  return out;
+}
+
+std::string generateWkbText(const RecordGenerator& gen, std::uint64_t count) {
+  std::string out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Round every record through its WKT text: printing quantizes
+    // coordinates to spec().precision digits, and the binary corpus must
+    // carry exactly the doubles the WKT ingest path parses — that is what
+    // makes the two encodings bit-identical end to end.
+    const std::string rec = gen.record(i);
+    std::string_view wktPart(rec);
+    std::string_view attrs;
+    const std::size_t tab = rec.find('\t');
+    if (tab != std::string::npos) {
+      wktPart = std::string_view(rec).substr(0, tab);
+      attrs = std::string_view(rec).substr(tab + 1);
+    }
+    const geom::Geometry g = geom::readWkt(wktPart);
+    core::appendWkbRecord(g, attrs, out);
   }
   return out;
 }

@@ -93,4 +93,10 @@ class RecordGenerator {
 /// Concatenate records [0, count) separated (and terminated) by newlines.
 std::string generateWktText(const RecordGenerator& gen, std::uint64_t count);
 
+/// The same records [0, count) as a length-prefixed WKB record stream
+/// (core/format.hpp framing). Coordinates are the WKT text re-parsed, so
+/// the binary corpus decodes to arenas bit-identical to the WKT ingest of
+/// generateWktText — one seed, two encodings, equal results.
+std::string generateWkbText(const RecordGenerator& gen, std::uint64_t count);
+
 }  // namespace mvio::osm

@@ -12,12 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/format.hpp"
 #include "geom/batch_shard.hpp"
 #include "geom/wkt.hpp"
 #include "pfs/lustre.hpp"
@@ -25,6 +28,7 @@
 #include "recovery/checkpoint.hpp"
 #include "util/error.hpp"
 
+namespace mc = mvio::core;
 namespace mg = mvio::geom;
 namespace mp = mvio::pfs;
 namespace mr = mvio::recovery;
@@ -208,5 +212,74 @@ TEST(CodecFuzz, TornSealTailsAlwaysReject) {
         << "a torn ep2.seal of " << len << " bytes validated";
     // And the full scan must agree the epoch is unusable.
     EXPECT_FALSE(mr::findLastSealedEpoch(*volume, dir, 1, 2).has_value());
+  }
+}
+
+// ---- WKB record stream (core/format.hpp framing) --------------------------
+//
+// Unlike the checkpoint artifacts above, the ingest record stream carries
+// no checksum — raw WKB straight off a file. The guarantee is therefore
+// not reject-everything but *containment*: the reader must never throw,
+// never over-read, account for every byte, and never turn a damaged
+// stream into more records than the writer framed.
+
+namespace {
+
+struct FramedBlob {
+  std::string bytes;
+  std::vector<std::size_t> bounds;  // 0 and one past each record
+};
+
+FramedBlob framedMixedBlob() {
+  const mg::GeometryBatch batch = mixedBatch();
+  FramedBlob blob;
+  blob.bounds.push_back(0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    mc::appendWkbRecord(batch, i, blob.bytes);
+    blob.bounds.push_back(blob.bytes.size());
+  }
+  return blob;
+}
+
+}  // namespace
+
+TEST(CodecFuzz, WkbRecordStreamTruncationsAccountEveryRecord) {
+  const FramedBlob blob = framedMixedBlob();
+  const mc::WkbFormatReader fmt;
+  for (std::size_t len = 0; len <= blob.bytes.size(); ++len) {
+    std::size_t whole = 0;
+    while (whole + 1 < blob.bounds.size() && blob.bounds[whole + 1] <= len) ++whole;
+    const bool onBoundary =
+        std::find(blob.bounds.begin(), blob.bounds.end(), len) != blob.bounds.end();
+    mg::GeometryBatch out;
+    mc::ParseStats st;
+    EXPECT_TRUE(noThrow([&] {
+      st = fmt.parseChunk(std::string_view(blob.bytes).substr(0, len), out, nullptr, nullptr);
+    })) << "truncation to " << len << " bytes threw";
+    EXPECT_EQ(st.records, whole) << "len=" << len;
+    EXPECT_EQ(out.size(), whole) << "len=" << len;
+    EXPECT_EQ(st.badRecords, onBoundary ? 0u : 1u) << "len=" << len;
+    EXPECT_EQ(st.bytes, len);
+  }
+}
+
+TEST(CodecFuzz, WkbRecordStreamBitFlipsNeverCrashOrInventRecords) {
+  const FramedBlob blob = framedMixedBlob();
+  const mc::WkbFormatReader fmt;
+  const std::size_t framed = blob.bounds.size() - 1;
+  for (std::size_t i = 0; i < blob.bytes.size(); ++i) {
+    std::string mutated = blob.bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1u << (i % 8)));
+    mg::GeometryBatch out;
+    mc::ParseStats st;
+    EXPECT_TRUE(noThrow(
+        [&] { st = fmt.parseChunk(mutated, out, nullptr, nullptr); }))
+        << "bit flip at byte " << i << " threw";
+    EXPECT_EQ(st.bytes, mutated.size()) << "flip at byte " << i;
+    EXPECT_LE(st.records, framed) << "flip at byte " << i << " invented records";
+    if (st.records < framed) {
+      EXPECT_GE(st.badRecords, 1u)
+          << "flip at byte " << i << " silently dropped a record";
+    }
   }
 }
