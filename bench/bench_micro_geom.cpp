@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "core/grid.hpp"
 #include "core/indexing.hpp"
+#include "geom/quadtree.hpp"
 #include "geom/rtree.hpp"
 #include "geom/wkb.hpp"
 #include "geom/wkt.hpp"
@@ -220,6 +222,61 @@ void BM_RTreeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RTreeQuery);
+
+// ---- Adaptive-partitioner lookup paths (DESIGN.md §13). Variable-extent
+// cell maps make multi-cell overlap lists longer, so the two lookups on
+// that path get their own datapoints: QuadTree::search reserving its
+// result vector from estimateMatches (node-level counts, no per-entry
+// rectangle tests — allocs/rec stays ~0 even for wide queries), and
+// CellLocator::overlappingCells' per-call sort+dedupe tail.
+
+void BM_QuadTreeSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  geom::QuadTree tree(geom::Envelope(0, 0, 1000, 1000));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, 999), y = rng.uniform(0, 999);
+    tree.insert(geom::Envelope(x, y, x + 1, y + 1), i);
+  }
+  std::uint64_t hits = 0;
+  const bench::Counters t0 = bench::countersNow();
+  for (auto _ : state) {
+    const double x = rng.uniform(0, 950), y = rng.uniform(0, 950);
+    const auto matches = tree.search(geom::Envelope(x, y, x + 50, y + 50));
+    hits += matches.size();
+    benchmark::DoNotOptimize(matches.data());
+  }
+  reportPerRecord(state, bench::countersSince(t0), hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(hits));
+}
+BENCHMARK(BM_QuadTreeSearch)->Arg(10000)->Arg(100000);
+
+void BM_CellLocatorOverlappingCells(benchmark::State& state) {
+  // Arg = query side in cells: bigger boxes model the longer overlap
+  // lists a coarse partition cell (a union of many uniform cells)
+  // produces when translated back to uniform members.
+  const int side = static_cast<int>(state.range(0));
+  const core::GridSpec grid(geom::Envelope(0, 0, 1000, 1000), 64, 64);
+  const core::CellLocator locator(grid);
+  const double cellW = 1000.0 / 64;
+  util::Rng rng(8);
+  std::vector<int> out;
+  std::uint64_t cellsOut = 0;
+  for (auto _ : state) {
+    out.clear();
+    // Batch 32 lookups into one vector — the framework's calling
+    // pattern; each call sorts+dedupes only its own appended tail.
+    for (int q = 0; q < 32; ++q) {
+      const double x = rng.uniform(0, 1000 - side * cellW);
+      const double y = rng.uniform(0, 1000 - side * cellW);
+      locator.overlappingCells(geom::Envelope(x, y, x + side * cellW, y + side * cellW), out);
+    }
+    cellsOut += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cellsOut));
+}
+BENCHMARK(BM_CellLocatorOverlappingCells)->Arg(1)->Arg(4)->Arg(12);
 
 // ---- Refine-layer indexing: legacy materialized layout vs batch-backed
 // DistributedIndex. The build pair prices constructing per-cell R-trees

@@ -15,7 +15,11 @@
 # part of its full suite — including the WKB ingest record-stream lane
 # (exhaustive single-bit flips + truncations over the framed stream).
 # The bench-smoke label covers bench_ingest_formats, which hard-fails
-# if the binary fast path loses its >= 2x parse-CPU edge over WKT.
+# if the binary fast path loses its >= 2x parse-CPU edge over WKT, and
+# bench_partition, which hard-fails if the adaptive cell maps stop
+# cutting the max-rank load / migration bytes on skewed input, if any
+# scheme changes the join result, or if the pilot cost model's predicted
+# winner drifts from the measured one outside its noise band.
 #
 # Usage: scripts/ci.sh [preset...]   (default: "default asan tsan")
 # Useful subsets once built: ctest -L recovery / -L mpi / -L threads / -L soak.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <numeric>
 #include <tuple>
 
@@ -168,6 +169,28 @@ struct ChunkPrep {
   double prepSeconds = 0;
 };
 
+/// Pilot pass for adaptive partitioning (DESIGN.md §13): a deterministic
+/// stride sample of every parsed record's envelope, shared across chunks
+/// and layers so the rate holds over the whole ingest.
+struct PilotSampler {
+  std::uint64_t stride = 100;
+  std::uint32_t cap = 1u << 16;
+  std::uint64_t seen = 0;
+  std::vector<geom::Envelope> envelopes;
+
+  explicit PilotSampler(const PartitionerConfig& cfg) : cap(cfg.maxSamplesPerRank) {
+    const double rate = std::clamp(cfg.sampleRate, 1e-6, 1.0);
+    stride = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(1.0 / rate));
+  }
+
+  void observe(const geom::GeometryBatch& chunk) {
+    for (std::size_t i = 0; i < chunk.size(); ++i, ++seen) {
+      if (seen % stride != 0 || envelopes.size() >= cap) continue;
+      envelopes.push_back(chunk.envelope(i));
+    }
+  }
+};
+
 /// Phases 1+2 for one layer, chunk by chunk: partitioned read then parse
 /// straight into a per-chunk batch (no per-record Geometry objects),
 /// staged for the exchange rounds. Accumulates the layer's local MBR for
@@ -185,7 +208,7 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
                  const FrameworkConfig& cfg, BatchStager& stage, geom::Envelope& localBounds,
                  ParseStats& parseStats, PartitionResult& ioStats, PhaseBreakdown& phases,
                  recovery::CheckpointCoordinator& ckpt, int layer, util::ThreadPool* pool,
-                 std::deque<ChunkPrep>* overlapPrep) {
+                 std::deque<ChunkPrep>* overlapPrep, PilotSampler* pilot) {
   // Resolve the layer's ingest format: an explicit FormatReader wins; a
   // bare Parser is wrapped in a TextFormatReader shim (byte-identical to
   // the classic text path).
@@ -229,6 +252,7 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
       phases.parse += pt.critical;
     }
     localBounds.expandToInclude(chunk.bounds());
+    if (pilot != nullptr) pilot->observe(chunk);
     ckpt.logChunk(layer, chunk);
     stage.push(std::move(chunk));
   }
@@ -243,18 +267,67 @@ std::vector<int> mergeCellLists(const std::vector<int>& a, const std::vector<int
   return out;
 }
 
+/// Refine dispatch through the partition map. Uniform maps call straight
+/// through (partition cells *are* grid cells). Adaptive maps sub-bucket
+/// the partition cell's records by uniform member cell — re-running the
+/// same overlappingCells arithmetic projection used, keeping only members
+/// of this partition cell — and refine each member separately, so every
+/// task sees exactly the uniform cells, spans and duplicate-avoidance
+/// geometry the uniform-grid run would have produced.
+void refineThroughMap(RefineTask& task, const PartitionMap& map, int cell,
+                      const geom::BatchSpan& r, const geom::BatchSpan& s) {
+  if (map.isUniform()) {
+    task.refineCellBatch(map.grid(), cell, r, s);
+    return;
+  }
+  const GridSpec& grid = map.grid();
+  // Ascending uniform member id; each layer's sub-list keeps span order.
+  std::map<int, std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>> sub;
+  std::vector<int> cells;
+  const auto bucket = [&](const geom::BatchSpan& span, bool isR) {
+    for (std::size_t k = 0; k < span.size(); ++k) {
+      cells.clear();
+      grid.overlappingCells(span.envelope(k), cells);
+      for (const int u : cells) {
+        if (map.groupOf(u) != cell) continue;
+        auto& lists = sub[u];
+        (isR ? lists.first : lists.second)
+            .push_back(static_cast<std::uint32_t>(span.recordIndex(k)));
+      }
+    }
+  };
+  bucket(r, true);
+  bucket(s, false);
+  for (const auto& [u, lists] : sub) {
+    // An empty sub-list must become a default span: BatchSpan::batch()
+    // dereferences, and r/s themselves may be default spans here.
+    const geom::BatchSpan subR =
+        lists.first.empty()
+            ? geom::BatchSpan()
+            : geom::BatchSpan(&r.batch(), lists.first.data(), lists.first.size());
+    const geom::BatchSpan subS =
+        lists.second.empty()
+            ? geom::BatchSpan()
+            : geom::BatchSpan(&s.batch(), lists.second.data(), lists.second.size());
+    task.refineCellBatch(grid, u, subR, subS);
+  }
+}
+
 }  // namespace
 
-geom::GeometryBatch projectToCells(const GridSpec& grid, const CellLocator* locator,
+geom::GeometryBatch projectToCells(const PartitionMap& map, const CellLocator* locator,
                                    geom::GeometryBatch&& geoms) {
   const std::size_t n = geoms.size();
   std::vector<int> cells;
   for (std::size_t i = 0; i < n; ++i) {
     cells.clear();
     if (locator != nullptr) {
+      // The locator resolves uniform cells; adaptive maps translate its
+      // (already sorted) result into partition ids in place.
       locator->overlappingCells(geoms.envelope(i), cells);
+      map.translateCells(cells, 0);
     } else {
-      grid.overlappingCells(geoms.envelope(i), cells);
+      map.overlappingCells(geoms.envelope(i), cells);
     }
     if (cells.empty()) {
       geoms.setCell(i, geom::GeometryBatch::kNoCell);
@@ -379,11 +452,17 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   BatchStager stageR(spiller, "pend_r", budget);
   BatchStager stageS(spiller, "pend_s", budget);
   geom::Envelope localBounds;
+  // Adaptive partitioning piggybacks a pilot sample on the ingest scan —
+  // no extra read pass (DESIGN.md §13).
+  std::optional<PilotSampler> pilot;
+  if (cfg.partition.scheme != PartitionScheme::kUniform) pilot.emplace(cfg.partition);
   ingestLayer(comm, volume, r, cfg, stageR, localBounds, stats.parseR, stats.ioR, stats.phases,
-              ckpt, 0, pool ? &*pool : nullptr, overlap ? &prepR : nullptr);
+              ckpt, 0, pool ? &*pool : nullptr, overlap ? &prepR : nullptr,
+              pilot ? &*pilot : nullptr);
   if (s != nullptr) {
     ingestLayer(comm, volume, *s, cfg, stageS, localBounds, stats.parseS, stats.ioS, stats.phases,
-                ckpt, 1, pool ? &*pool : nullptr, overlap ? &prepS : nullptr);
+                ckpt, 1, pool ? &*pool : nullptr, overlap ? &prepS : nullptr,
+                pilot ? &*pilot : nullptr);
   }
   ckpt.sealIngest();
 
@@ -393,13 +472,62 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   stats.grid = buildGlobalGrid(comm, localBounds, cfg.gridCells);
   const GridSpec& grid = stats.grid;
 
+  // 3b: partition map (DESIGN.md §13). Pilot samples are shared — counts
+  // allgathered, envelopes gathered to rank 0 in rank order and broadcast
+  // back — so every rank sees the identical sample sequence and builds
+  // the identical map and plan with no further agreement round.
+  stats.partition = PartitionMap::uniform(grid);
+  if (pilot) {
+    const std::uint64_t mine = pilot->envelopes.size();
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+    comm.allgather(&mine, 1, mpi::Datatype::uint64(), counts.data());
+    std::uint64_t totalSamples = 0;
+    std::vector<int> recvCounts(static_cast<std::size_t>(p), 0);
+    std::vector<int> displs(static_cast<std::size_t>(p), 0);
+    for (int rk = 0; rk < p; ++rk) {
+      displs[static_cast<std::size_t>(rk)] = static_cast<int>(totalSamples * 4);
+      recvCounts[static_cast<std::size_t>(rk)] = static_cast<int>(counts[static_cast<std::size_t>(rk)] * 4);
+      totalSamples += counts[static_cast<std::size_t>(rk)];
+    }
+    std::vector<double> flat(static_cast<std::size_t>(mine) * 4);
+    for (std::size_t i = 0; i < pilot->envelopes.size(); ++i) {
+      const geom::Envelope& e = pilot->envelopes[i];
+      flat[i * 4 + 0] = e.minX();
+      flat[i * 4 + 1] = e.minY();
+      flat[i * 4 + 2] = e.maxX();
+      flat[i * 4 + 3] = e.maxY();
+    }
+    std::vector<double> all(static_cast<std::size_t>(totalSamples) * 4);
+    comm.gatherv(flat.data(), static_cast<int>(flat.size()), mpi::Datatype::float64(), all.data(),
+                 recvCounts.data(), displs.data(), 0);
+    comm.bcast(all.data(), static_cast<int>(all.size()), mpi::Datatype::float64(), 0);
+    std::vector<geom::Envelope> samples;
+    samples.reserve(static_cast<std::size_t>(totalSamples));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(totalSamples); ++i) {
+      const geom::Envelope e(all[i * 4 + 0], all[i * 4 + 1], all[i * 4 + 2], all[i * 4 + 3]);
+      if (!e.isNull()) samples.push_back(e);
+    }
+    stats.partition = buildPartitionMap(cfg.partition, grid, samples, p);
+    // Plan with the measured run size: parsed records scale the sampled
+    // loads; parsed bytes per record price the predicted migration.
+    std::uint64_t localSize[2] = {stats.parseR.records + stats.parseS.records,
+                                  stats.parseR.bytes + stats.parseS.bytes};
+    std::uint64_t runSize[2] = {0, 0};
+    comm.allreduce(localSize, runSize, 2, mpi::Datatype::uint64(), mpi::Op::sum());
+    const double bytesPerRecord =
+        runSize[0] == 0 ? 256.0 : static_cast<double>(runSize[1]) / static_cast<double>(runSize[0]);
+    stats.plan = planPartition(stats.partition, samples, p, runSize[0], bytesPerRecord);
+  }
+  const PartitionMap& map = stats.partition;
+  if (ckpt.enabled()) ckpt.setPartitionMap(encodePartitionMap(map));
+
   std::optional<CellLocator> locator;
   if (cfg.rtreeCellLocator) locator.emplace(grid);
   auto owner = [p](int cell) { return roundRobinOwner(cell, p); };
   std::vector<int> rrOwner;
   if (ckpt.enabled()) {
-    rrOwner.resize(static_cast<std::size_t>(grid.cellCount()));
-    for (int c = 0; c < grid.cellCount(); ++c) rrOwner[static_cast<std::size_t>(c)] = owner(c);
+    rrOwner.resize(static_cast<std::size_t>(map.cellCount()));
+    for (int c = 0; c < map.cellCount(); ++c) rrOwner[static_cast<std::size_t>(c)] = owner(c);
   }
 
   // 4+5: project + exchange rounds per layer (communication phase).
@@ -472,7 +600,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       double projectSeconds = 0;
       {
         sim::ThreadCpuTimer timer;
-        chunk = projectToCells(grid, locator ? &*locator : nullptr, std::move(chunk));
+        chunk = projectToCells(map, locator ? &*locator : nullptr, std::move(chunk));
         projectSeconds = timer.elapsed();
       }
       if (overlap) {
@@ -508,7 +636,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       const bool last = !streaming && round + 1 == rounds;
       const double t0 = comm.clock().now();
       geom::GeometryBatch got =
-          exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases, grid.cellCount(),
+          exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases, map.cellCount(),
                          &stats.exchange, {}, last, &xscratch);
       stats.phases.comm += comm.clock().now() - t0;
       stats.phases.rounds += 1;
@@ -589,6 +717,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
           ctx.roundsPerLayer[0] = roundsR;
           ctx.roundsPerLayer[1] = roundsS;
           ctx.grid = &grid;
+          ctx.map = &map;
           ctx.locator = locator ? &*locator : nullptr;
           ctx.shardedReplay = sc.shardedReplay;
           ctx.sealCache = &sealCache;
@@ -615,7 +744,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       // "stream over" distinct on the wire.
       const double t0 = comm.clock().now();
       geom::GeometryBatch got =
-          exchangeByCell(comm, geom::GeometryBatch(), owner, cfg.windowPhases, grid.cellCount(),
+          exchangeByCell(comm, geom::GeometryBatch(), owner, cfg.windowPhases, map.cellCount(),
                          &stats.exchange, {}, /*lastRound=*/true, &xscratch);
       stats.phases.comm += comm.clock().now() - t0;
       stats.phases.rounds += 1;
@@ -675,7 +804,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     const double t0 = active.clock().now();
     const double spillBefore = stats.phases.spill;
     stats.balance.ownedRecordsBefore = ownedR.records() + ownedS.records();
-    std::vector<std::uint64_t> loads(static_cast<std::size_t>(grid.cellCount()), 0);
+    std::vector<std::uint64_t> loads(static_cast<std::size_t>(map.cellCount()), 0);
     ownedR.accumulateCellLoads(loads);
     ownedS.accumulateCellLoads(loads);
     std::vector<std::uint64_t> global(loads.size(), 0);
@@ -702,7 +831,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     // the owned loads are already within the threshold.
     std::vector<std::uint64_t> perRank(static_cast<std::size_t>(ap), 0);
     std::uint64_t total = 0;
-    for (int c = 0; c < grid.cellCount(); ++c) {
+    for (int c = 0; c < map.cellCount(); ++c) {
       const int local = worldToLocal[static_cast<std::size_t>(currentWorldOwner(c))];
       MVIO_CHECK(local >= 0, "rebalance: cell owned by a rank outside the active communicator");
       perRank[static_cast<std::size_t>(local)] += global[static_cast<std::size_t>(c)];
@@ -712,16 +841,47 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     const double mean = static_cast<double>(total) / static_cast<double>(ap);
     stats.balance.imbalance = total == 0 ? 0.0 : static_cast<double>(maxLoad) / mean;
 
-    if (stats.balance.imbalance < cfg.rebalanceThreshold) {
+    // Under an adaptive map the LPT proposal is additionally priced by the
+    // cost model: refine seconds the move would save vs wire seconds it
+    // costs at the measured shard size, scaled by rebalanceThreshold. The
+    // uniform path keeps the classic ratio-only trigger byte-for-byte.
+    bool costGated = false;
+    std::vector<int> proposal;
+    if (stats.balance.imbalance >= cfg.rebalanceThreshold) {
+      proposal = lptAssignCells(global, ap);
+      if (!map.isUniform()) {
+        std::vector<int> curLocal(static_cast<std::size_t>(map.cellCount()), 0);
+        for (int c = 0; c < map.cellCount(); ++c) {
+          curLocal[static_cast<std::size_t>(c)] =
+              worldToLocal[static_cast<std::size_t>(currentWorldOwner(c))];
+        }
+        // Measured wire size per record, allreduced so every rank prices
+        // (and gates) the identical decision.
+        std::uint64_t localWire[2] = {stats.exchange.bytesReceived,
+                                      stats.exchange.geometriesReceived};
+        std::uint64_t wire[2] = {0, 0};
+        active.allreduce(localWire, wire, 2, mpi::Datatype::uint64(), mpi::Op::sum());
+        const double bytesPerRecord =
+            wire[1] == 0 ? 256.0 : static_cast<double>(wire[0]) / static_cast<double>(wire[1]);
+        const RebalanceDecision price = priceRebalance(global, curLocal, proposal, ap,
+                                                       bytesPerRecord, cfg.rebalanceThreshold);
+        stats.balance.costGainSeconds = price.gainSeconds;
+        stats.balance.costMigrateSeconds = price.migrateSeconds;
+        costGated = !price.worthIt;
+      }
+    }
+
+    if (stats.balance.imbalance < cfg.rebalanceThreshold || costGated) {
       stats.balance.skipped = true;
+      stats.balance.costGated = costGated;
       stats.balance.ownedRecordsAfter = stats.balance.ownedRecordsBefore;
     } else {
-      const std::vector<int> newLocal = lptAssignCells(global, ap);
+      const std::vector<int>& newLocal = proposal;
       std::vector<int> newWorld(newLocal.size());
       for (std::size_t c = 0; c < newLocal.size(); ++c) {
         newWorld[c] = activeWorld[static_cast<std::size_t>(newLocal[c])];
       }
-      for (int c = 0; c < grid.cellCount(); ++c) {
+      for (int c = 0; c < map.cellCount(); ++c) {
         if (newWorld[static_cast<std::size_t>(c)] != currentWorldOwner(c)) {
           stats.balance.cellsMoved += 1;
         }
@@ -794,7 +954,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       for (const int cell : cells) {
         const geom::BatchSpan spanR = ownedR.cellSpan(cell);
         const geom::BatchSpan spanS = ownedS.cellSpan(cell);
-        task.refineCellBatch(grid, cell, spanR, spanS);
+        refineThroughMap(task, map, cell, spanR, spanS);
         stats.refinePeakBytes =
             std::max(stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes());
         if (streamingRefine) {
@@ -859,7 +1019,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
           RefineTask& worker = *refineWorkers[static_cast<std::size_t>(t)];
           for (std::size_t k = cut[static_cast<std::size_t>(t)];
                k < cut[static_cast<std::size_t>(t) + 1]; ++k) {
-            worker.refineCellBatch(grid, group[k].cell, group[k].spanR, group[k].spanS);
+            refineThroughMap(worker, map, group[k].cell, group[k].spanR, group[k].spanS);
           }
         });
         workerSeconds += pt.cpuMax;

@@ -43,6 +43,7 @@
 #include "core/format.hpp"
 #include "core/grid.hpp"
 #include "core/parser.hpp"
+#include "core/partition_map.hpp"
 #include "core/phases.hpp"
 #include "pfs/spill_store.hpp"
 #include "pfs/volume.hpp"
@@ -166,6 +167,15 @@ struct FrameworkConfig {
   /// worker order (DESIGN.md §10).
   int threadsPerRank = 1;
   bool rtreeCellLocator = true;  ///< cell lookup via R-tree (paper) vs arithmetic
+  /// Sample-based adaptive partitioning (DESIGN.md §13): a pilot pass
+  /// samples record envelopes during ingest, the samples are allgathered,
+  /// and every rank builds the same variable-extent PartitionMap —
+  /// quadtree refinement of hot regions or Hilbert-curve range splits —
+  /// that then drives projection, exchange, ownership, checkpoint seals
+  /// and rebalancing end to end. The default (kUniform) is the classic
+  /// uniform grid with zero overhead: no pilot pass, no sample exchange,
+  /// and the map's uniform fast path keeps every lookup branch-free.
+  PartitionerConfig partition;
   io::Hints ioHints;          ///< MPI-IO hints for the underlying file opens
   StreamConfig stream;        ///< chunked-round + spill controls
   /// Skew-aware owned-cell rebalancing: after the exchange phase, reduce
@@ -278,6 +288,13 @@ struct RebalanceStats {
   /// layer when each leaving set fit one StreamConfig::memoryBudget
   /// share, or when no budget is set).
   std::uint64_t migrationPasses = 0;
+  /// Cost-model verdict on the LPT proposal (adaptive partition schemes
+  /// only; see PartitionCostModel). When the projected migration seconds
+  /// outweigh the projected refine seconds saved, the pass is skipped and
+  /// `skipped` + `costGated` are both set.
+  bool costGated = false;
+  double costGainSeconds = 0;     ///< projected refine seconds the move saves
+  double costMigrateSeconds = 0;  ///< projected wire seconds the move costs
 };
 
 /// What the checkpoint/recovery subsystem did for this rank (all zero
@@ -306,6 +323,16 @@ struct FrameworkStats {
   ParseStats parseR, parseS;
   PartitionResult ioR, ioS;
   GridSpec grid;
+  /// The cell map the run executed under. Uniform scheme: the identity
+  /// over `grid`. Adaptive schemes: the variable-extent map every rank
+  /// built from the allgathered pilot samples — cell ids seen by
+  /// exchange, CellStore, ownership, seals and cellOwner are *partition*
+  /// ids (groupings of whole uniform cells); refine still sees uniform
+  /// cells via the framework's sub-bucketing dispatch.
+  PartitionMap partition;
+  /// The pilot pass's cost-model prediction (adaptive schemes; zeroed
+  /// under uniform). bench_partition checks it against the measured run.
+  PartitionPlan plan;
   pfs::SpillStats spill;        ///< this rank's shard spill/reload volumes
   RebalanceStats balance;       ///< owned-cell migration volumes (rebalanceCells)
   RecoveryStats recovery;       ///< failure injection / recovery outcome
@@ -335,11 +362,13 @@ struct FrameworkStats {
 };
 
 /// Phase-4 grid projection: map every record of `geoms` to its
-/// overlapping cells in place (a k-cell geometry appends k-1 replicas;
-/// no-cell records are tombstoned with kNoCell). Deterministic for a
-/// given grid — the recovery replay re-derives lost exchange rounds by
-/// re-running it over the durable chunk log.
-geom::GeometryBatch projectToCells(const GridSpec& grid, const CellLocator* locator,
+/// overlapping partition cells in place (a k-cell geometry appends k-1
+/// replicas; no-cell records are tombstoned with kNoCell). `locator`,
+/// when given, resolves uniform cells via the R-tree of cell boundaries
+/// and the map translates them. Deterministic for a given map — the
+/// recovery replay re-derives lost exchange rounds by re-running it over
+/// the durable chunk log.
+geom::GeometryBatch projectToCells(const PartitionMap& map, const CellLocator* locator,
                                    geom::GeometryBatch&& geoms);
 
 /// Run the full pipeline. `s` may be null (single-layer workloads such as

@@ -11,7 +11,9 @@ namespace mvio::core {
 namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x4D53564Du;  // "MVSM" little-endian
-constexpr std::uint32_t kManifestVersion = 1;
+// v2 appends the encoded partition map (length-prefixed, "" = uniform)
+// between the grid shape and the trailing checksum.
+constexpr std::uint32_t kManifestVersion = 2;
 
 using util::putScalar;
 using util::readScalar;
@@ -60,10 +62,13 @@ void DistributedIndex::query(const geom::Envelope& queryBox,
     ci.rtree.visit(queryBox, [&](std::uint64_t k) {
       const std::size_t id = ci.records[static_cast<std::size_t>(k)];
       const geom::Envelope& env = batch_.envelope(id);
-      // Reference-point deduplication across replicated copies.
+      // Reference-point deduplication across replicated copies. Cell ids
+      // are partition cells, so the reference point resolves through the
+      // map (== the grid lookup for uniform runs).
       const geom::Coord ref{std::max(env.minX(), queryBox.minX()),
                             std::max(env.minY(), queryBox.minY())};
-      if (grid_.cellOfPoint(ref) != cell) return;
+      const int refCell = map_.isUniform() ? grid_.cellOfPoint(ref) : map_.cellOfPoint(ref);
+      if (refCell != cell) return;
       // Exact refine straight on the batch record — no materialization.
       if (!geom::recordIntersectsBox(batch_, id, queryBox)) return;
       fn(id);
@@ -99,6 +104,9 @@ void DistributedIndex::saveShards(pfs::SpillStore& store, const std::string& bas
   putScalar<double>(manifest, gb.isNull() ? 0.0 : gb.maxY());
   putScalar<std::int32_t>(manifest, grid_.cellsX());
   putScalar<std::int32_t>(manifest, grid_.cellsY());
+  const std::string mapBlob = map_.isUniform() ? std::string() : encodePartitionMap(map_);
+  putScalar<std::uint32_t>(manifest, static_cast<std::uint32_t>(mapBlob.size()));
+  util::putBytes(manifest, mapBlob.data(), mapBlob.size());
   // Checksum-before-trust, like the shards: covers every preceding byte.
   putScalar<std::uint64_t>(manifest, util::fnv1a(manifest.data(), manifest.size()));
   store.put(base + ".manifest", std::move(manifest));
@@ -110,10 +118,14 @@ DistributedIndex DistributedIndex::loadShards(pfs::SpillStore& store, const std:
   const std::string manifestName = base + ".manifest";
   MVIO_CHECK(store.contains(manifestName), "index shards: missing manifest " + manifestName);
   const std::string m = store.fetch(manifestName);
-  constexpr std::size_t kManifestBytes = 4 + 4 + 8 + 8 + 8 + 1 + 4 * 8 + 4 + 4 + 8;
-  MVIO_CHECK(m.size() == kManifestBytes, "index shards: truncated manifest");
-  MVIO_CHECK(util::fnv1a(m.data(), kManifestBytes - 8) ==
-                 readScalar<std::uint64_t>(m.data() + kManifestBytes - 8),
+  // Fixed prefix through the grid shape, then the length-prefixed map
+  // blob and the trailing checksum.
+  constexpr std::size_t kFixedBytes = 4 + 4 + 8 + 8 + 8 + 1 + 4 * 8 + 4 + 4;
+  MVIO_CHECK(m.size() >= kFixedBytes + 4 + 8, "index shards: truncated manifest");
+  const auto mapBytes = static_cast<std::size_t>(readScalar<std::uint32_t>(m.data() + kFixedBytes));
+  MVIO_CHECK(m.size() == kFixedBytes + 4 + mapBytes + 8, "index shards: truncated manifest");
+  MVIO_CHECK(util::fnv1a(m.data(), m.size() - 8) ==
+                 readScalar<std::uint64_t>(m.data() + m.size() - 8),
              "index shards: corrupted manifest (checksum mismatch)");
   MVIO_CHECK(readScalar<std::uint32_t>(m.data()) == kManifestMagic, "index shards: bad manifest magic");
   MVIO_CHECK(readScalar<std::uint32_t>(m.data() + 4) == kManifestVersion,
@@ -132,6 +144,12 @@ DistributedIndex DistributedIndex::loadShards(pfs::SpillStore& store, const std:
   DistributedIndex index;
   index.fanout_ = rtreeFanout != 0 ? rtreeFanout : fanout;
   if (!nullGrid) index.grid_ = GridSpec(geom::Envelope(minX, minY, maxX, maxY), cellsX, cellsY);
+  if (mapBytes > 0) {
+    std::optional<PartitionMap> decoded =
+        decodePartitionMap(std::string_view(m.data() + kFixedBytes + 4, mapBytes));
+    MVIO_CHECK(decoded.has_value(), "index shards: corrupt partition map in manifest");
+    index.map_ = std::move(*decoded);
+  }
 
   for (std::uint64_t k = 0; k < shards; ++k) {
     const std::string name = base + "." + std::to_string(k);
@@ -193,6 +211,7 @@ DistributedIndex buildDistributedIndex(mpi::Comm& comm, pfs::Volume& volume, con
   task.index = &index;
   const FrameworkStats fw = runFilterRefine(comm, volume, data, nullptr, cfg.framework, task);
   index.grid_ = fw.grid;
+  index.map_ = fw.partition;
   if (stats != nullptr) {
     stats->phases = fw.phases;
     stats->spill = fw.spill;

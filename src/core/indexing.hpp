@@ -56,6 +56,11 @@ class DistributedIndex {
   };
 
   [[nodiscard]] const GridSpec& grid() const { return grid_; }
+  /// The partition map the records were exchanged under. Cell ids in
+  /// cells_ are *partition* cells; the reference-point dedup must resolve
+  /// through the same map or replicated records double-count. Defaults to
+  /// uniform (ids == grid cells), matching fromBatch and pre-map shards.
+  [[nodiscard]] const PartitionMap& partition() const { return map_; }
   [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
   [[nodiscard]] std::uint64_t localGeometries() const { return localGeometries_; }
   /// The records this index serves, in the pipeline's arena layout. Views
@@ -125,6 +130,7 @@ class DistributedIndex {
                                                 const IndexingConfig&, struct IndexingStats*);
 
   GridSpec grid_;
+  PartitionMap map_;  ///< uniform unless the build ran an adaptive scheme
   geom::GeometryBatch batch_;
   std::unordered_map<int, CellIndex> cells_;
   std::uint64_t localGeometries_ = 0;

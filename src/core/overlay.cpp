@@ -97,14 +97,24 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
 
   // My owned cells, ascending: the round-robin stride {c : c % P == rank}
   // by default, or the rebalanced/recovered cell→rank map (world ranks)
-  // when the framework reassigned ownership. The task only has entries
-  // for non-empty cells, so fill the gaps with zero records.
+  // when the framework reassigned ownership. Under an adaptive partition
+  // map the raster stays keyed by *uniform* cells (the refine sub-spans
+  // see uniform cells, so the output bytes are scheme-independent), but a
+  // uniform cell is written by whichever rank owns its partition cell.
+  // The task only has entries for non-empty cells, so fill the gaps with
+  // zero records.
+  const PartitionMap& pm = fw.partition;
   std::vector<int> myCells;
-  if (fw.cellOwner.empty()) {
+  if (fw.cellOwner.empty() && pm.isUniform()) {
     for (int c = active.rank(); c < cellCount; c += p) myCells.push_back(c);
   } else {
     for (int c = 0; c < cellCount; ++c) {
-      if (fw.cellOwner[static_cast<std::size_t>(c)] == active.worldRank()) myCells.push_back(c);
+      const int part = pm.groupOf(c);
+      const bool mine =
+          fw.cellOwner.empty()
+              ? roundRobinOwner(part, p) == active.rank()
+              : fw.cellOwner[static_cast<std::size_t>(part)] == active.worldRank();
+      if (mine) myCells.push_back(c);
     }
   }
   std::vector<CellCoverage> mine;
@@ -115,7 +125,7 @@ OverlayStats gridCoverageOverlay(mpi::Comm& comm, pfs::Volume& volume, const Dat
   }
 
   const auto record = mpi::Datatype::contiguous(static_cast<int>(kRecordBytes), mpi::Datatype::byte());
-  if (fw.cellOwner.empty()) {
+  if (fw.cellOwner.empty() && pm.isUniform()) {
     // Figure 4's view: record `rank` of every group of P records (the
     // round-robin cell ownership), written collectively in one call.
     const auto filetype = record.resized(0, static_cast<std::uint64_t>(p) * kRecordBytes);

@@ -142,6 +142,8 @@ JoinStats spatialJoin(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle&
   stats.grid = fw.grid;
   stats.balance = fw.balance;
   stats.recovery = fw.recovery;
+  stats.plan = fw.plan;
+  stats.ownedRecords = fw.localR + fw.localS;
   if (fw.recovery.died) return stats;  // dead ranks join no further collective
   mpi::Comm active = fw.activeComm ? *fw.activeComm : comm;
   stats.cellsOwned = fw.cellsOwned;

@@ -45,10 +45,12 @@ struct JoinStats {
   PhaseBreakdown phases;             ///< this rank's breakdown
   RebalanceStats balance;            ///< owned-cell migration volumes (rebalanceCells)
   RecoveryStats recovery;            ///< failure injection / recovery outcome
+  PartitionPlan plan;                ///< pilot-pass cost-model prediction (adaptive schemes)
   std::uint64_t localPairs = 0;      ///< pairs this rank reported
   std::uint64_t globalPairs = 0;     ///< allreduced total
   std::uint64_t candidatePairs = 0;  ///< global filter-phase candidates
   std::uint64_t cellsOwned = 0;
+  std::uint64_t ownedRecords = 0;    ///< geometries this rank refined (post-exchange, both layers)
   GridSpec grid;
 };
 

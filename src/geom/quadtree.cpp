@@ -92,8 +92,43 @@ void QuadTree::query(const Envelope& queryBox, const std::function<void(std::uin
 
 std::vector<std::uint64_t> QuadTree::search(const Envelope& queryBox) const {
   std::vector<std::uint64_t> out;
+  out.reserve(estimateMatches(queryBox));
   query(queryBox, [&](std::uint64_t id) { out.push_back(id); });
   return out;
+}
+
+std::size_t QuadTree::estimateMatches(const Envelope& queryBox) const {
+  if (queryBox.isNull()) return 0;
+  std::size_t estimate = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (n != 0 && !node.bounds.intersects(queryBox)) continue;
+    estimate += node.entries.size();
+    if (node.firstChild >= 0) {
+      for (std::int32_t q = 0; q < 4; ++q) stack.push_back(node.firstChild + q);
+    }
+  }
+  return estimate;
+}
+
+std::int32_t QuadTree::leafOf(const Coord& c) const {
+  std::int32_t n = 0;
+  while (true) {
+    const std::int32_t first = nodes_[static_cast<std::size_t>(n)].firstChild;
+    if (first < 0) return n;
+    std::int32_t next = -1;
+    for (std::int32_t q = 0; q < 4; ++q) {
+      if (nodes_[static_cast<std::size_t>(first + q)].bounds.contains(c)) {
+        next = first + q;
+        break;
+      }
+    }
+    if (next < 0) return n;
+    n = next;
+  }
 }
 
 std::size_t QuadTree::depth() const {

@@ -26,6 +26,18 @@ class QuadTree {
 
   [[nodiscard]] std::vector<std::uint64_t> search(const Envelope& query) const;
 
+  /// Node-level upper bound on search(query).size(): the summed entry
+  /// counts of every node the walk would visit, skipping the per-entry
+  /// rectangle tests. search() reserves its result from this.
+  [[nodiscard]] std::size_t estimateMatches(const Envelope& query) const;
+
+  /// Index of the leaf quadrant containing `c`. Descends picking the
+  /// first child (SW, SE, NW, NE order) whose rectangle contains the
+  /// point, so points on shared quadrant edges resolve deterministically.
+  /// The adaptive partitioner keys uniform cells by this id; callers pass
+  /// in-bounds points (an outside point stops at the deepest node reached).
+  [[nodiscard]] std::int32_t leafOf(const Coord& c) const;
+
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t depth() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/exchange.hpp"
+#include "core/partition_map.hpp"
 #include "geom/batch_shard.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -20,6 +21,10 @@ constexpr std::uint32_t kManifestMagic = 0x5243564Du;  // "MVCR"
 constexpr std::uint32_t kIngestMagic = 0x4943564Du;    // "MVCI"
 constexpr std::uint32_t kBaseMagic = 0x4243564Du;      // "MVCB"
 constexpr std::uint32_t kVersion = 1;
+/// Seal-only version: v2 appends the run's encoded partition map
+/// (length-prefixed) between the manifest checksums and the trailing
+/// checksum. The other blob codecs are unchanged and keep kVersion.
+constexpr std::uint32_t kSealVersion = 2;
 
 std::string chunkName(int layer, std::uint64_t chunk) {
   return std::string("ing.") + layerTag(layer) + "." + std::to_string(chunk);
@@ -105,7 +110,7 @@ std::string encodeRankManifest(const RankEpochManifest& manifest) {
 std::string encodeEpochSeal(const EpochSeal& seal) {
   std::string s;
   putScalar<std::uint32_t>(s, kSealMagic);
-  putScalar<std::uint32_t>(s, kVersion);
+  putScalar<std::uint32_t>(s, kSealVersion);
   putScalar<std::uint64_t>(s, seal.epoch);
   putScalar<std::uint64_t>(s, seal.roundsCompleted);
   putScalar<std::uint32_t>(s, static_cast<std::uint32_t>(seal.worldSize));
@@ -113,6 +118,8 @@ std::string encodeEpochSeal(const EpochSeal& seal) {
   for (const int owner : seal.cellOwner) putScalar<std::int32_t>(s, owner);
   for (const std::uint64_t load : seal.cellLoads) putScalar<std::uint64_t>(s, load);
   for (const std::uint64_t c : seal.rankManifestChecksums) putScalar<std::uint64_t>(s, c);
+  putScalar<std::uint32_t>(s, static_cast<std::uint32_t>(seal.partitionMap.size()));
+  util::putBytes(s, seal.partitionMap.data(), seal.partitionMap.size());
   putScalar<std::uint64_t>(s, fnv1a(s.data(), s.size()));
   return s;
 }
@@ -242,6 +249,7 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
     sealData.cellOwner = cellOwner;
     sealData.cellLoads = std::move(globalLoads);
     sealData.rankManifestChecksums = checksums;
+    sealData.partitionMap = partitionMap_;
     std::string seal = encodeEpochSeal(sealData);
     if (cfg_.tearEpochSeal == epoch_) {
       // Torn-write injection: the writer "died" mid-seal. Recovery must
@@ -384,14 +392,19 @@ std::optional<EpochSeal> readEpochSeal(pfs::Volume& volume, const std::string& d
   constexpr std::size_t kFixed = 4 + 4 + 8 + 8 + 4 + 4;
   if (blob.size() < kFixed + 8) return std::nullopt;
   if (readScalar<std::uint32_t>(blob.data()) != kSealMagic) return std::nullopt;
-  if (readScalar<std::uint32_t>(blob.data() + 4) != kVersion) return std::nullopt;
+  if (readScalar<std::uint32_t>(blob.data() + 4) != kSealVersion) return std::nullopt;
   EpochSeal seal;
   seal.epoch = readScalar<std::uint64_t>(blob.data() + 8);
   seal.roundsCompleted = readScalar<std::uint64_t>(blob.data() + 16);
   seal.worldSize = static_cast<int>(readScalar<std::uint32_t>(blob.data() + 24));
   const auto cells = static_cast<std::size_t>(readScalar<std::uint32_t>(blob.data() + 28));
-  const std::size_t expect =
-      kFixed + cells * (4 + 8) + static_cast<std::size_t>(seal.worldSize) * 8 + 8;
+  // v2 layout: fixed header, owner/load arrays, manifest checksums, then
+  // the length-prefixed partition map and the trailing checksum.
+  const std::size_t arraysEnd =
+      kFixed + cells * (4 + 8) + static_cast<std::size_t>(seal.worldSize) * 8;
+  if (blob.size() < arraysEnd + 4 + 8) return std::nullopt;
+  const auto mapBytes = static_cast<std::size_t>(readScalar<std::uint32_t>(blob.data() + arraysEnd));
+  const std::size_t expect = arraysEnd + 4 + mapBytes + 8;
   if (blob.size() != expect || seal.epoch != epoch) return std::nullopt;
   if (fnv1a(blob.data(), expect - 8) != readScalar<std::uint64_t>(blob.data() + expect - 8)) {
     return std::nullopt;
@@ -409,6 +422,13 @@ std::optional<EpochSeal> readEpochSeal(pfs::Volume& volume, const std::string& d
   for (auto& c : seal.rankManifestChecksums) {
     c = readScalar<std::uint64_t>(p);
     p += 8;
+  }
+  seal.partitionMap.assign(blob.data() + arraysEnd + 4, mapBytes);
+  // Defense in depth: an embedded map must itself decode (its own magic,
+  // canonical-grouping and checksum validation), not just survive the
+  // seal's outer checksum.
+  if (!seal.partitionMap.empty() && !core::decodePartitionMap(seal.partitionMap)) {
+    return std::nullopt;
   }
   return seal;
 }

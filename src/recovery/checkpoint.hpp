@@ -116,6 +116,12 @@ class CheckpointCoordinator {
   /// the chunk log alone.
   void setRoundSchedule(std::uint64_t roundsR, std::uint64_t roundsS);
 
+  /// Attach the run's encoded partition map (core/partition_map.hpp) so
+  /// every epoch seal carries it. Call after the map is built, before the
+  /// first checkpoint boundary; recovery validates the sealed copy
+  /// against the live map before replaying through it.
+  void setPartitionMap(std::string encoded) { partitionMap_ = std::move(encoded); }
+
  private:
   void charge(std::uint64_t bytes, bool isWrite);
   void chargeCompact(std::uint64_t bytes, bool isWrite);
@@ -138,6 +144,7 @@ class CheckpointCoordinator {
   std::uint64_t truncatedRounds_ = 0;     ///< chunk-log rounds already GC'd
   std::uint64_t roundsR_ = 0, roundsS_ = 0;
   bool scheduleKnown_ = false;
+  std::string partitionMap_;  ///< encoded map embedded in every seal ("" = pre-map runs)
 };
 
 // ---- Reader side (recovery + crash-consistency tests) --------------------
@@ -162,6 +169,11 @@ struct EpochSeal {
   std::vector<int> cellOwner;                        ///< world ranks at seal time
   std::vector<std::uint64_t> cellLoads;              ///< global cumulative loads
   std::vector<std::uint64_t> rankManifestChecksums;  ///< one per world rank
+  /// Encoded PartitionMap the epoch was taken under ("" = uniform run
+  /// that never attached one). Recovery re-projects through exactly this
+  /// map, so a post-failure rebuild can never drift from the sealed
+  /// cell assignment.
+  std::string partitionMap;
 };
 
 /// Base checkpoint manifest: epochs 1..baseEpoch folded into one set of

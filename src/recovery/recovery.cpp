@@ -45,7 +45,12 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
   MVIO_CHECK(ctx.grid != nullptr && ctx.worldSize >= 2, "recovery: malformed context");
   const int myWorld = survivors.worldRank();
   const int nSurv = survivors.size();
-  const std::size_t cells = static_cast<std::size_t>(ctx.grid->cellCount());
+  // The run's partition map: cells, replay projection and the sealed-map
+  // guard all go through it. A context without one is a uniform run.
+  const core::PartitionMap uniformFallback =
+      ctx.map == nullptr ? core::PartitionMap::uniform(*ctx.grid) : core::PartitionMap();
+  const core::PartitionMap& map = ctx.map != nullptr ? *ctx.map : uniformFallback;
+  const std::size_t cells = static_cast<std::size_t>(map.cellCount());
   const double t0 = survivors.clock().now();
   // Decode + re-projection CPU is charged alongside the modelled reads.
   mpi::CpuCharge cpu(survivors);
@@ -107,6 +112,12 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
   if (seal) {
     MVIO_CHECK(seal->cellOwner == sealOwner,
                "recovery: sealed cell map does not match the exchange-round ownership");
+    // Projection-drift guard: replay must re-project through byte-for-byte
+    // the map the sealed epochs were taken under. ("" = a seal written by
+    // a coordinator that never attached a map — uniform by definition.)
+    MVIO_CHECK(seal->partitionMap.empty() ||
+                   seal->partitionMap == core::encodePartitionMap(map),
+               "recovery: sealed partition map does not match the run's map");
   }
 
   // 3. Restore the sealed arrivals of the orphaned cells. An orphaned
@@ -225,7 +236,7 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
         geom::GeometryBatch raw;
         loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
         const geom::GeometryBatch projected =
-            core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
+            core::projectToCells(map, ctx.locator, std::move(raw));
         for (std::size_t i = 0; i < projected.size(); ++i) {
           const int cell = projected.cell(i);
           if (cell == geom::GeometryBatch::kNoCell) continue;
@@ -237,7 +248,7 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
       chargeReads();
       geom::GeometryBatch got =
           core::exchangeByCell(survivors, std::move(ship), ownerFn, /*windowPhases=*/1,
-                               ctx.grid->cellCount(), nullptr, {}, /*lastRound=*/true, &scratch);
+                               map.cellCount(), nullptr, {}, /*lastRound=*/true, &scratch);
       sim::ThreadCpuTimer storeCpu;
       out.stats.replayedRecords += got.size();
       stores[layer]->add(std::move(got));
@@ -249,7 +260,7 @@ RecoveryOutcome recoverFromFailure(mpi::Comm& survivors, pfs::Volume& volume,
         geom::GeometryBatch raw;
         loadLoggedChunk(volume, ctx.checkpoint.dir, q, layer, chunk, raw, &bytesRead);
         const geom::GeometryBatch projected =
-            core::projectToCells(*ctx.grid, ctx.locator, std::move(raw));
+            core::projectToCells(map, ctx.locator, std::move(raw));
         for (std::size_t i = 0; i < projected.size(); ++i) {
           const int cell = projected.cell(i);
           if (cell == geom::GeometryBatch::kNoCell) continue;

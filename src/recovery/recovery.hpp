@@ -81,6 +81,10 @@ struct RecoveryContext {
   std::uint64_t deliveredRound = 0;
   std::uint64_t roundsPerLayer[2] = {0, 0};  ///< original data-round schedule (R, S)
   const core::GridSpec* grid = nullptr;
+  /// The run's partition map (uniform or adaptive). Replay re-projects
+  /// through it, and its encoding must match the sealed epoch's embedded
+  /// map — the projection-drift guard. Null = uniform over `grid`.
+  const core::PartitionMap* map = nullptr;
   const core::CellLocator* locator = nullptr;  ///< null = arithmetic cell lookup
   bool shardedReplay = true;          ///< split the chunk log by source + exchange
   SealScanCache* sealCache = nullptr; ///< optional cross-pass seal-scan memo

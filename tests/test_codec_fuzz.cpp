@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/format.hpp"
+#include "core/partition_map.hpp"
 #include "geom/batch_shard.hpp"
 #include "geom/wkt.hpp"
 #include "pfs/lustre.hpp"
@@ -126,6 +127,73 @@ TEST(CodecFuzz, EpochSealRejectsCorruption) {
              return got.has_value() && got->epoch == 3 && got->cellOwner == seal.cellOwner;
            },
            "EpochSeal");
+}
+
+namespace {
+
+/// A small grouped (non-uniform) map: 4x4 grid split into quadrant-ish
+/// partition cells via the quadtree builder on a skewed sample pile.
+mc::PartitionMap groupedMap() {
+  const mc::GridSpec grid(mg::Envelope(0, 0, 16, 16), 4, 4);
+  mc::PartitionerConfig cfg;
+  cfg.scheme = mc::PartitionScheme::kQuadtree;
+  cfg.targetCells = 4;
+  std::vector<mg::Envelope> samples;
+  for (int i = 0; i < 200; ++i) {
+    const double d = 0.01 * i;
+    samples.emplace_back(1.0 + d, 1.0, 1.5 + d, 1.5);
+  }
+  samples.emplace_back(12.0, 12.0, 13.0, 13.0);
+  return mc::buildPartitionMap(cfg, grid, samples, 2);
+}
+
+}  // namespace
+
+TEST(CodecFuzz, PartitionMapRejectsCorruption) {
+  const mc::PartitionMap map = groupedMap();
+  ASSERT_FALSE(map.isUniform()) << "fixture must produce a grouped map";
+  const std::string good = mc::encodePartitionMap(map);
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             const auto got = mc::decodePartitionMap(blob);
+             return got.has_value() && *got == map;
+           },
+           "PartitionMap");
+  // The uniform map's (group-free) encoding must hold the same line.
+  const mc::PartitionMap uni = mc::PartitionMap::uniform(map.grid());
+  fuzzBlob(mc::encodePartitionMap(uni),
+           [&](const std::string& blob) {
+             const auto got = mc::decodePartitionMap(blob);
+             return got.has_value() && *got == uni;
+           },
+           "PartitionMap(uniform)");
+}
+
+TEST(CodecFuzz, EpochSealWithPartitionMapRejectsCorruption) {
+  // A v2 seal carrying an embedded adaptive map: corruption anywhere —
+  // seal header, arrays, embedded map bytes, or checksums — must reject
+  // the whole seal (the embedded map is re-validated by its own codec).
+  const mc::PartitionMap map = groupedMap();
+  mr::EpochSeal seal;
+  seal.epoch = 5;
+  seal.roundsCompleted = 10;
+  seal.worldSize = 2;
+  seal.cellOwner.assign(static_cast<std::size_t>(map.cellCount()), 0);
+  seal.cellLoads.assign(static_cast<std::size_t>(map.cellCount()), 3);
+  seal.rankManifestChecksums = {0xaaaaull, 0xbbbbull};
+  seal.partitionMap = mc::encodePartitionMap(map);
+  const std::string good = mr::encodeEpochSeal(seal);
+
+  auto volume = smallVolume();
+  const std::string dir = "__fuzz_seal_map";
+  mp::SpillStore store(*volume, mr::globalPrefix(dir));
+  fuzzBlob(good,
+           [&](const std::string& blob) {
+             store.put("ep5.seal", std::string(blob));
+             const auto got = mr::readEpochSeal(*volume, dir, 5);
+             return got.has_value() && got->epoch == 5 && got->partitionMap == seal.partitionMap;
+           },
+           "EpochSeal(v2+map)");
 }
 
 TEST(CodecFuzz, RankManifestRejectsCorruption) {
