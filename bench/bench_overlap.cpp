@@ -53,15 +53,22 @@ int main() {
                          "compute", "hidden", "workerCPU", "critical", "speedup"});
   std::vector<core::JoinPair> basePairs;
   double baseMakespan = 0;
+  obs::RunReport report;
+  report.name = "overlap";
+  report.setup = "8 procs, t=4 +overlap, 64 cells, 64 KiB chunks, COMET 1/20 latency";
 
   for (const Config& cfg : configs) {
     bench::resetModel(*volume);
+    // The t=4 +overlap row is the tentpole configuration: it is the one
+    // the flight recorder traces and the run report captures.
+    const bool instrumented = cfg.threads == 4 && cfg.overlap;
     core::PhaseBreakdown maxPhases;
     std::vector<core::JoinPair> pairs;
     std::uint64_t globalPairs = 0;
     double makespan = 0;
     std::mutex mu;
     mpi::Runtime::run(kProcs, sim::MachineModel::comet(kProcs / 4), [&](mpi::Comm& comm) {
+      bench::RankRecorder rec(instrumented, cfg.threads);
       core::JoinConfig jcfg;
       jcfg.framework.gridCells = 64;
       jcfg.framework.stream.chunkBytes = 64 << 10;
@@ -71,10 +78,15 @@ int main() {
       core::DatasetHandle s{"s.wkt", &parser, {}};
       std::vector<core::JoinPair> local;
       const auto stats = core::spatialJoin(comm, *volume, r, s, jcfg, &local);
-      const auto reduced = stats.phases.maxAcross(comm);
+      // One reduction feeds the table row and (on the instrumented row)
+      // the report JSON, so the two cannot disagree.
+      const auto reduced = instrumented ? report.capturePhases(comm, stats.phases)
+                                        : stats.phases.maxAcross(comm);
+      if (instrumented) report.captureMetrics(comm);
       double end = comm.clock().now();
       double maxEnd = 0;
       comm.allreduce(&end, &maxEnd, 1, mpi::Datatype::float64(), mpi::Op::max());
+      rec.finish(comm);
       std::lock_guard<std::mutex> lock(mu);
       pairs.insert(pairs.end(), local.begin(), local.end());
       globalPairs = stats.globalPairs;
@@ -82,6 +94,10 @@ int main() {
       if (comm.rank() == 0) maxPhases = reduced;
     });
     std::sort(pairs.begin(), pairs.end());
+    if (instrumented) {
+      report.addValue("pairs", static_cast<double>(globalPairs));
+      report.addValue("makespan_seconds", makespan);
+    }
 
     if (basePairs.empty()) {
       basePairs = pairs;
@@ -105,5 +121,6 @@ int main() {
   std::printf("%s\n", table.str().c_str());
   std::printf("note: pairs must be identical on every row. speedup is against the serial\n"
               "no-overlap row; t=4 +overlap is the tentpole configuration.\n");
+  bench::maybeWriteReport(report);
   return 0;
 }

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/vector_io.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "osm/datasets.hpp"
 #include "osm/virtual_file.hpp"
 #include "util/format.hpp"
@@ -135,6 +137,79 @@ struct Sample {
   double seconds = 0;
   double bandwidth = 0;  // bytes/s where applicable
 };
+
+// ---- Flight recorder / run reports (DESIGN.md §14) ----------------------
+// The CI obs lane drives these through the environment:
+//   MVIO_TRACE_OUT=<path>   record spans on the instrumented configuration
+//                           and write one Chrome/Perfetto trace JSON there
+//   MVIO_REPORT_OUT=<path>  write the bench's versioned run-report JSON
+//                           there (scripts/check_bench.py gates on it)
+// Unset (the default, and the tier-1 path) both are inert.
+
+/// Per-rank recorder for one instrumented Runtime::run. Construct at the
+/// top of the rank lambda; tracing turns on only when `record` is set AND
+/// MVIO_TRACE_OUT names a destination, so a sweep traces just its
+/// designated configuration. finish() is collective — call it as the last
+/// collective of the rank function to gather and write the trace.
+class RankRecorder {
+ public:
+  /// Bench rings hold 4 Ki events per lane — framework spans arrive per
+  /// round/cell, not per record, so that is headroom, and the lanes stay
+  /// small enough to trace a many-rank configuration.
+  RankRecorder(bool record, int workerLanes)
+      : session(record && std::getenv("MVIO_TRACE_OUT") != nullptr
+                    ? obs::TraceConfig::on(1 << 12)
+                    : obs::TraceConfig::off(),
+                workerLanes) {}
+
+  void finish(mpi::Comm& comm) {
+    if (session.tracer() == nullptr) return;
+    const char* path = std::getenv("MVIO_TRACE_OUT");
+    const std::uint64_t written = obs::writeChromeTrace(comm, path);
+    if (comm.rank() == 0) {
+      std::printf("trace: wrote %llu events to %s\n",
+                  static_cast<unsigned long long>(written), path);
+    }
+  }
+
+  obs::Session session;
+};
+
+/// Drive-by (§14): the bench allocation counters report through the
+/// metrics registry — current totals are published as process-level
+/// counters next to util::perf's payload-bytes-copied counter, and the
+/// registry's scalar contents are appended to the report as single-sample
+/// summaries.
+inline void appendProcessMetrics(obs::RunReport& report) {
+  obs::MetricsRegistry& m = obs::processMetrics();
+  obs::Counter& ac = m.counter("bench.alloc_count");
+  obs::Counter& ab = m.counter("bench.alloc_bytes");
+  ac.reset();
+  ac.add(gAllocCount.load(std::memory_order_relaxed));
+  ab.reset();
+  ab.add(gAllocBytes.load(std::memory_order_relaxed));
+  const obs::MetricsRegistry::Snapshot snap = m.snapshot();
+  const auto append = [&](const std::string& name, char kind, double v) {
+    obs::MetricSummary s;
+    s.name = name;
+    s.kind = kind;
+    s.count = 1;
+    s.min = s.max = s.sum = s.mean = s.p50 = s.p99 = v;
+    report.metrics.push_back(std::move(s));
+  };
+  for (const auto& [name, v] : snap.counters) append(name, 'c', static_cast<double>(v));
+  for (const auto& [name, v] : snap.gauges) append(name, 'g', v);
+}
+
+/// Write the report to MVIO_REPORT_OUT when set (no-op otherwise),
+/// folding the process-global counters in first.
+inline void maybeWriteReport(obs::RunReport& report) {
+  const char* path = std::getenv("MVIO_REPORT_OUT");
+  if (path == nullptr) return;
+  appendProcessMetrics(report);
+  report.writeFile(path);
+  std::printf("report: wrote %s\n", path);
+}
 
 // ---- Streaming / rebalancing phase columns ------------------------------
 // Shared column set for harnesses that price the bounded-memory pipeline:

@@ -21,8 +21,15 @@
 # scheme changes the join result, or if the pilot cost model's predicted
 # winner drifts from the measured one outside its noise band.
 #
+# The default preset also runs the obs lane (DESIGN.md §14): bench_overlap
+# and bench_fig08_l0_allobjects re-run with the flight recorder on
+# (MVIO_TRACE_OUT/MVIO_REPORT_OUT), scripts/check_bench.py validates the
+# Perfetto trace and run-report JSON, and the perf-regression comparator
+# gates the reports against the committed bench/baselines/*.json.
+#
 # Usage: scripts/ci.sh [preset...]   (default: "default asan tsan")
-# Useful subsets once built: ctest -L recovery / -L mpi / -L threads / -L soak.
+# Useful subsets once built: ctest -L recovery / -L mpi / -L threads /
+# -L soak / -L obs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +49,27 @@ for preset in "${presets[@]}"; do
     echo "==> soak lane: randomized fault schedules (preset: default)"
     MVIO_SOAK_SCHEDULES="${MVIO_SOAK_SCHEDULES:-16}" \
       ctest --preset default -L soak --output-on-failure
+
+    echo "==> obs lane: flight-recorder traces, run reports, perf gate (preset: default)"
+    obs_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir}"' EXIT
+    MVIO_TRACE_OUT="${obs_dir}/trace_overlap.json" \
+      MVIO_REPORT_OUT="${obs_dir}/BENCH_overlap.json" \
+      ./build/bench_overlap > "${obs_dir}/overlap.log"
+    MVIO_TRACE_OUT="${obs_dir}/trace_fig08.json" \
+      MVIO_REPORT_OUT="${obs_dir}/BENCH_fig08.json" \
+      ./build/bench_fig08_l0_allobjects > "${obs_dir}/fig08.log"
+    # bench_overlap's instrumented row streams with threads + overlap but
+    # no memory pressure, so every framework phase except spill appears;
+    # fig08's addendum traces its read → parse → partition → comm cascade.
+    python3 scripts/check_bench.py validate-trace "${obs_dir}/trace_overlap.json" \
+      --min-spans 100 --expect-phases read,parse,partition,comm,compute,round
+    python3 scripts/check_bench.py validate-trace "${obs_dir}/trace_fig08.json" \
+      --min-spans 64 --expect-phases read,parse,partition,comm
+    python3 scripts/check_bench.py validate-report "${obs_dir}/BENCH_overlap.json"
+    python3 scripts/check_bench.py validate-report "${obs_dir}/BENCH_fig08.json"
+    python3 scripts/check_bench.py compare "${obs_dir}/BENCH_overlap.json" bench/baselines/overlap.json
+    python3 scripts/check_bench.py compare "${obs_dir}/BENCH_fig08.json" bench/baselines/fig08.json
   fi
 done
 echo "==> tier-1 green under: ${presets[*]}"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/batch_shard.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mvio::core {
@@ -82,6 +83,9 @@ void CellStore::flushSegment(const geom::GeometryBatch& b) {
     ref.lastCell = ref.runs.back().cell;
     ref.encodedBytes = blob.size();
     charge_(blob.size(), /*isWrite=*/true);
+    if (obs::tracingOn()) {
+      obs::traceInstant("store.spill", ref.name + " (" + std::to_string(ref.encodedBytes) + " bytes)");
+    }
     store_->put(ref.name, std::move(blob));
     segment.push_back(std::move(ref));
     ref = ShardRef{};
@@ -151,6 +155,9 @@ geom::GeometryBatch& CellStore::loadShard(std::size_t seg, std::size_t idx, int 
     evictShards(currentCell, ref.encodedBytes);
     const std::string blob = store_->fetch(ref.name);
     charge_(blob.size(), /*isWrite=*/false);
+    if (obs::tracingOn()) {
+      obs::traceInstant("store.reload", ref.name + " (" + std::to_string(blob.size()) + " bytes)");
+    }
     reloadBytes_ += blob.size();
     LoadedShard loadedShard;
     geom::decodeShard(blob, loadedShard.batch);
@@ -186,6 +193,9 @@ void CellStore::evictShards(int currentCell, std::uint64_t incomingBytes) {
       if (it->second.lastUse < lru->second.lastUse) lru = it;
     }
     loadedBytes_ -= lru->second.bytes;
+    if (obs::tracingOn()) {
+      obs::traceInstant("store.evict", std::to_string(lru->second.bytes) + " bytes");
+    }
     loaded_.erase(lru);
   }
 }

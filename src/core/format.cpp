@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "geom/wkb.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -300,6 +301,9 @@ ParseStats WkbFormatReader::parseChunk(std::string_view text, geom::GeometryBatc
     const auto k = static_cast<std::size_t>(w);
     partStats[k] = parseSerial(parts[k], batches[k]);
   });
+  if (const obs::ObsContext& octx = obs::obsContext(); octx.tracer != nullptr && octx.clock != nullptr) {
+    obs::traceWorkerSpans("parse", octx.clock->now(), pt.perWorker);
+  }
 
   sim::ThreadCpuTimer mergeTimer;
   ParseStats stats;

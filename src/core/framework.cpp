@@ -9,8 +9,11 @@
 #include "core/cell_store.hpp"
 #include "geom/batch_shard.hpp"
 #include "io/file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "recovery/recovery.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mvio::core {
@@ -56,11 +59,14 @@ struct Spiller {
 
   void charge(std::uint64_t bytes, bool isWrite) const {
     const double t = pricer.seconds(bytes, isWrite, comm->clock().now());
+    obs::addCount(isWrite ? "spill.write_bytes" : "spill.read_bytes", bytes);
     if (defer != nullptr) {
-      *defer += t;
+      *defer += t;  // replayed as a flush-lane span by the round loop
       return;
     }
+    const double t0 = comm->clock().now();
     comm->clock().advanceBy(t);
+    obs::traceSpanAt("spill", t0, comm->clock().now());
     phases->spill += t;
   }
 
@@ -231,6 +237,7 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
     phases.read += comm.clock().now() - t0;
     if (!more) break;
     const double readDoneAt = comm.clock().now();
+    obs::traceSpanAt("read", t0, readDoneAt);
 
     geom::GeometryBatch chunk;
     ParseTiming pt;
@@ -248,7 +255,9 @@ void ingestLayer(mpi::Comm& comm, pfs::Volume& volume, const DatasetHandle& ds,
     if (overlapPrep != nullptr) {
       overlapPrep->push_back({readDoneAt, pt.critical});
     } else {
+      const double p0 = comm.clock().now();
       comm.clock().advanceBy(pt.critical);
+      obs::traceSpanAt("parse", p0, comm.clock().now());
       phases.parse += pt.critical;
     }
     localBounds.expandToInclude(chunk.bounds());
@@ -595,6 +604,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
                                   std::uint64_t rounds) -> bool {
     const bool streaming = sc.chunkBytes > 0;
     for (std::uint64_t round = 0; round < rounds; ++round) {
+      obs::traceBegin("round");
       geom::GeometryBatch chunk;
       const bool hadChunk = stage.pop(chunk);  // false → empty round for this rank
       double projectSeconds = 0;
@@ -619,27 +629,48 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
           prep.pop_front();
         }
         const double now0 = comm.clock().now();
-        prepDoneAt = std::max({prepDoneAt, readDoneAt, commDonePrev2}) + parseSeconds +
-                     projectSeconds;
+        const double prepStart = std::max({prepDoneAt, readDoneAt, commDonePrev2});
+        prepDoneAt = prepStart + parseSeconds + projectSeconds;
         const double exposed = std::max(0.0, prepDoneAt - now0);
         comm.clock().advanceTo(prepDoneAt);
         const double prepTotal = parseSeconds + projectSeconds;
+        // The prep stage runs concurrently with earlier exchanges — it
+        // gets its own lane so the overlap is visible in the trace, split
+        // into the phase names the breakdown charges it to.
+        if (obs::ObsContext& octx = obs::obsContext(); octx.tracer != nullptr) {
+          const int lane = octx.tracer->prepLane();
+          if (parseSeconds > 0) {
+            obs::traceSpanAtLane(lane, "parse", prepStart, prepStart + parseSeconds);
+          }
+          if (projectSeconds > 0) {
+            obs::traceSpanAtLane(lane, "partition", prepStart + parseSeconds, prepDoneAt);
+          }
+        }
         if (prepTotal > 0) {
           stats.phases.parse += exposed * (parseSeconds / prepTotal);
           stats.phases.partition += exposed * (projectSeconds / prepTotal);
           stats.phases.overlapped += prepTotal - exposed;
         }
       } else {
+        const double pj0 = comm.clock().now();
         comm.clock().advanceBy(projectSeconds);
+        obs::traceSpanAt("partition", pj0, comm.clock().now());
         stats.phases.partition += projectSeconds;
       }
       const bool last = !streaming && round + 1 == rounds;
       const double t0 = comm.clock().now();
+      const std::uint64_t wire0 = stats.exchange.bytesReceived;
       geom::GeometryBatch got =
           exchangeByCell(comm, std::move(chunk), owner, cfg.windowPhases, map.cellCount(),
                          &stats.exchange, {}, last, &xscratch);
       stats.phases.comm += comm.clock().now() - t0;
       stats.phases.rounds += 1;
+      obs::traceSpanAt("comm", t0, comm.clock().now());
+      if (obs::metricsOn()) {
+        const std::uint64_t roundBytes = stats.exchange.bytesReceived - wire0;
+        obs::addCount("exchange.bytes", roundBytes);
+        obs::observe("exchange.round_bytes", static_cast<double>(roundBytes));
+      }
       if (overlap) {
         commDonePrev2 = commDonePrev1;
         commDonePrev1 = comm.clock().now();
@@ -654,8 +685,12 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
         spiller.defer = &banked;
         owned.add(std::move(got));
         spiller.defer = nullptr;
-        storeDoneAt = std::max(storeDoneAt, comm.clock().now()) + banked;
+        const double flushStart = std::max(storeDoneAt, comm.clock().now());
+        storeDoneAt = flushStart + banked;
         spillBanked += banked;
+        if (obs::ObsContext& octx = obs::obsContext(); octx.tracer != nullptr && banked > 0) {
+          obs::traceSpanAtLane(octx.tracer->flushLane(), "spill", flushStart, storeDoneAt);
+        }
       } else {
         owned.add(std::move(got));
       }
@@ -693,9 +728,12 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
             (f >= 0 ? survivors : newlyDead).push_back(f >= 0 ? f : ~f);
           }
           if (newlyDead.empty()) break;  // stable survivor set
+          MVIO_WARN("recovery", newlyDead.size() << " rank(s) failed at round " << globalRound
+                                                 << "; survivors: " << survivors.size());
           mpi::Comm shrunk = active.split(alive ? 1 : 0, active.rank());
           if (!alive) {
             stats.recovery.died = true;
+            obs::traceEnd("round");
             return false;
           }
           active = shrunk;
@@ -721,8 +759,13 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
           ctx.locator = locator ? &*locator : nullptr;
           ctx.shardedReplay = sc.shardedReplay;
           ctx.sealCache = &sealCache;
+          obs::traceBegin("recovery");
           recovery::RecoveryOutcome outcome = recovery::recoverFromFailure(
               active, volume, ctx, ownedR, s != nullptr ? &ownedS : nullptr, &stats.phases);
+          obs::traceEnd("recovery");
+          obs::addCount("recovery.restored_records", outcome.stats.restoredRecords);
+          obs::addCount("recovery.replayed_records", outcome.stats.replayedRecords);
+          obs::addCount("recovery.passes", 1);
           priorOwner = std::move(outcome.cellOwner);
           stats.recovery.recovered = true;
           stats.recovery.deadRanks = cumulativeDead.size();
@@ -735,8 +778,10 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
         }
         stats.cellOwner = std::move(priorOwner);
         recovered = true;
+        obs::traceEnd("round");
         return false;
       }
+      obs::traceEnd("round");
     }
     if (streaming) {
       // Termination barrier: an empty round whose header carries
@@ -802,6 +847,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
   const int ap = active.size();
   if (cfg.rebalanceCells && ap > 1) {
     const double t0 = active.clock().now();
+    obs::traceBegin("migrate");
     const double spillBefore = stats.phases.spill;
     stats.balance.ownedRecordsBefore = ownedR.records() + ownedS.records();
     std::vector<std::uint64_t> loads(static_cast<std::size_t>(map.cellCount()), 0);
@@ -840,6 +886,19 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     const std::uint64_t maxLoad = *std::max_element(perRank.begin(), perRank.end());
     const double mean = static_cast<double>(total) / static_cast<double>(ap);
     stats.balance.imbalance = total == 0 ? 0.0 : static_cast<double>(maxLoad) / mean;
+    obs::setGauge("balance.imbalance_before", stats.balance.imbalance);
+
+    // Max/mean ratio of a candidate local assignment — the "after" gauge
+    // for the report (identical arithmetic to the trigger measurement).
+    const auto imbalanceOf = [&](const std::vector<int>& owner) {
+      std::vector<std::uint64_t> load(static_cast<std::size_t>(ap), 0);
+      for (int c = 0; c < map.cellCount(); ++c) {
+        load[static_cast<std::size_t>(owner[static_cast<std::size_t>(c)])] +=
+            global[static_cast<std::size_t>(c)];
+      }
+      const std::uint64_t mx = *std::max_element(load.begin(), load.end());
+      return total == 0 ? 0.0 : static_cast<double>(mx) / mean;
+    };
 
     // Under an adaptive map the LPT proposal is additionally priced by the
     // cost model: refine seconds the move would save vs wire seconds it
@@ -875,7 +934,9 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       stats.balance.skipped = true;
       stats.balance.costGated = costGated;
       stats.balance.ownedRecordsAfter = stats.balance.ownedRecordsBefore;
+      obs::setGauge("balance.imbalance_after", stats.balance.imbalance);
     } else {
+      obs::setGauge("balance.imbalance_after", imbalanceOf(proposal));
       const std::vector<int>& newLocal = proposal;
       std::vector<int> newWorld(newLocal.size());
       for (std::size_t c = 0; c < newLocal.size(); ++c) {
@@ -928,10 +989,13 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       stats.balance.ownedRecordsAfter = ownedR.records() + ownedS.records();
       stats.phases.migrateBytes = stats.balance.transport.bytesSent;
       stats.phases.migrateRounds = stats.balance.transport.blobsSent;
+      obs::addCount("migrate.bytes", stats.balance.transport.bytesSent);
+      obs::addCount("migrate.blobs", stats.balance.transport.blobsSent);
     }
     // Shard reloads during cell extraction charged themselves to the
     // spill phase; subtract them so total() counts the time once.
     stats.phases.migrate += (active.clock().now() - t0) - (stats.phases.spill - spillBefore);
+    obs::traceEnd("migrate");
   }
 
   // 6: cell-major refine. Owned cells are visited in ascending cell-id
@@ -944,6 +1008,9 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     // Main-thread CPU (loop bookkeeping, group assembly, merges,
     // adoption) is measured by mainTimer; each worker dispatch charges
     // its critical path (max worker CPU) on top.
+    const double blockStart = comm.clock().now();
+    const bool measureCells = obs::metricsOn();
+    obs::traceBegin("compute");
     sim::ThreadCpuTimer mainTimer;
     double workerSeconds = 0;
     const bool streamingRefine = ownedR.streaming();
@@ -954,7 +1021,13 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
       for (const int cell : cells) {
         const geom::BatchSpan spanR = ownedR.cellSpan(cell);
         const geom::BatchSpan spanS = ownedS.cellSpan(cell);
-        refineThroughMap(task, map, cell, spanR, spanS);
+        if (measureCells) {
+          sim::ThreadCpuTimer cellTimer;
+          refineThroughMap(task, map, cell, spanR, spanS);
+          obs::observe("refine.cell_seconds", cellTimer.elapsed());
+        } else {
+          refineThroughMap(task, map, cell, spanR, spanS);
+        }
         stats.refinePeakBytes =
             std::max(stats.refinePeakBytes, ownedR.trackedBytes() + ownedS.trackedBytes());
         if (streamingRefine) {
@@ -1015,16 +1088,33 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
           }
           cut[static_cast<std::size_t>(t) + 1] = i;
         }
+        // Workers have no obs context: per-cell seconds land in a plain
+        // array each worker owns a disjoint slice of; the rank thread
+        // feeds the histogram (and the worker lanes) after the region.
+        std::vector<double> cellSeconds;
+        if (measureCells) cellSeconds.assign(group.size(), 0.0);
         const util::PoolTiming pt = pool->runOnWorkers([&](int t) {
           RefineTask& worker = *refineWorkers[static_cast<std::size_t>(t)];
           for (std::size_t k = cut[static_cast<std::size_t>(t)];
                k < cut[static_cast<std::size_t>(t) + 1]; ++k) {
-            refineThroughMap(worker, map, group[k].cell, group[k].spanR, group[k].spanS);
+            if (measureCells) {
+              sim::ThreadCpuTimer cellTimer;
+              refineThroughMap(worker, map, group[k].cell, group[k].spanR, group[k].spanS);
+              cellSeconds[k] = cellTimer.elapsed();
+            } else {
+              refineThroughMap(worker, map, group[k].cell, group[k].spanR, group[k].spanS);
+            }
           }
         });
+        // Worker-lane spans: the region starts where the final
+        // advanceBy(mainSeconds + workerSeconds) will place it — block
+        // start plus main CPU so far plus earlier regions' critical paths.
+        obs::traceWorkerSpans("compute", blockStart + mainTimer.elapsed() + workerSeconds,
+                              pt.perWorker);
         workerSeconds += pt.cpuMax;
         stats.phases.workerCpu += pt.cpuSum;
         stats.phases.workerCritical += pt.cpuMax;
+        for (const double cs : cellSeconds) obs::observe("refine.cell_seconds", cs);
         for (int t = 0; t < nw; ++t) task.mergeWorker(*refineWorkers[static_cast<std::size_t>(t)]);
         if (streamingRefine) {
           // Per-cell adoption in ascending order, after the merge so the
@@ -1071,6 +1161,7 @@ FrameworkStats runFilterRefine(mpi::Comm& comm, pfs::Volume& volume, const Datas
     const double mainSeconds = mainTimer.elapsed();
     comm.clock().advanceBy(mainSeconds + workerSeconds);
     stats.phases.compute += mainSeconds + workerSeconds;
+    obs::traceEnd("compute");
   }
   stats.refinePeakBytes = std::max({stats.refinePeakBytes, ownedR.peakBytes(), ownedS.peakBytes()});
   // Only the refine loop's reloads; migration-extraction reloads are

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "geom/wkt.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -142,6 +143,9 @@ ParseStats Parser::parseAllParallel(std::string_view text, geom::GeometryBatch& 
   std::vector<ParseStats> partStats(parts.size());
   const util::PoolTiming pt = pool.runOnWorkers(
       [&](int w) { partStats[static_cast<std::size_t>(w)] = parseAll(parts[static_cast<std::size_t>(w)], batches[static_cast<std::size_t>(w)]); });
+  if (const obs::ObsContext& octx = obs::obsContext(); octx.tracer != nullptr && octx.clock != nullptr) {
+    obs::traceWorkerSpans("parse", octx.clock->now(), pt.perWorker);
+  }
 
   // Splice back in slice order — the only serial step, charged on the
   // critical path. Slice 0 into an empty `out` adopts the arenas (no copy).

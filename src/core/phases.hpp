@@ -14,6 +14,7 @@
 // `spill` is the modelled scratch I/O spent writing/reloading batch
 // shards when the working set exceeded the memory budget.
 
+#include <bit>
 #include <cstdint>
 
 #include "mpi/runtime.hpp"
@@ -65,42 +66,48 @@ struct PhaseBreakdown {
            compaction;
   }
 
-  /// Field-wise max across all ranks (collective).
+  /// Field-wise max across all ranks — one collective round-trip. The 13
+  /// time fields are IEEE-754 doubles that are never negative (phase
+  /// accumulators), and for non-negative doubles the raw bit pattern
+  /// orders exactly like the value, so they ride the same uint64 max
+  /// reduction as the 10 counters: 23 slots, one allreduce, bit-exact
+  /// against the old two-collective form.
   [[nodiscard]] PhaseBreakdown maxAcross(mpi::Comm& comm_) const {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    const auto enc = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    const auto dec = [](std::uint64_t v) { return std::bit_cast<double>(v); };
+    const std::uint64_t mine[23] = {
+        enc(read),       enc(parse),     enc(partition),      enc(comm),      enc(compute),
+        enc(spill),      enc(migrate),   enc(checkpoint),     enc(recovery),  enc(overlapped),
+        enc(workerCpu),  enc(workerCritical), enc(compaction),
+        rounds,          refineSpillBytes,    migrateBytes,    migrateRounds, checkpointBytes,
+        checkpointEpochs, recoveryBytes,      recoveryRounds,  compactionBytes, reclaimedBytes};
+    std::uint64_t reduced[23] = {};
+    comm_.allreduce(mine, reduced, 23, mpi::Datatype::uint64(), mpi::Op::max());
     PhaseBreakdown out;
-    double mine[13] = {read,       parse,      partition, comm,       compute,
-                       spill,      migrate,    checkpoint, recovery,  overlapped,
-                       workerCpu,  workerCritical, compaction};
-    double reduced[13] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(mine, reduced, 13, mpi::Datatype::float64(), mpi::Op::max());
-    out.read = reduced[0];
-    out.parse = reduced[1];
-    out.partition = reduced[2];
-    out.comm = reduced[3];
-    out.compute = reduced[4];
-    out.spill = reduced[5];
-    out.migrate = reduced[6];
-    out.checkpoint = reduced[7];
-    out.recovery = reduced[8];
-    out.overlapped = reduced[9];
-    out.workerCpu = reduced[10];
-    out.workerCritical = reduced[11];
-    out.compaction = reduced[12];
-    std::uint64_t counts[10] = {rounds,          refineSpillBytes, migrateBytes,  migrateRounds,
-                                checkpointBytes, checkpointEpochs, recoveryBytes, recoveryRounds,
-                                compactionBytes, reclaimedBytes};
-    std::uint64_t countsOut[10] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
-    comm_.allreduce(counts, countsOut, 10, mpi::Datatype::uint64(), mpi::Op::max());
-    out.rounds = countsOut[0];
-    out.refineSpillBytes = countsOut[1];
-    out.migrateBytes = countsOut[2];
-    out.migrateRounds = countsOut[3];
-    out.checkpointBytes = countsOut[4];
-    out.checkpointEpochs = countsOut[5];
-    out.recoveryBytes = countsOut[6];
-    out.recoveryRounds = countsOut[7];
-    out.compactionBytes = countsOut[8];
-    out.reclaimedBytes = countsOut[9];
+    out.read = dec(reduced[0]);
+    out.parse = dec(reduced[1]);
+    out.partition = dec(reduced[2]);
+    out.comm = dec(reduced[3]);
+    out.compute = dec(reduced[4]);
+    out.spill = dec(reduced[5]);
+    out.migrate = dec(reduced[6]);
+    out.checkpoint = dec(reduced[7]);
+    out.recovery = dec(reduced[8]);
+    out.overlapped = dec(reduced[9]);
+    out.workerCpu = dec(reduced[10]);
+    out.workerCritical = dec(reduced[11]);
+    out.compaction = dec(reduced[12]);
+    out.rounds = reduced[13];
+    out.refineSpillBytes = reduced[14];
+    out.migrateBytes = reduced[15];
+    out.migrateRounds = reduced[16];
+    out.checkpointBytes = reduced[17];
+    out.checkpointEpochs = reduced[18];
+    out.recoveryBytes = reduced[19];
+    out.recoveryRounds = reduced[20];
+    out.compactionBytes = reduced[21];
+    out.reclaimedBytes = reduced[22];
     return out;
   }
 };

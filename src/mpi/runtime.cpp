@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace mvio::mpi {
@@ -724,6 +725,9 @@ void Runtime::run(int nprocs, const sim::MachineModel& machine, const std::funct
   for (int i = 0; i < nprocs; ++i) {
     threads.emplace_back([&, i] {
       Comm comm(&rt.world, &rt.ranks[static_cast<std::size_t>(i)], i);
+      // Thread-local observability context: rank id + virtual clock for
+      // the logger and any obs::Session the rank function installs.
+      obs::detail::RankScope obsScope(i, &rt.ranks[static_cast<std::size_t>(i)].clock);
       try {
         fn(comm);
       } catch (...) {

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpi/runtime.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace mvio::obs {
+
+double exactQuantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: the ceil(q*N)-th smallest sample (1-based), matching
+  // util::Percentiles.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+double Histogram::quantile(double q) const {
+  return exactQuantile(samples(), q);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.histograms.emplace_back(name, h->samples());
+  return out;
+}
+
+MetricsRegistry& processMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+/// Wire format of one rank's snapshot:
+///   u32 counters:   { u32 nameLen + bytes, u64 value }*
+///   u32 gauges:     { u32 nameLen + bytes, f64 value }*
+///   u32 histograms: { u32 nameLen + bytes, u32 n, f64*n }*
+std::string encodeSnapshot(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  const auto putName = [&out](const std::string& name) {
+    util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    util::putBytes(out, name.data(), name.size());
+  };
+  util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& [name, v] : snap.counters) {
+    putName(name);
+    util::putScalar<std::uint64_t>(out, v);
+  }
+  util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(snap.gauges.size()));
+  for (const auto& [name, v] : snap.gauges) {
+    putName(name);
+    util::putScalar<double>(out, v);
+  }
+  util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& [name, samples] : snap.histograms) {
+    putName(name);
+    util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(samples.size()));
+    for (const double s : samples) util::putScalar<double>(out, s);
+  }
+  return out;
+}
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  template <typename T>
+  T take() {
+    MVIO_CHECK(p + sizeof(T) <= end, "metrics decode past end");
+    const T v = util::readScalar<T>(p);
+    p += sizeof(T);
+    return v;
+  }
+
+  std::string takeString() {
+    const std::uint32_t n = take<std::uint32_t>();
+    MVIO_CHECK(p + n <= end, "metrics decode past end");
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+MetricSummary summarize(const std::string& name, char kind, std::vector<double> values) {
+  MetricSummary s;
+  s.name = name;
+  s.kind = kind;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  for (const double v : values) s.sum += v;
+  s.mean = s.sum / static_cast<double>(values.size());
+  s.p50 = exactQuantile(values, 0.5);
+  s.p99 = exactQuantile(std::move(values), 0.99);
+  return s;
+}
+
+}  // namespace
+
+std::vector<MetricSummary> aggregateMetrics(mpi::Comm& comm) {
+  return aggregateMetrics(comm, obsContext().metrics);
+}
+
+std::vector<MetricSummary> aggregateMetrics(mpi::Comm& comm, const MetricsRegistry* local) {
+  const std::string mine =
+      encodeSnapshot(local != nullptr ? local->snapshot() : MetricsRegistry::Snapshot{});
+  const int p = comm.size();
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p), 0);
+  const std::uint64_t mySize = mine.size();
+  comm.gather(&mySize, 1, mpi::Datatype::uint64(), sizes.data(), 0);
+  std::vector<int> counts(static_cast<std::size_t>(p), 0);
+  std::vector<int> displs(static_cast<std::size_t>(p), 0);
+  std::uint64_t total = 0;
+  for (int rk = 0; rk < p; ++rk) {
+    displs[static_cast<std::size_t>(rk)] = static_cast<int>(total);
+    counts[static_cast<std::size_t>(rk)] = static_cast<int>(sizes[static_cast<std::size_t>(rk)]);
+    total += sizes[static_cast<std::size_t>(rk)];
+  }
+  std::string all(static_cast<std::size_t>(total), '\0');
+  comm.gatherv(mine.data(), static_cast<int>(mine.size()), mpi::Datatype::byte(), all.data(),
+               counts.data(), displs.data(), 0);
+  if (comm.rank() != 0) return {};
+
+  // Merge by (kind, name): counters and gauges collect one value per
+  // rank, histograms concatenate every rank's retained samples.
+  std::map<std::pair<char, std::string>, std::vector<double>> merged;
+  for (int rk = 0; rk < p; ++rk) {
+    Cursor cur{all.data() + displs[static_cast<std::size_t>(rk)],
+               all.data() + displs[static_cast<std::size_t>(rk)] +
+                   counts[static_cast<std::size_t>(rk)]};
+    if (cur.p == cur.end) continue;
+    const auto nCounters = cur.take<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nCounters; ++i) {
+      const std::string name = cur.takeString();
+      merged[{'c', name}].push_back(static_cast<double>(cur.take<std::uint64_t>()));
+    }
+    const auto nGauges = cur.take<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nGauges; ++i) {
+      const std::string name = cur.takeString();
+      merged[{'g', name}].push_back(cur.take<double>());
+    }
+    const auto nHists = cur.take<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nHists; ++i) {
+      const std::string name = cur.takeString();
+      const auto n = cur.take<std::uint32_t>();
+      auto& bucket = merged[{'h', name}];
+      for (std::uint32_t k = 0; k < n; ++k) bucket.push_back(cur.take<double>());
+    }
+  }
+  std::vector<MetricSummary> out;
+  out.reserve(merged.size());
+  for (auto& [key, values] : merged) {
+    out.push_back(summarize(key.second, key.first, std::move(values)));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSummary& a, const MetricSummary& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace mvio::obs

@@ -1,0 +1,170 @@
+#pragma once
+// Named metrics registry (DESIGN.md §14): counters, gauges and
+// sample-retaining histograms with relaxed-atomic hot paths, plus a
+// collective aggregation that reduces every rank's registry to
+// min/max/sum/mean/p50/p99 summaries on rank 0 for the run report.
+//
+// Handles returned by the registry are stable for its lifetime, so hot
+// call sites resolve a metric once and then touch only the atomic. The
+// per-rank registry is reached through the thread-local ObsContext
+// (obs::Session installs it); the free helpers below no-op when no
+// session is live, which keeps tier-1 runs at one thread-local load per
+// site. A separate process-global registry backs counters that predate
+// the rank context — util/perf.hpp's payload-bytes-copied counter now
+// lives there instead of in its own ad-hoc atomic.
+//
+// Histograms retain their samples (bounded by `maxSamples`, defaulting
+// generous) so percentiles are *exact* on retained data — the same
+// nearest-rank definition as util::Percentiles, which test_obs.cpp pins.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mvio::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+  /// Direct handle for pre-resolved hot paths (util/perf.hpp).
+  [[nodiscard]] std::atomic<std::uint64_t>& raw() { return v_; }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Sample-retaining histogram: observe() appends under a mutex (cold
+/// paths only — per-cell / per-round, never per-record), quantile() is
+/// exact nearest-rank over the retained samples.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t maxSamples = 1 << 20) : maxSamples_(maxSamples) {}
+
+  void observe(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    sum_ += v;
+    if (samples_.size() < maxSamples_) samples_.push_back(v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  [[nodiscard]] double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+
+  [[nodiscard]] std::vector<double> samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+  /// Exact nearest-rank quantile (q in [0,1]) over the retained samples;
+  /// 0 when empty. quantile(0.5) of {1..100} is 50, quantile(0.99) is 99.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t maxSamples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Nearest-rank quantile over an unsorted sample set (shared with the
+/// cross-rank aggregation, which merges samples from every rank first).
+[[nodiscard]] double exactQuantile(std::vector<double> samples, double q);
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; returned references stay valid for the registry's
+  /// lifetime (node-based map + unique_ptr).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, std::vector<double>>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-global registry for counters that outlive any rank session
+/// (payload bytes copied, bench allocation counts).
+[[nodiscard]] MetricsRegistry& processMetrics();
+
+// ---- Thread-local helpers (no-ops without an installed session) ---------
+
+inline void addCount(const char* name, std::uint64_t n) {
+  MetricsRegistry* m = obsContext().metrics;
+  if (m != nullptr) m->counter(name).add(n);
+}
+
+inline void setGauge(const char* name, double v) {
+  MetricsRegistry* m = obsContext().metrics;
+  if (m != nullptr) m->gauge(name).set(v);
+}
+
+inline void observe(const char* name, double v) {
+  MetricsRegistry* m = obsContext().metrics;
+  if (m != nullptr) m->histogram(name).observe(v);
+}
+
+[[nodiscard]] inline bool metricsOn() { return obsContext().metrics != nullptr; }
+
+// ---- Cross-rank aggregation ---------------------------------------------
+
+/// One metric reduced across ranks. For counters/gauges the per-rank
+/// values are the sample set (count = ranks reporting); for histograms
+/// the ranks' retained samples are merged. p50/p99 are exact
+/// nearest-rank over that set.
+struct MetricSummary {
+  std::string name;
+  char kind = 'c';  ///< 'c' counter, 'g' gauge, 'h' histogram
+  std::uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+};
+
+/// Collective over `comm`: every rank contributes its thread-local
+/// registry (absent → nothing), rank 0 returns the merged summaries
+/// sorted by name (empty vector on other ranks).
+std::vector<MetricSummary> aggregateMetrics(mpi::Comm& comm);
+
+/// Same, over an explicit local registry (used by benches that fold the
+/// process-global registry in as well).
+std::vector<MetricSummary> aggregateMetrics(mpi::Comm& comm, const MetricsRegistry* local);
+
+}  // namespace mvio::obs

@@ -1,0 +1,272 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "mpi/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace mvio::obs {
+
+ObsContext& obsContext() {
+  thread_local ObsContext ctx;
+  return ctx;
+}
+
+Session::Session(const TraceConfig& cfg, int workerLanes)
+    : metrics_(std::make_unique<MetricsRegistry>()) {
+  MVIO_CHECK(workerLanes >= 0, "negative worker lane count");
+  if (cfg.enabled) {
+    MVIO_CHECK(cfg.laneCapacity >= 1, "trace lane capacity must be at least 1");
+    tracer_ = std::make_unique<Tracer>(cfg, workerLanes);
+  }
+  ObsContext& c = obsContext();
+  c.tracer = tracer_.get();
+  c.metrics = metrics_.get();
+  c.lane = Tracer::mainLane();
+}
+
+Session::~Session() {
+  ObsContext& c = obsContext();
+  if (c.tracer == tracer_.get()) c.tracer = nullptr;
+  if (c.metrics == metrics_.get()) c.metrics = nullptr;
+}
+
+void traceSpanAt(const char* name, double t0, double t1) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr) return;
+  traceSpanAtLane(c.lane, name, t0, t1);
+}
+
+void traceSpanAtLane(int lane, const char* name, double t0, double t1) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr) return;
+  TraceLane& l = c.tracer->lane(lane);
+  l.emit(name, t0, EventType::kBegin);
+  l.emit(name, t1 < t0 ? t0 : t1, EventType::kEnd);
+}
+
+void traceBegin(const char* name) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr || c.clock == nullptr) return;
+  c.tracer->lane(c.lane).emit(name, c.clock->now(), EventType::kBegin);
+}
+
+void traceEnd(const char* name) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr || c.clock == nullptr) return;
+  c.tracer->lane(c.lane).emit(name, c.clock->now(), EventType::kEnd);
+}
+
+void traceInstant(const char* name, std::string detail) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr || c.clock == nullptr) return;
+  c.tracer->lane(c.lane).emit(name, c.clock->now(), EventType::kInstant, std::move(detail));
+}
+
+void traceWorkerSpans(const char* name, double base, const std::vector<double>& perWorkerCpu) {
+  const ObsContext& c = obsContext();
+  if (c.tracer == nullptr) return;
+  const int lanes = c.tracer->workerLanes();
+  for (std::size_t w = 0; w < perWorkerCpu.size() && static_cast<int>(w) < lanes; ++w) {
+    if (perWorkerCpu[w] <= 0) continue;
+    traceSpanAtLane(Tracer::workerLane(static_cast<int>(w)), name, base, base + perWorkerCpu[w]);
+  }
+}
+
+namespace {
+
+/// Wire format of one rank's lanes (gathered to rank 0):
+///   u32 laneCount, u32 workerLanes,
+///   per lane: u64 drops, u32 eventCount,
+///     per event: u8 type, f64 t, u32 nameLen + bytes, u32 detailLen + bytes.
+std::string encodeLocalLanes(const Tracer* tracer) {
+  std::string out;
+  if (tracer == nullptr) {
+    util::putScalar<std::uint32_t>(out, 0);
+    util::putScalar<std::uint32_t>(out, 0);
+    return out;
+  }
+  util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(tracer->laneCount()));
+  util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(tracer->workerLanes()));
+  for (int i = 0; i < tracer->laneCount(); ++i) {
+    const TraceLane& lane = tracer->lane(i);
+    const std::vector<TraceEvent> events = lane.snapshot();
+    util::putScalar<std::uint64_t>(out, lane.drops());
+    util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
+    for (const TraceEvent& ev : events) {
+      util::putScalar<std::uint8_t>(out, static_cast<std::uint8_t>(ev.type));
+      util::putScalar<double>(out, ev.t);
+      const std::size_t nameLen = std::char_traits<char>::length(ev.name);
+      util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(nameLen));
+      util::putBytes(out, ev.name, nameLen);
+      util::putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(ev.detail.size()));
+      util::putBytes(out, ev.detail.data(), ev.detail.size());
+    }
+  }
+  return out;
+}
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  template <typename T>
+  T take() {
+    MVIO_CHECK(p + sizeof(T) <= end, "trace decode past end");
+    const T v = util::readScalar<T>(p);
+    p += sizeof(T);
+    return v;
+  }
+
+  std::string takeString() {
+    const std::uint32_t n = take<std::uint32_t>();
+    MVIO_CHECK(p + n <= end, "trace decode past end");
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+std::string laneName(std::uint32_t lane, std::uint32_t workers) {
+  if (lane == 0) return "main";
+  if (lane <= workers) return "worker " + std::to_string(lane - 1);
+  return lane == workers + 1 ? "prep" : "flush";
+}
+
+}  // namespace
+
+std::uint64_t writeChromeTrace(mpi::Comm& comm, const std::string& path) {
+  const std::string mine = encodeLocalLanes(obsContext().tracer);
+  const int p = comm.size();
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p), 0);
+  const std::uint64_t mySize = mine.size();
+  comm.gather(&mySize, 1, mpi::Datatype::uint64(), sizes.data(), 0);
+
+  std::vector<int> counts(static_cast<std::size_t>(p), 0);
+  std::vector<int> displs(static_cast<std::size_t>(p), 0);
+  std::uint64_t total = 0;
+  for (int rk = 0; rk < p; ++rk) {
+    displs[static_cast<std::size_t>(rk)] = static_cast<int>(total);
+    counts[static_cast<std::size_t>(rk)] = static_cast<int>(sizes[static_cast<std::size_t>(rk)]);
+    total += sizes[static_cast<std::size_t>(rk)];
+  }
+  std::string all(static_cast<std::size_t>(total), '\0');
+  comm.gatherv(mine.data(), static_cast<int>(mine.size()), mpi::Datatype::byte(), all.data(),
+               counts.data(), displs.data(), 0);
+  if (comm.rank() != 0) return 0;
+
+  // Rank 0 renders the JSON: one process per rank, one thread per lane.
+  // End events whose begin fell off the ring (flight-recorder overflow)
+  // are skipped so every lane's B/E sequence stays balanced.
+  std::string json;
+  json.reserve(all.size() + (all.size() >> 1) + 4096);
+  json += "{\"traceEvents\":[";
+  std::uint64_t written = 0;
+  std::uint64_t totalDrops = 0;
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) json.push_back(',');
+    first = false;
+    json += line;
+    ++written;
+  };
+  for (int rk = 0; rk < p; ++rk) {
+    Cursor cur{all.data() + displs[static_cast<std::size_t>(rk)],
+               all.data() + displs[static_cast<std::size_t>(rk)] +
+                   counts[static_cast<std::size_t>(rk)]};
+    const auto laneCount = cur.take<std::uint32_t>();
+    const auto workers = cur.take<std::uint32_t>();
+    if (laneCount > 0) {
+      emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(rk) +
+           ",\"args\":{\"name\":\"rank " + std::to_string(rk) + "\"}}");
+    }
+    for (std::uint32_t lane = 0; lane < laneCount; ++lane) {
+      const auto drops = cur.take<std::uint64_t>();
+      const auto n = cur.take<std::uint32_t>();
+      totalDrops += drops;
+      if (n > 0 || lane == 0) {
+        std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(rk) +
+                           ",\"tid\":" + std::to_string(lane) + ",\"args\":{\"name\":";
+        appendJsonString(meta, laneName(lane, workers));
+        meta += "}}";
+        emit(meta);
+      }
+      std::uint64_t depth = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto type = static_cast<EventType>(cur.take<std::uint8_t>());
+        const double t = cur.take<double>();
+        const std::string name = cur.takeString();
+        const std::string detail = cur.takeString();
+        if (type == EventType::kEnd) {
+          if (depth == 0) continue;  // begin was dropped by the ring
+          --depth;
+        } else if (type == EventType::kBegin) {
+          ++depth;
+        }
+        std::string line = "{\"name\":";
+        appendJsonString(line, name);
+        line += ",\"ph\":\"";
+        line += type == EventType::kBegin ? 'B' : (type == EventType::kEnd ? 'E' : 'i');
+        line += "\",\"pid\":" + std::to_string(rk) + ",\"tid\":" + std::to_string(lane) +
+                ",\"ts\":";
+        appendNumber(line, t * 1e6);  // virtual seconds -> trace microseconds
+        if (type == EventType::kInstant) {
+          line += ",\"s\":\"t\"";
+          if (!detail.empty()) {
+            line += ",\"args\":{\"detail\":";
+            appendJsonString(line, detail);
+            line += "}";
+          }
+        }
+        line += "}";
+        emit(line);
+      }
+      // Close spans the run left open (a rank that died mid-stream).
+      for (; depth > 0; --depth) {
+        emit("{\"name\":\"(unclosed)\",\"ph\":\"E\",\"pid\":" + std::to_string(rk) +
+             ",\"tid\":" + std::to_string(lane) + ",\"ts\":1e15}");
+      }
+    }
+  }
+  json += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual\",\"droppedEvents\":\"" +
+          std::to_string(totalDrops) + "\"}}\n";
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MVIO_CHECK(out.good(), "cannot open trace output file: " + path);
+  out << json;
+  MVIO_CHECK(out.good(), "failed writing trace output file: " + path);
+  return written;
+}
+
+}  // namespace mvio::obs

@@ -1,0 +1,259 @@
+#pragma once
+// Flight-recorder span tracer (DESIGN.md §14).
+//
+// Every rank thread owns a Tracer: a fixed set of single-writer ring
+// buffers ("lanes") of begin/end/instant events stamped on the rank's
+// sim::Clock *virtual* timeline, so modelled I/O, worker fan-out and the
+// round-overlap pipeline render truthfully — an overlapped round shows
+// its prep and store-flush spans genuinely concurrent with the exchange
+// span on the main lane. Lane layout per rank:
+//
+//   lane 0                  the rank (main) thread
+//   lanes 1..workers        one lane per pool worker
+//   lane workers+1 ("prep") deferred parse/projection under round overlap
+//   lane workers+2 ("flush") deferred owned-store flush under overlap
+//
+// Instrumentation reaches the tracer through a thread-local ObsContext
+// installed by the MPI runtime (rank id + clock) and by obs::Session
+// (tracer + metrics registry), so deep call sites — CellStore, the
+// exchange, the checkpoint coordinator — need no plumbed-through handle.
+// Everything is zero-cost when no session is installed: the RAII span and
+// the free helpers reduce to one thread-local load and a null check, and
+// tier-1 runs install nothing. Tracing only ever *reads* the clock, so
+// enabling it cannot change a result bit (tests/test_obs.cpp).
+//
+// At run end writeChromeTrace() gathers every rank's lanes to rank 0,
+// which writes one Chrome/Perfetto trace-event JSON (rank → pid,
+// lane → tid). Rings keep the *newest* events on overflow and count the
+// drops; the writer skips end events whose begin was dropped so the file
+// stays well-formed.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace mvio::mpi {
+class Comm;
+}
+
+namespace mvio::obs {
+
+class MetricsRegistry;
+
+struct TraceConfig {
+  bool enabled = false;            ///< tier-1 default: recorder off
+  std::size_t laneCapacity = 1 << 15;  ///< events retained per lane ring
+
+  [[nodiscard]] static TraceConfig off() { return {}; }
+  [[nodiscard]] static TraceConfig on(std::size_t laneCapacity = 1 << 15) {
+    return {true, laneCapacity};
+  }
+};
+
+enum class EventType : std::uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
+
+struct TraceEvent {
+  const char* name = "";  ///< interned literal (static storage duration)
+  double t = 0;           ///< virtual seconds on the rank's sim::Clock
+  EventType type = EventType::kInstant;
+  std::string detail;     ///< optional payload (log mirrors); empty for spans
+};
+
+/// Single-writer ring of the newest `capacity` events. No locks and no
+/// atomics: each lane has exactly one writer at a time (the rank thread,
+/// or one pool worker), and readers only look after a happens-before
+/// edge (pool join / run end).
+class TraceLane {
+ public:
+  explicit TraceLane(std::size_t capacity) : slots_(capacity) {}
+
+  void emit(const char* name, double t, EventType type, std::string detail = {}) {
+    // A lane is a timeline: timestamps are clamped monotone so events
+    // derived from measured CPU (worker spans whose charge is deferred
+    // under round overlap) can never step behind the lane's history.
+    if (t < lastT_) t = lastT_;
+    lastT_ = t;
+    TraceEvent& slot = slots_[static_cast<std::size_t>(next_ % slots_.size())];
+    slot.name = name;
+    slot.t = t;
+    slot.type = type;
+    slot.detail = std::move(detail);
+    ++next_;
+  }
+
+  /// Events ever emitted minus events retained — oldest-first casualties.
+  [[nodiscard]] std::uint64_t drops() const {
+    return next_ > slots_.size() ? next_ - slots_.size() : 0;
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return next_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::uint64_t cap = slots_.size();
+    const std::uint64_t first = next_ > cap ? next_ - cap : 0;
+    out.reserve(static_cast<std::size_t>(next_ - first));
+    for (std::uint64_t i = first; i < next_; ++i) {
+      out.push_back(slots_[static_cast<std::size_t>(i % cap)]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::uint64_t next_ = 0;
+  double lastT_ = 0;
+};
+
+/// One rank's recorder: main + worker + overlap lanes (see file comment).
+class Tracer {
+ public:
+  Tracer(const TraceConfig& cfg, int workerLanes)
+      : capacity_(cfg.laneCapacity), workers_(workerLanes) {
+    lanes_.reserve(static_cast<std::size_t>(workerLanes) + 3);
+    for (int i = 0; i < workerLanes + 3; ++i) lanes_.emplace_back(capacity_);
+  }
+
+  [[nodiscard]] int laneCount() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] int workerLanes() const { return workers_; }
+  [[nodiscard]] static constexpr int mainLane() { return 0; }
+  [[nodiscard]] static constexpr int workerLane(int worker) { return 1 + worker; }
+  [[nodiscard]] int prepLane() const { return laneCount() - 2; }
+  [[nodiscard]] int flushLane() const { return laneCount() - 1; }
+
+  [[nodiscard]] TraceLane& lane(int i) { return lanes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const TraceLane& lane(int i) const { return lanes_[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] std::uint64_t totalDrops() const {
+    std::uint64_t n = 0;
+    for (const TraceLane& l : lanes_) n += l.drops();
+    return n;
+  }
+
+ private:
+  std::size_t capacity_;
+  int workers_;
+  std::vector<TraceLane> lanes_;
+};
+
+/// Thread-local observability context. The MPI runtime fills worldRank +
+/// clock for every rank thread it spawns; obs::Session fills tracer +
+/// metrics. Pool workers inherit nothing by default — worker-lane spans
+/// are emitted by the rank thread from per-worker CPU accounting
+/// (util::PoolTiming::perWorker), which keeps worker hot paths untouched.
+struct ObsContext {
+  int worldRank = -1;
+  const sim::Clock* clock = nullptr;
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  int lane = 0;  ///< lane the RAII span helpers emit into
+};
+
+[[nodiscard]] ObsContext& obsContext();
+
+namespace detail {
+/// Installed by mpi::Runtime::run around each rank function.
+class RankScope {
+ public:
+  RankScope(int worldRank, const sim::Clock* clock) : saved_(obsContext()) {
+    ObsContext& c = obsContext();
+    c.worldRank = worldRank;
+    c.clock = clock;
+    c.tracer = nullptr;
+    c.metrics = nullptr;
+    c.lane = 0;
+  }
+  ~RankScope() { obsContext() = saved_; }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  ObsContext saved_;
+};
+}  // namespace detail
+
+/// RAII recorder session for one rank: owns the Tracer (and a per-rank
+/// MetricsRegistry) and installs both into the thread-local context.
+/// With cfg.enabled false only the metrics registry is installed — the
+/// tracer stays null and every span helper is a no-op.
+class Session {
+ public:
+  Session(const TraceConfig& cfg, int workerLanes);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+// ---- Emission helpers (no-ops without an enabled session) ---------------
+
+/// Begin/end pair around a scope, stamped from the thread-local clock.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    const ObsContext& c = obsContext();
+    if (c.tracer == nullptr || c.clock == nullptr) return;
+    tracer_ = c.tracer;
+    lane_ = c.lane;
+    name_ = name;
+    clock_ = c.clock;
+    tracer_->lane(lane_).emit(name_, clock_->now(), EventType::kBegin);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->lane(lane_).emit(name_, clock_->now(), EventType::kEnd);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const sim::Clock* clock_ = nullptr;
+  const char* name_ = nullptr;
+  int lane_ = 0;
+};
+
+/// Explicit-interval span on the current thread's lane (phases whose
+/// clock charge happens in one advanceBy/advanceTo jump — nothing else
+/// may emit on the lane between t0 and t1, or emission order and time
+/// order diverge; blocks with nested emissions use traceBegin/traceEnd).
+void traceSpanAt(const char* name, double t0, double t1);
+
+/// Eager begin/end at the current virtual time, for block spans that
+/// enclose other emissions (migrate around spill reloads, recovery
+/// around checkpoint reads, compute around store instants).
+void traceBegin(const char* name);
+void traceEnd(const char* name);
+
+/// Explicit-interval span on a specific lane (worker / prep / flush).
+void traceSpanAtLane(int lane, const char* name, double t0, double t1);
+
+/// Instant event at the current virtual time.
+void traceInstant(const char* name, std::string detail = {});
+
+/// Guard for call sites whose detail string is costly to build.
+[[nodiscard]] inline bool tracingOn() { return obsContext().tracer != nullptr; }
+
+/// One span per pool worker on the worker lanes: worker w covers
+/// [base, base + perWorkerCpu[w]]. Called by the *rank* thread after a
+/// pool region, so the lanes stay single-writer.
+void traceWorkerSpans(const char* name, double base, const std::vector<double>& perWorkerCpu);
+
+/// Collective: serialize every rank's lanes, gather to rank 0, write one
+/// Chrome trace-event JSON to `path` on the host filesystem (the trace is
+/// an artifact about the run, not part of the simulated volume). Ranks
+/// without a tracer contribute empty lanes. Returns the event count
+/// written (rank 0; 0 elsewhere).
+std::uint64_t writeChromeTrace(mpi::Comm& comm, const std::string& path);
+
+}  // namespace mvio::obs

@@ -5,6 +5,8 @@
 #include "core/exchange.hpp"
 #include "core/partition_map.hpp"
 #include "geom/batch_shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -152,8 +154,11 @@ CheckpointCoordinator::CheckpointCoordinator(mpi::Comm& comm, pfs::Volume& volum
       pricer_(pfs::SpillPricer::onVolume(volume, comm.nodeId())) {}
 
 void CheckpointCoordinator::charge(std::uint64_t bytes, bool isWrite) {
-  const double t = pricer_.seconds(bytes, isWrite, comm_->clock().now());
+  const double t0 = comm_->clock().now();
+  const double t = pricer_.seconds(bytes, isWrite, t0);
   comm_->clock().advanceBy(t);
+  obs::traceSpanAt("checkpoint", t0, comm_->clock().now());
+  obs::addCount(isWrite ? "checkpoint.write_bytes" : "checkpoint.read_bytes", bytes);
   phases_->checkpoint += t;
   if (isWrite) phases_->checkpointBytes += bytes;
 }
@@ -164,8 +169,11 @@ void CheckpointCoordinator::put(const std::string& name, std::string bytes) {
 }
 
 void CheckpointCoordinator::chargeCompact(std::uint64_t bytes, bool isWrite) {
-  const double t = pricer_.seconds(bytes, isWrite, comm_->clock().now());
+  const double t0 = comm_->clock().now();
+  const double t = pricer_.seconds(bytes, isWrite, t0);
   comm_->clock().advanceBy(t);
+  obs::traceSpanAt("compaction", t0, comm_->clock().now());
+  obs::addCount(isWrite ? "compaction.write_bytes" : "compaction.read_bytes", bytes);
   phases_->compaction += t;
   if (isWrite) phases_->compactionBytes += bytes;
 }
@@ -256,8 +264,11 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
       // treat this epoch as never committed.
       seal.resize(seal.size() / 2);
     }
-    const double t = pricer_.seconds(seal.size(), /*isWrite=*/true, comm_->clock().now());
+    const double st0 = comm_->clock().now();
+    const double t = pricer_.seconds(seal.size(), /*isWrite=*/true, st0);
     comm_->clock().advanceBy(t);
+    obs::traceSpanAt("checkpoint", st0, comm_->clock().now());
+    obs::addCount("checkpoint.write_bytes", seal.size());
     phases_->checkpoint += t;
     phases_->checkpointBytes += seal.size();
     pfs::SpillStore globalStore(*volume_, globalPrefix(cfg_.dir));
@@ -267,6 +278,7 @@ bool CheckpointCoordinator::maybeCheckpoint(std::uint64_t globalRound,
   // itself) begin only after every rank leaves this barrier, so a sealed
   // epoch is either fully visible to recovery or not attempted.
   comm_->barrier();
+  obs::traceInstant("checkpoint.seal", "epoch " + std::to_string(epoch_));
   phases_->checkpointEpochs += 1;
   maybeCompact();
   return true;

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/trace.hpp"
+
 namespace mvio::util {
 
 namespace {
@@ -49,8 +51,24 @@ LogLevel logLevel() {
 void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
 
 void logLine(LogLevel level, const std::string& tag, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emitMutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), tag.c_str(), message.c_str());
+  // Rank id + virtual time come from the thread-local context the MPI
+  // runtime installs; off-rank threads (main, tests) get the bare form.
+  const obs::ObsContext& ctx = obs::obsContext();
+  {
+    std::lock_guard<std::mutex> lock(g_emitMutex);
+    if (ctx.worldRank >= 0 && ctx.clock != nullptr) {
+      std::fprintf(stderr, "[%s][rank %d @ %.6fs] %s: %s\n", levelName(level), ctx.worldRank,
+                   ctx.clock->now(), tag.c_str(), message.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), tag.c_str(), message.c_str());
+    }
+  }
+  // Mirror WARN+ onto the trace timeline when the recorder is on.
+  if (level == LogLevel::kWarn) {
+    obs::traceInstant("log.warn", tag + ": " + message);
+  } else if (level == LogLevel::kError) {
+    obs::traceInstant("log.error", tag + ": " + message);
+  }
 }
 
 }  // namespace mvio::util

@@ -1,8 +1,15 @@
 #pragma once
-// Minimal leveled logger. Rank-aware once the MPI runtime is up (ranks tag
-// their lines); safe to call from any thread. Benchmarks run at WARN so the
-// regenerated tables stay clean; tests may raise verbosity via env var
-// MVIO_LOG=debug|info|warn|error.
+// Minimal leveled logger. Rank-aware once the MPI runtime is up: every
+// line emitted from a rank thread is automatically stamped with the
+// rank id and the rank's *virtual* clock time (read from the
+// thread-local ObsContext the runtime installs) — callers pass only the
+// module tag, never hand-built "rank N" strings. When a flight-recorder
+// session is live, WARN and ERROR lines are additionally mirrored into
+// the tracer as instant events ("log.warn" / "log.error" with the
+// message as detail), so warnings show up on the Perfetto timeline at
+// the virtual moment they fired. Safe to call from any thread.
+// Benchmarks run at WARN so the regenerated tables stay clean; tests may
+// raise verbosity via env var MVIO_LOG=debug|info|warn|error.
 
 #include <sstream>
 #include <string>
@@ -15,8 +22,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
-/// Emit one line (thread-safe, single write). `tag` is typically the module
-/// name or "rank N".
+/// Emit one line (thread-safe, single write). `tag` is the module name;
+/// the rank id and virtual time are prefixed automatically on rank
+/// threads: "[WARN][rank 3 @ 1.234567s] recovery: ...".
 void logLine(LogLevel level, const std::string& tag, const std::string& message);
 
 }  // namespace mvio::util

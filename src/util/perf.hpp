@@ -9,17 +9,21 @@
 // the exchange performs exactly one copy of payload bytes into the send
 // buffer per phase.
 //
-// Counters are relaxed atomics: safe under the threads-as-ranks runtime
-// and cheap enough to leave enabled in library builds.
+// The storage is the process-global metrics registry (obs/metrics.hpp,
+// counter "pipeline.bytes_copied"), so the value also lands in run
+// reports. The handle is resolved once per thread; the per-call cost is
+// the same relaxed fetch_add as the old standalone atomic.
 
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace mvio::util::perf {
 
 inline std::atomic<std::uint64_t>& bytesCopiedCounter() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter;
+  static obs::Counter& counter = obs::processMetrics().counter("pipeline.bytes_copied");
+  return counter.raw();
 }
 
 /// Charge `n` payload bytes copied by a serialization or staging step.

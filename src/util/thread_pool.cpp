@@ -78,6 +78,7 @@ PoolTiming ThreadPool::runOnWorkers(const std::function<void(int)>& body) {
     sim::ThreadCpuTimer timer;
     body(0);
     out.cpuSum = out.cpuMax = timer.elapsed();
+    out.perWorker.assign(1, out.cpuMax);
     return out;
   }
   std::exception_ptr error;
@@ -92,6 +93,7 @@ PoolTiming ThreadPool::runOnWorkers(const std::function<void(int)>& body) {
   {
     std::unique_lock<std::mutex> lock(sh_->mu);
     sh_->done.wait(lock, [&] { return sh_->remaining == 0; });
+    out.perWorker = sh_->cpu;  // published under the mutex by the workers
     for (const double c : sh_->cpu) {
       out.cpuSum += c;
       if (c > out.cpuMax) out.cpuMax = c;

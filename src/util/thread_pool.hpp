@@ -29,6 +29,10 @@ namespace mvio::util {
 struct PoolTiming {
   double cpuSum = 0;  ///< Σ per-worker CPU seconds (total work done)
   double cpuMax = 0;  ///< max per-worker CPU seconds — the critical path
+  /// Per-worker CPU seconds of the region (index = worker id; one entry
+  /// in inline mode). The flight recorder turns these into worker-lane
+  /// spans after the region, so workers never touch the tracer.
+  std::vector<double> perWorker;
 };
 
 class ThreadPool {
